@@ -1,0 +1,85 @@
+// Command adversary plays the paper's Section-3 lower-bound games: a
+// theorem's adversary observes the scheduling algorithm's decisions and
+// reacts with the worst possible continuation; the resulting competitive
+// ratio must not beat the theorem's bound.
+//
+// Usage:
+//
+//	adversary -theorem 1 -algo LS       # one game, with the instance trace
+//	adversary -all                      # the full 9 × registry matrix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/adversary"
+	"repro/internal/sched"
+	"repro/internal/textplot"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adversary: ")
+
+	theorem := flag.Int("theorem", 1, "theorem number 1..9")
+	algo := flag.String("algo", "LS", "algorithm: "+strings.Join(sched.Names(), ", "))
+	all := flag.Bool("all", false, "play every theorem against the whole scheduler registry")
+	flag.Parse()
+
+	if *all {
+		matrix()
+		return
+	}
+	if *theorem < 1 || *theorem > 9 {
+		log.Fatalf("theorem %d out of range 1..9", *theorem)
+	}
+	adv := adversary.All()[*theorem-1]
+	out, err := adversary.Play(adv, sched.New(*algo))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n", adv.Name())
+	fmt.Printf("platform: %v\n\n", adv.Platform())
+	fmt.Printf("the adversary released %d task(s); the game transcript:\n", out.Tasks)
+	for _, r := range out.Schedule.Records {
+		fmt.Printf("  %v\n", r)
+	}
+	fmt.Println()
+	fmt.Print(textplot.Gantt(out.Schedule, 90))
+	fmt.Println()
+	fmt.Printf("algorithm %-9v = %.4f\n", out.Objective, out.Value)
+	fmt.Printf("offline optimum    = %.4f\n", out.Optimal)
+	fmt.Printf("competitive ratio  = %.4f\n", out.Ratio)
+	fmt.Printf("theorem bound      = %s ≈ %.4f (parameter slack %.4f)\n",
+		out.BoundExpr, out.Bound, out.Slack)
+	if out.Beaten() {
+		fmt.Println("!!! BOUND BEATEN — this would falsify the theorem; please file a bug")
+	} else {
+		fmt.Println("bound confirmed: the algorithm could not beat the adversary")
+	}
+}
+
+func matrix() {
+	headers := []string{"theorem", "bound", "scheduler", "ratio", "tasks", "ok"}
+	var rows [][]string
+	for _, adv := range adversary.All() {
+		for _, s := range sched.Adversarial(adv.Platform().M()) {
+			out, err := adversary.Play(adv, s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%d (%v)", adv.Theorem(), adv.Objective()),
+				adv.BoundExpr(),
+				s.Name(),
+				fmt.Sprintf("%.4f", out.Ratio),
+				fmt.Sprintf("%d", out.Tasks),
+				fmt.Sprintf("%v", !out.Beaten()),
+			})
+		}
+	}
+	fmt.Print(textplot.Table(headers, rows))
+}

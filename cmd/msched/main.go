@@ -1,0 +1,155 @@
+// Command msched runs one scheduling scenario on the one-port
+// master-slave simulator and prints its metrics, optionally with an ASCII
+// Gantt chart and the exact offline optimum.
+//
+// Usage examples:
+//
+//	msched -algo LS -class heterogeneous -m 5 -n 100 -seed 7 -gantt
+//	msched -algo SLJF -c 1,1 -p 3,7 -releases 0,1,2 -opt
+//	msched -algo RRC -class comp-homogeneous -n 500 -arrival poisson -rate 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/optimal"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/textplot"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msched: ")
+
+	algo := flag.String("algo", "LS", "algorithm: "+strings.Join(sched.Names(), ", "))
+	class := flag.String("class", "heterogeneous", "random platform class: homogeneous, comm-homogeneous, comp-homogeneous, heterogeneous")
+	m := flag.Int("m", 5, "number of slaves for random platforms")
+	seed := flag.Int64("seed", 1, "random seed")
+	n := flag.Int("n", 20, "number of tasks")
+	cFlag := flag.String("c", "", "explicit communication times, e.g. 1,1 (overrides -class)")
+	pFlag := flag.String("p", "", "explicit computation times, e.g. 3,7")
+	releases := flag.String("releases", "", "explicit release times, e.g. 0,1,2 (overrides -n/-arrival)")
+	arrival := flag.String("arrival", "bag", "arrival pattern: bag, poisson, uniform, bursty, periodic")
+	rate := flag.Float64("rate", 1, "arrival rate for poisson/periodic")
+	perturb := flag.Float64("perturb", 0, "matrix-size perturbation fraction (Figure 2 style)")
+	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart")
+	stat := flag.Bool("stats", false, "print utilization and queueing analysis")
+	opt := flag.Bool("opt", false, "also compute the exact offline optimum (small instances only)")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	pl, err := buildPlatform(*cFlag, *pFlag, *class, *m, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tasks, err := buildTasks(*releases, *n, *arrival, *rate, *perturb, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	scheduler := sched.New(*algo)
+	s, err := sim.Simulate(pl, scheduler, tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("platform: %v (%v)\n", pl, pl.Classify())
+	fmt.Printf("workload: %d tasks, %s arrivals\n", len(tasks), *arrival)
+	fmt.Printf("algorithm: %s\n\n", scheduler.Name())
+	fmt.Printf("makespan: %.4f\n", s.Makespan())
+	fmt.Printf("max-flow: %.4f\n", s.MaxFlow())
+	fmt.Printf("sum-flow: %.4f\n", s.SumFlow())
+
+	if *opt {
+		inst := core.NewInstance(pl, tasks)
+		fmt.Println()
+		for _, obj := range core.Objectives {
+			res := optimal.Solve(inst, obj)
+			fmt.Printf("offline optimal %-8v: %.4f (ratio %.4f)\n",
+				obj, res.Value, obj.Value(s)/res.Value)
+		}
+	}
+	if *stat {
+		fmt.Println()
+		fmt.Print(trace.Analyze(s).Render())
+	}
+	if *gantt {
+		fmt.Println()
+		fmt.Print(textplot.Gantt(s, 100))
+	}
+}
+
+func buildPlatform(cFlag, pFlag, class string, m int, rng *rand.Rand) (core.Platform, error) {
+	if (cFlag == "") != (pFlag == "") {
+		return core.Platform{}, fmt.Errorf("-c and -p must be given together")
+	}
+	if cFlag != "" {
+		c, err := parseFloats(cFlag)
+		if err != nil {
+			return core.Platform{}, fmt.Errorf("-c: %w", err)
+		}
+		p, err := parseFloats(pFlag)
+		if err != nil {
+			return core.Platform{}, fmt.Errorf("-p: %w", err)
+		}
+		if len(c) != len(p) {
+			return core.Platform{}, fmt.Errorf("-c has %d entries, -p has %d", len(c), len(p))
+		}
+		return core.NewPlatform(c, p), nil
+	}
+	for _, cl := range core.Classes {
+		if cl.String() == class {
+			return core.Random(rng, cl, core.GenConfig{M: m}), nil
+		}
+	}
+	return core.Platform{}, fmt.Errorf("unknown class %q", class)
+}
+
+func buildTasks(releases string, n int, arrival string, rate, perturb float64, rng *rand.Rand) ([]core.Task, error) {
+	if releases != "" {
+		times, err := parseFloats(releases)
+		if err != nil {
+			return nil, fmt.Errorf("-releases: %w", err)
+		}
+		return core.ReleasesAt(times...), nil
+	}
+	patterns := map[string]workload.Pattern{
+		"bag":      workload.BagAtZero,
+		"poisson":  workload.Poisson,
+		"uniform":  workload.UniformSpread,
+		"bursty":   workload.Bursty,
+		"periodic": workload.Periodic,
+	}
+	pattern, ok := patterns[arrival]
+	if !ok {
+		return nil, fmt.Errorf("unknown arrival pattern %q", arrival)
+	}
+	return workload.Generate(rng, workload.Config{
+		N: n, Pattern: pattern, Rate: rate, Perturb: perturb,
+	}), nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

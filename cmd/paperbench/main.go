@@ -1,0 +1,82 @@
+// Command paperbench regenerates the paper's evaluation artifacts at full
+// scale: Table 1 (exact bounds, adversary confirmation, exact proof
+// verification), the four panels of Figure 1, the Figure 2 robustness
+// study, and the ablation studies from DESIGN.md.
+//
+// Usage:
+//
+//	paperbench                      # everything at paper scale
+//	paperbench -experiment fig1b    # one artifact
+//	paperbench -platforms 4 -tasks 200   # reduced scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperbench: ")
+
+	which := flag.String("experiment", "all",
+		"artifact: table1, fig1a, fig1b, fig1c, fig1d, fig2, ablation-rr, ablation-horizon, ablation-arrivals, ablation-model, randomized, all")
+	platforms := flag.Int("platforms", 10, "random platforms per figure (paper: 10)")
+	tasks := flag.Int("tasks", 1000, "tasks per run (paper: 1000)")
+	m := flag.Int("m", 5, "slaves per platform (paper: 5)")
+	seed := flag.Int64("seed", 2006, "random seed")
+	flag.Parse()
+
+	cfg := experiment.Config{Platforms: *platforms, Tasks: *tasks, M: *m, Seed: *seed}
+
+	artifacts := map[string]func(){
+		"table1": func() {
+			fmt.Println(experiment.RenderTable1(experiment.Table1()))
+		},
+		"fig1a": func() { fmt.Println(experiment.Figure1(core.Homogeneous, cfg).Render()) },
+		"fig1b": func() { fmt.Println(experiment.Figure1(core.CommHomogeneous, cfg).Render()) },
+		"fig1c": func() { fmt.Println(experiment.Figure1(core.CompHomogeneous, cfg).Render()) },
+		"fig1d": func() { fmt.Println(experiment.Figure1(core.Heterogeneous, cfg).Render()) },
+		"fig2":  func() { fmt.Println(experiment.Figure2(cfg).Render()) },
+		"ablation-rr": func() {
+			fmt.Println(experiment.AblationRRCap(core.Homogeneous, cfg).Render())
+			fmt.Println(experiment.AblationRRCap(core.CommHomogeneous, cfg).Render())
+		},
+		"ablation-horizon": func() {
+			fmt.Println(experiment.AblationPlanHorizon(cfg).Render())
+		},
+		"ablation-arrivals": func() {
+			for _, load := range []float64{0.5, 0.8, 0.95} {
+				fmt.Println(experiment.AblationArrivals(load, cfg).Render())
+			}
+		},
+		"randomized": func() {
+			fmt.Println(experiment.RandomizedStudy(1000, 0.3).Render())
+		},
+		"ablation-model": func() {
+			fmt.Println(experiment.AblationModel(core.CompHomogeneous, cfg).Render())
+			fmt.Println(experiment.AblationModel(core.Heterogeneous, cfg).Render())
+		},
+	}
+	order := []string{"table1", "fig1a", "fig1b", "fig1c", "fig1d", "fig2",
+		"ablation-rr", "ablation-horizon", "ablation-arrivals", "ablation-model", "randomized"}
+
+	if *which == "all" {
+		for _, name := range order {
+			fmt.Printf("==== %s ====\n", name)
+			artifacts[name]()
+		}
+		return
+	}
+	run, ok := artifacts[*which]
+	if !ok {
+		log.Fatalf("unknown experiment %q; choose one of %s or all",
+			*which, strings.Join(order, ", "))
+	}
+	run()
+}

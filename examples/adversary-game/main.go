@@ -1,0 +1,43 @@
+// Adversary game: replay the lower-bound proof of Theorem 1 as an actual
+// game between the reactive adversary and list scheduling, narrating each
+// move of the proof's decision tree.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/sched"
+	"repro/internal/textplot"
+)
+
+func main() {
+	fmt.Println("Theorem 1 (Pineau–Robert–Vivien): on communication-homogeneous")
+	fmt.Println("platforms no deterministic on-line algorithm has a competitive")
+	fmt.Println("ratio below 5/4 for makespan. The adversary plays:")
+	fmt.Println()
+	fmt.Println("  1. release task i at t=0 on the platform c=1, p=(3,7);")
+	fmt.Println("  2. at t=c check where i went: anywhere but P1 → stop (ratio ≥ 5/4);")
+	fmt.Println("  3. otherwise release j; at t=2c: j on P2 → stop (ratio 9/7);")
+	fmt.Println("  4. otherwise release a final task k (best reachable 10 vs optimal 8).")
+	fmt.Println()
+
+	for _, s := range []string{"LS", "SRPT", "RRC"} {
+		adv := adversary.NewTheorem1()
+		out, err := adversary.Play(adv, sched.New(s))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("=== versus %s ===\n", s)
+		fmt.Printf("the adversary released %d task(s)\n", out.Tasks)
+		for _, r := range out.Schedule.Records {
+			fmt.Printf("  %v\n", r)
+		}
+		fmt.Print(textplot.Gantt(out.Schedule, 72))
+		fmt.Printf("makespan %.2f vs optimal %.2f → ratio %.4f (bound %s)\n\n",
+			out.Value, out.Optimal, out.Ratio, out.BoundExpr)
+	}
+
+	fmt.Println("Every deterministic algorithm lands at ratio ≥ 5/4; LS walks into")
+	fmt.Println("the deepest branch and achieves the bound exactly.")
+}

@@ -1,0 +1,38 @@
+// Heterogeneous cluster: the Figure-1(d) scenario the paper's
+// introduction motivates — a bag of identical tasks on a fully
+// heterogeneous master-slave platform, where only the heuristics that
+// account for link capacities stay competitive.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	// One concrete cluster drawn with the paper's parameter ranges.
+	rng := rand.New(rand.NewSource(42))
+	pl := masterslave.RandomPlatform(rng, masterslave.Heterogeneous, 5)
+	fmt.Printf("cluster: %v\n\n", pl)
+
+	tasks := masterslave.Bag(1000)
+	fmt.Printf("%-8s %12s %12s %14s\n", "algo", "makespan", "max-flow", "sum-flow")
+	for _, algo := range masterslave.Algorithms() {
+		s, err := masterslave.Run(algo, pl, tasks)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-8s %12.2f %12.2f %14.2f\n", algo, s.Makespan(), s.MaxFlow(), s.SumFlow())
+	}
+
+	// The statistical version: Figure 1(d) over ten random clusters,
+	// normalized to SRPT like the paper.
+	fmt.Println()
+	res := masterslave.Figure1(masterslave.Heterogeneous,
+		masterslave.ExperimentConfig{Platforms: 10, Tasks: 1000, M: 5, Seed: 42})
+	fmt.Println(res.Render())
+	fmt.Println("Communication-aware heuristics (LS, RRC, SLJFWC) beat the")
+	fmt.Println("communication-blind ones (RRP, SLJF) — the paper's Figure 1(d).")
+}

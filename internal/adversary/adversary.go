@@ -1,0 +1,139 @@
+// Package adversary implements the nine adversary constructions behind
+// the paper's Section-3 lower-bound theorems. Each adversary releases a
+// first task, observes the decisions a deterministic algorithm has
+// committed by the proof's checkpoint times, and reacts by releasing (or
+// withholding) further tasks. The algorithm's objective value divided by
+// the exact offline optimum of the resulting instance is its performance
+// ratio on that instance; every theorem guarantees that this ratio is at
+// least the stated bound for every deterministic algorithm, which the
+// test suite confirms for the whole scheduler registry.
+//
+// The theorems for the ε-parameterized platforms (4, 5, 7, 8, 9) only
+// reach their bound in the limit; the concrete parameters chosen here get
+// within the documented Slack of it.
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/optimal"
+	"repro/internal/sim"
+)
+
+// Adversary is one theorem's reactive instance builder.
+type Adversary interface {
+	// Theorem returns the paper's theorem number (1–9).
+	Theorem() int
+	// Name describes platform class and objective, e.g.
+	// "Thm 1: comm-homogeneous / makespan".
+	Name() string
+	// Objective is the metric the theorem bounds.
+	Objective() core.Objective
+	// Platform returns the theorem's platform.
+	Platform() core.Platform
+	// Bound is the theorem's competitive-ratio lower bound.
+	Bound() float64
+	// BoundExpr is the exact closed form, e.g. "(5-√7)/2".
+	BoundExpr() string
+	// Slack is how far below Bound the guaranteed ratio may fall due to
+	// the concrete (non-limit) parameter choice; zero for the exact
+	// constructions.
+	Slack() float64
+	// Run plays the adversary's decision tree against the algorithm
+	// driving the engine.
+	Run(d *Driver)
+}
+
+// Driver is the adversary's interface to a live simulation.
+type Driver struct {
+	e *sim.Engine
+}
+
+// Inject releases one nominal task at the given time.
+func (d *Driver) Inject(at float64) core.TaskID {
+	return d.e.InjectTask(core.Task{Release: at, CommScale: 1, CompScale: 1})
+}
+
+// AdvanceTo runs the simulation (and hence the algorithm) up to time t.
+func (d *Driver) AdvanceTo(t float64) { d.e.AdvanceTo(t) }
+
+// StartedOn reports whether the algorithm has begun sending the task by
+// the current time, and to which slave.
+func (d *Driver) StartedOn(task core.TaskID) (slave int, ok bool) {
+	slave, _, ok = d.e.Started(task)
+	return slave, ok
+}
+
+// Outcome is the result of one adversary game.
+type Outcome struct {
+	Adversary string
+	Theorem   int
+	Scheduler string
+	Objective core.Objective
+	Bound     float64
+	BoundExpr string
+	Slack     float64
+	Value     float64 // the algorithm's objective value
+	Optimal   float64 // exact offline optimum of the final instance
+	Ratio     float64
+	Tasks     int
+	Schedule  core.Schedule
+}
+
+// Beaten reports whether the algorithm beat the theorem bound (which
+// would falsify the theorem — or reveal a bug).
+func (o Outcome) Beaten() bool {
+	return o.Ratio < o.Bound-o.Slack-1e-9
+}
+
+// String renders a one-line report.
+func (o Outcome) String() string {
+	return fmt.Sprintf("Thm %d vs %-14s ratio %.4f (bound %s ≈ %.4f, opt %.4f, alg %.4f)",
+		o.Theorem, o.Scheduler, o.Ratio, o.BoundExpr, o.Bound, o.Optimal, o.Value)
+}
+
+// Play runs one adversary game against a scheduler and scores it.
+func Play(adv Adversary, s sim.Scheduler) (Outcome, error) {
+	e := sim.New(adv.Platform(), s, nil)
+	d := &Driver{e: e}
+	adv.Run(d)
+	schedule, err := e.Run()
+	if err != nil {
+		return Outcome{}, fmt.Errorf("adversary %q vs %s: %w", adv.Name(), s.Name(), err)
+	}
+	if err := core.ValidateSchedule(schedule); err != nil {
+		return Outcome{}, fmt.Errorf("adversary %q vs %s: infeasible schedule: %w", adv.Name(), s.Name(), err)
+	}
+	opt := optimal.Solve(schedule.Instance, adv.Objective()).Value
+	val := adv.Objective().Value(schedule)
+	return Outcome{
+		Adversary: adv.Name(),
+		Theorem:   adv.Theorem(),
+		Scheduler: s.Name(),
+		Objective: adv.Objective(),
+		Bound:     adv.Bound(),
+		BoundExpr: adv.BoundExpr(),
+		Slack:     adv.Slack(),
+		Value:     val,
+		Optimal:   opt,
+		Ratio:     val / opt,
+		Tasks:     len(schedule.Instance.Tasks),
+		Schedule:  schedule,
+	}, nil
+}
+
+// All returns the nine theorem adversaries in theorem order.
+func All() []Adversary {
+	return []Adversary{
+		NewTheorem1(),
+		NewTheorem2(),
+		NewTheorem3(),
+		NewTheorem4(),
+		NewTheorem5(),
+		NewTheorem6(),
+		NewTheorem7(),
+		NewTheorem8(),
+		NewTheorem9(),
+	}
+}

@@ -1,0 +1,210 @@
+package adversary
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestAdversaryMetadata(t *testing.T) {
+	advs := All()
+	if len(advs) != 9 {
+		t.Fatalf("%d adversaries", len(advs))
+	}
+	wantBound := []float64{
+		1.25,
+		(2 + 4*math.Sqrt2) / 7,
+		(5 - math.Sqrt(7)) / 2,
+		1.2,
+		1.25,
+		23.0 / 22.0,
+		(1 + math.Sqrt(3)) / 2,
+		(math.Sqrt(13) - 1) / 2,
+		math.Sqrt2,
+	}
+	wantClass := []core.Class{
+		core.CommHomogeneous, core.CommHomogeneous, core.CommHomogeneous,
+		core.CompHomogeneous, core.CompHomogeneous, core.CompHomogeneous,
+		core.Heterogeneous, core.Heterogeneous, core.Heterogeneous,
+	}
+	wantObj := []core.Objective{
+		core.Makespan, core.SumFlow, core.MaxFlow,
+		core.Makespan, core.MaxFlow, core.SumFlow,
+		core.Makespan, core.SumFlow, core.MaxFlow,
+	}
+	for i, adv := range advs {
+		if adv.Theorem() != i+1 {
+			t.Errorf("adversary %d reports theorem %d", i, adv.Theorem())
+		}
+		if math.Abs(adv.Bound()-wantBound[i]) > 1e-12 {
+			t.Errorf("theorem %d bound %v, want %v", i+1, adv.Bound(), wantBound[i])
+		}
+		if got := adv.Platform().Classify(); got != wantClass[i] {
+			t.Errorf("theorem %d platform class %v, want %v", i+1, got, wantClass[i])
+		}
+		if adv.Objective() != wantObj[i] {
+			t.Errorf("theorem %d objective %v, want %v", i+1, adv.Objective(), wantObj[i])
+		}
+		if adv.Slack() < 0 || adv.Slack() > 0.02 {
+			t.Errorf("theorem %d slack %v out of the documented range", i+1, adv.Slack())
+		}
+		if !strings.Contains(adv.Name(), "Thm") {
+			t.Errorf("bad name %q", adv.Name())
+		}
+	}
+}
+
+// TestNoDeterministicSchedulerBeatsAnyBound is the central validation of
+// Section 3: the nine theorems claim no deterministic algorithm achieves
+// a competitive ratio below the bound, so every scheduler in the registry
+// — the seven paper heuristics, pinned, anti-greedy, inverted and
+// procrastinating ones — must score at least bound − slack against the
+// corresponding adversary.
+func TestNoDeterministicSchedulerBeatsAnyBound(t *testing.T) {
+	for _, adv := range All() {
+		schedulers := sched.Adversarial(adv.Platform().M())
+		schedulers = append(schedulers,
+			sched.NewRandomizedLS(0.2, 1),
+			sched.NewRandomizedLS(0.2, 2),
+			sched.NewRandomizedLS(0.5, 3),
+		)
+		for _, s := range schedulers {
+			out, err := Play(adv, s)
+			if err != nil {
+				t.Fatalf("%s vs %s: %v", adv.Name(), s.Name(), err)
+			}
+			if out.Beaten() {
+				t.Errorf("BOUND BEATEN: %v", out)
+			}
+			if out.Ratio < 1-1e-9 {
+				t.Errorf("ratio below 1 (beats offline optimum!): %v", out)
+			}
+			if out.Tasks < 1 || out.Tasks > 4 {
+				t.Errorf("%s vs %s: unexpected instance size %d", adv.Name(), s.Name(), out.Tasks)
+			}
+		}
+	}
+}
+
+// TestLSHitsTheoremBoundsExactly: list scheduling walks straight into the
+// adversary traps of Theorems 1 and 6, achieving exactly the bound — the
+// proofs' worst case is tight for it.
+func TestLSHitsTheoremBoundsExactly(t *testing.T) {
+	cases := []struct {
+		adv  Adversary
+		want float64
+	}{
+		{NewTheorem1(), 1.25},        // 10/8
+		{NewTheorem6(), 23.0 / 22.0}, // 23/22
+	}
+	for _, tc := range cases {
+		out, err := Play(tc.adv, sched.NewLS())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(out.Ratio-tc.want) > 1e-9 {
+			t.Errorf("%s vs LS: ratio %v, want exactly %v", tc.adv.Name(), out.Ratio, tc.want)
+		}
+	}
+}
+
+func TestSRPTOnTheorem1TakesTheP2Branch(t *testing.T) {
+	// SRPT ships the second task to the free slow slave, triggering the
+	// proof's case 1 with ratio 9/7.
+	out, err := Play(NewTheorem1(), sched.NewSRPT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tasks != 2 {
+		t.Fatalf("expected the 2-task branch, got %d tasks", out.Tasks)
+	}
+	if math.Abs(out.Ratio-9.0/7.0) > 1e-9 {
+		t.Fatalf("SRPT ratio %v, want 9/7", out.Ratio)
+	}
+}
+
+func TestProcrastinatorPunished(t *testing.T) {
+	// A scheduler that has not committed by the checkpoint lands in the
+	// "did not begin to send" branch: the single-task instance where its
+	// idling alone costs it the bound.
+	out, err := Play(NewTheorem1(), sched.NewProcrastinator(2.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tasks != 1 {
+		t.Fatalf("expected the 1-task branch, got %d tasks", out.Tasks)
+	}
+	if out.Ratio < 1.25 {
+		t.Fatalf("procrastinator ratio %v, want ≥ 5/4", out.Ratio)
+	}
+}
+
+func TestPinnedToSlowSlaveStopsEarly(t *testing.T) {
+	out, err := Play(NewTheorem1(), sched.NewPinned(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tasks != 1 {
+		t.Fatalf("expected a 1-task instance, got %d", out.Tasks)
+	}
+	if math.Abs(out.Ratio-2) > 1e-9 { // (c+p₂)/(c+p₁) = 8/4
+		t.Fatalf("ratio %v, want 2", out.Ratio)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	out, err := Play(NewTheorem9(), sched.NewLS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Thm 9") || !strings.Contains(s, "√2") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestOutcomeSchedulesAreValid(t *testing.T) {
+	for _, adv := range All() {
+		out, err := Play(adv, sched.NewLS())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.ValidateSchedule(out.Schedule); err != nil {
+			t.Errorf("%s: %v", adv.Name(), err)
+		}
+	}
+}
+
+// TestAdversaryForcesP1FirstBranch confirms the adversary logic itself:
+// rational algorithms must put the first task on P1 (the proofs' forced
+// move), receiving the full instance.
+func TestAdversaryForcesP1FirstBranch(t *testing.T) {
+	wantTasks := map[int]int{1: 3, 2: 3, 3: 2, 4: 4, 5: 4, 6: 4, 7: 3, 8: 3, 9: 3}
+	for _, adv := range All() {
+		out, err := Play(adv, sched.NewLS())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Tasks != wantTasks[adv.Theorem()] {
+			t.Errorf("theorem %d vs LS: %d tasks, want %d (LS should take the forced branch)",
+				adv.Theorem(), out.Tasks, wantTasks[adv.Theorem()])
+		}
+	}
+}
+
+func TestPlayPropagatesDeadlock(t *testing.T) {
+	_, err := Play(NewTheorem1(), asleep{})
+	if err == nil {
+		t.Fatal("sleeping scheduler must surface an error")
+	}
+}
+
+type asleep struct{}
+
+func (asleep) Name() string               { return "asleep" }
+func (asleep) Reset(core.Platform)        {}
+func (asleep) Decide(sim.View) sim.Action { return sim.Idle() }

@@ -1,0 +1,98 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// fuzzSched is a seeded arbitrary-but-deterministic scheduler: it sends
+// each task to a pseudo-random slave, sometimes after a pseudo-random
+// delay. Any fixed seed yields a deterministic algorithm, so every
+// theorem bound must hold against every seed — a fuzz over the space of
+// deterministic algorithms far beyond the named heuristics.
+type fuzzSched struct {
+	seed    uint64
+	state   uint64
+	m       int
+	delayed map[core.TaskID]float64
+}
+
+func newFuzzSched(seed uint64) *fuzzSched { return &fuzzSched{seed: seed} }
+
+func (f *fuzzSched) Name() string { return "fuzz" }
+
+func (f *fuzzSched) Reset(pl core.Platform) {
+	f.state = f.seed*0x9e3779b97f4a7c15 + 1
+	f.m = pl.M()
+	f.delayed = map[core.TaskID]float64{}
+}
+
+func (f *fuzzSched) next() uint64 {
+	x := f.state
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	f.state = x
+	return x
+}
+
+func (f *fuzzSched) Decide(v sim.View) sim.Action {
+	task, ok := v.FirstPending()
+	if !ok {
+		return sim.Idle()
+	}
+	due, decided := f.delayed[task]
+	if !decided {
+		// One coin per task: 1-in-4 chance of procrastinating a bit.
+		if f.next()%4 == 0 {
+			due = v.Now() + float64(f.next()%2000)/1000.0 // up to 2 s
+		} else {
+			due = v.Now()
+		}
+		f.delayed[task] = due
+	}
+	if v.Now() < due {
+		return sim.Wait(due)
+	}
+	return sim.Send(task, int(f.next()%uint64(f.m)))
+}
+
+// TestFuzzDeterministicSchedulersRespectAllBounds plays 40 random
+// deterministic algorithms against each of the nine adversaries.
+func TestFuzzDeterministicSchedulersRespectAllBounds(t *testing.T) {
+	for _, adv := range All() {
+		for seed := uint64(1); seed <= 40; seed++ {
+			out, err := Play(adv, newFuzzSched(seed))
+			if err != nil {
+				t.Fatalf("%s vs fuzz(%d): %v", adv.Name(), seed, err)
+			}
+			if out.Beaten() {
+				t.Errorf("BOUND BEATEN by fuzz seed %d: %v", seed, out)
+			}
+			if err := core.ValidateSchedule(out.Schedule); err != nil {
+				t.Errorf("fuzz seed %d produced invalid schedule: %v", seed, err)
+			}
+		}
+	}
+}
+
+// TestFuzzReplaysDeterministically: the same seed must reproduce the same
+// game exactly, or the "deterministic algorithm" premise would be void.
+func TestFuzzReplaysDeterministically(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		a, err := Play(NewTheorem7(), newFuzzSched(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Play(NewTheorem7(), newFuzzSched(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Ratio != b.Ratio || a.Tasks != b.Tasks {
+			t.Fatalf("seed %d: replay diverged (%v/%d vs %v/%d)",
+				seed, a.Ratio, a.Tasks, b.Ratio, b.Tasks)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// spec is the common implementation of Adversary: a platform, a bound and
+// a reactive decision tree.
+type spec struct {
+	theorem   int
+	class     core.Class
+	obj       core.Objective
+	pl        core.Platform
+	bound     float64
+	boundExpr string
+	slack     float64
+	run       func(d *Driver)
+}
+
+func (s *spec) Theorem() int              { return s.theorem }
+func (s *spec) Objective() core.Objective { return s.obj }
+func (s *spec) Platform() core.Platform   { return s.pl.Clone() }
+func (s *spec) Bound() float64            { return s.bound }
+func (s *spec) BoundExpr() string         { return s.boundExpr }
+func (s *spec) Slack() float64            { return s.slack }
+func (s *spec) Run(d *Driver)             { s.run(d) }
+
+func (s *spec) Name() string {
+	return fmt.Sprintf("Thm %d: %v / %v", s.theorem, s.class, s.obj)
+}
+
+// NewTheorem1 builds the adversary of Theorem 1 (communication-
+// homogeneous platforms, makespan, bound 5/4): platform c = 1,
+// p = (3, 7). Task i at 0; at t₁ = c the adversary stops unless i went to
+// P1, in which case task j arrives; at t₂ = 2c it stops if j went to P2,
+// and otherwise releases a final task k.
+func NewTheorem1() Adversary {
+	return &spec{
+		theorem:   1,
+		class:     core.CommHomogeneous,
+		obj:       core.Makespan,
+		pl:        core.NewPlatform([]float64{1, 1}, []float64{3, 7}),
+		bound:     1.25,
+		boundExpr: "5/4",
+		run: func(d *Driver) {
+			i := d.Inject(0)
+			d.AdvanceTo(1) // t₁ = c
+			if slave, ok := d.StartedOn(i); !ok || slave != 0 {
+				return // cases 1 and 2: no further task
+			}
+			j := d.Inject(1)
+			d.AdvanceTo(2) // t₂ = 2c
+			if slave, ok := d.StartedOn(j); ok && slave == 1 {
+				return // case 1: j on P2, stop
+			}
+			d.Inject(2) // cases 2 and 3: a last task k at 2c
+		},
+	}
+}
+
+// NewTheorem2 builds the adversary of Theorem 2 (communication-
+// homogeneous, sum-flow, bound (2+4√2)/7): platform c = 1,
+// p = (2, 4√2−2). The decision tree mirrors Theorem 1's.
+func NewTheorem2() Adversary {
+	return &spec{
+		theorem:   2,
+		class:     core.CommHomogeneous,
+		obj:       core.SumFlow,
+		pl:        core.NewPlatform([]float64{1, 1}, []float64{2, 4*math.Sqrt2 - 2}),
+		bound:     (2 + 4*math.Sqrt2) / 7,
+		boundExpr: "(2+4√2)/7",
+		run: func(d *Driver) {
+			i := d.Inject(0)
+			d.AdvanceTo(1) // t₁ = c
+			if slave, ok := d.StartedOn(i); !ok || slave != 0 {
+				return
+			}
+			j := d.Inject(1)
+			d.AdvanceTo(2) // t₂ = 2c
+			if slave, ok := d.StartedOn(j); ok && slave == 1 {
+				return
+			}
+			d.Inject(2)
+		},
+	}
+}
+
+// NewTheorem3 builds the adversary of Theorem 3 (communication-
+// homogeneous, max-flow, bound (5−√7)/2): platform c = 1,
+// p = ((2+√7)/3, (1+2√7)/3); checkpoint τ = (4−√7)/3, after which a
+// single further task j arrives if i went to P1.
+func NewTheorem3() Adversary {
+	s7 := math.Sqrt(7)
+	tau := (4 - s7) / 3
+	return &spec{
+		theorem:   3,
+		class:     core.CommHomogeneous,
+		obj:       core.MaxFlow,
+		pl:        core.NewPlatform([]float64{1, 1}, []float64{(2 + s7) / 3, (1 + 2*s7) / 3}),
+		bound:     (5 - s7) / 2,
+		boundExpr: "(5-√7)/2",
+		run: func(d *Driver) {
+			i := d.Inject(0)
+			d.AdvanceTo(tau)
+			if slave, ok := d.StartedOn(i); !ok || slave != 0 {
+				return
+			}
+			d.Inject(tau)
+		},
+	}
+}
+
+// Theorem4P is the computation time used to instantiate Theorem 4's
+// platform (the proof takes p = max{5, 12/(25ε)} → ∞; the bound is
+// approached with a 12/(5(5p+2)) deficit).
+const Theorem4P = 100.0
+
+// NewTheorem4 builds the adversary of Theorem 4 (computation-homogeneous,
+// makespan, bound 6/5): platform p₁ = p₂ = p, c = (1, p/2). Task i at 0;
+// at time p/2 the adversary stops unless i went to P1, in which case
+// three tasks j, k, l arrive at once.
+func NewTheorem4() Adversary {
+	p := Theorem4P
+	return &spec{
+		theorem:   4,
+		class:     core.CompHomogeneous,
+		obj:       core.Makespan,
+		pl:        core.NewPlatform([]float64{1, p / 2}, []float64{p, p}),
+		bound:     1.2,
+		boundExpr: "6/5",
+		slack:     12 / (5 * (5*p + 2)),
+		run: func(d *Driver) {
+			i := d.Inject(0)
+			d.AdvanceTo(p / 2)
+			if slave, ok := d.StartedOn(i); !ok || slave != 0 {
+				return
+			}
+			d.Inject(p / 2)
+			d.Inject(p / 2)
+			d.Inject(p / 2)
+		},
+	}
+}
+
+// Theorem5Eps is the ε used for Theorem 5's platform (c₁ = ε; the bound
+// is approached with an ε/2 deficit).
+const Theorem5Eps = 0.02
+
+// NewTheorem5 builds the adversary of Theorem 5 (computation-homogeneous,
+// max-flow, bound 5/4): platform c = (ε, 1), p = 2 − ε; checkpoint
+// τ = 1 − ε, then three tasks at once if i went to P1.
+func NewTheorem5() Adversary {
+	eps := Theorem5Eps
+	p := 2 - eps
+	tau := 1 - eps
+	return &spec{
+		theorem:   5,
+		class:     core.CompHomogeneous,
+		obj:       core.MaxFlow,
+		pl:        core.NewPlatform([]float64{eps, 1}, []float64{p, p}),
+		bound:     1.25,
+		boundExpr: "5/4",
+		slack:     eps / 2,
+		run: func(d *Driver) {
+			i := d.Inject(0)
+			d.AdvanceTo(tau)
+			if slave, ok := d.StartedOn(i); !ok || slave != 0 {
+				return
+			}
+			d.Inject(tau)
+			d.Inject(tau)
+			d.Inject(tau)
+		},
+	}
+}
+
+// NewTheorem6 builds the adversary of Theorem 6 (computation-homogeneous,
+// sum-flow, bound 23/22): platform c = (1, 2), p = 3; checkpoint τ = c₂,
+// then three tasks at once if i went to P1.
+func NewTheorem6() Adversary {
+	return &spec{
+		theorem:   6,
+		class:     core.CompHomogeneous,
+		obj:       core.SumFlow,
+		pl:        core.NewPlatform([]float64{1, 2}, []float64{3, 3}),
+		bound:     23.0 / 22.0,
+		boundExpr: "23/22",
+		run: func(d *Driver) {
+			i := d.Inject(0)
+			d.AdvanceTo(2) // τ = c₂
+			if slave, ok := d.StartedOn(i); !ok || slave != 0 {
+				return
+			}
+			d.Inject(2)
+			d.Inject(2)
+			d.Inject(2)
+		},
+	}
+}
+
+// Theorem7Eps is the ε used for Theorem 7's platform (p₁ = ε; the bound
+// is approached with deficit below ε/2).
+const Theorem7Eps = 0.02
+
+// NewTheorem7 builds the adversary of Theorem 7 (fully heterogeneous,
+// makespan, bound (1+√3)/2): three slaves with p₁ = ε, p₂ = p₃ = 1+√3,
+// c₁ = 1+√3, c₂ = c₃ = 1. Checkpoint at time 1; two more tasks if i went
+// to P1.
+func NewTheorem7() Adversary {
+	eps := Theorem7Eps
+	s3 := math.Sqrt(3)
+	return &spec{
+		theorem:   7,
+		class:     core.Heterogeneous,
+		obj:       core.Makespan,
+		pl:        core.NewPlatform([]float64{1 + s3, 1, 1}, []float64{eps, 1 + s3, 1 + s3}),
+		bound:     (1 + s3) / 2,
+		boundExpr: "(1+√3)/2",
+		slack:     eps / 2,
+		run: func(d *Driver) {
+			i := d.Inject(0)
+			d.AdvanceTo(1)
+			if slave, ok := d.StartedOn(i); !ok || slave != 0 {
+				return
+			}
+			d.Inject(1)
+			d.Inject(1)
+		},
+	}
+}
+
+// Theorem8C1 and Theorem8Eps instantiate Theorem 8's platform (the bound
+// is approached as c₁ → ∞).
+const (
+	Theorem8C1  = 10000.0
+	Theorem8Eps = 1.0
+)
+
+// NewTheorem8 builds the adversary of Theorem 8 (fully heterogeneous,
+// sum-flow, bound (√13−1)/2): three slaves with p₁ = ε, c₂ = c₃ = 1,
+// p₂ = p₃ = τ + c₁ − 1 where τ = (√(52c₁²+12c₁+1) − (6c₁+1))/4 ≈
+// c₁(√13−3)/2. Checkpoint at τ; two more tasks if i went to P1.
+func NewTheorem8() Adversary {
+	c1 := Theorem8C1
+	eps := Theorem8Eps
+	tau := (math.Sqrt(52*c1*c1+12*c1+1) - (6*c1 + 1)) / 4
+	p23 := tau + c1 - 1
+	return &spec{
+		theorem:   8,
+		class:     core.Heterogeneous,
+		obj:       core.SumFlow,
+		pl:        core.NewPlatform([]float64{c1, 1, 1}, []float64{eps, p23, p23}),
+		bound:     (math.Sqrt(13) - 1) / 2,
+		boundExpr: "(√13-1)/2",
+		slack:     0.001,
+		run: func(d *Driver) {
+			i := d.Inject(0)
+			d.AdvanceTo(tau)
+			if slave, ok := d.StartedOn(i); !ok || slave != 0 {
+				return
+			}
+			d.Inject(tau)
+			d.Inject(tau)
+		},
+	}
+}
+
+// Theorem9Eps instantiates Theorem 9's p₁ (the proof requires
+// c₁ + p₁ < p₂, i.e. ε < 1).
+const Theorem9Eps = 0.02
+
+// NewTheorem9 builds the adversary of Theorem 9 (fully heterogeneous,
+// max-flow, bound √2): three slaves with c₁ = 2(1+√2), c₂ = c₃ = 1,
+// p₁ = ε, p₂ = p₃ = √2·c₁ − 1. Checkpoint τ = (√2−1)c₁ = 2 exactly; two
+// more tasks if i went to P1.
+func NewTheorem9() Adversary {
+	eps := Theorem9Eps
+	c1 := 2 * (1 + math.Sqrt2)
+	p23 := math.Sqrt2*c1 - 1
+	tau := (math.Sqrt2 - 1) * c1 // = 2 exactly in ℝ
+	return &spec{
+		theorem:   9,
+		class:     core.Heterogeneous,
+		obj:       core.MaxFlow,
+		pl:        core.NewPlatform([]float64{c1, 1, 1}, []float64{eps, p23, p23}),
+		bound:     math.Sqrt2,
+		boundExpr: "√2",
+		slack:     0.006,
+		run: func(d *Driver) {
+			i := d.Inject(0)
+			d.AdvanceTo(tau)
+			if slave, ok := d.StartedOn(i); !ok || slave != 0 {
+				return
+			}
+			d.Inject(tau)
+			d.Inject(tau)
+		},
+	}
+}

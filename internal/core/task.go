@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TaskID identifies a task within one problem instance. IDs are dense and
+// start at 0; the i-th released task has ID i when releases are sorted.
+type TaskID int
+
+// Task is one unit of work. All tasks are identical in nominal size (the
+// paper's same-size hypothesis); SizeFactor models the Figure-2 robustness
+// experiment where the actual matrix shipped each round deviates by up to
+// 10% from the nominal one. Schedulers never see SizeFactor — the engine
+// applies it when charging communication and computation time.
+type Task struct {
+	ID      TaskID
+	Release float64
+	// SizeFactor scales the task's actual cost: communication scales by
+	// CommScale and computation by CompScale (precomputed from the matrix
+	// side-length factor: volume ∝ s², flops ∝ s³). Both are 1 for nominal
+	// tasks. Zero values are treated as 1 so that plain Task{} literals in
+	// tests behave nominally.
+	CommScale float64
+	CompScale float64
+}
+
+// EffComm returns the task's actual communication multiplier.
+func (t Task) EffComm() float64 {
+	if t.CommScale == 0 {
+		return 1
+	}
+	return t.CommScale
+}
+
+// EffComp returns the task's actual computation multiplier.
+func (t Task) EffComp() float64 {
+	if t.CompScale == 0 {
+		return 1
+	}
+	return t.CompScale
+}
+
+// Instance is a complete problem instance: a platform plus a release-time
+// sorted task list.
+type Instance struct {
+	Platform Platform
+	Tasks    []Task
+}
+
+// NewInstance assembles an instance, sorting tasks by release time (FIFO
+// order is lossless for identical tasks) and renumbering IDs densely.
+func NewInstance(pl Platform, tasks []Task) Instance {
+	ts := append([]Task(nil), tasks...)
+	sort.SliceStable(ts, func(i, j int) bool { return ts[i].Release < ts[j].Release })
+	for i := range ts {
+		ts[i].ID = TaskID(i)
+	}
+	return Instance{Platform: pl, Tasks: ts}
+}
+
+// ReleasesAt builds n nominal tasks released at the given times.
+func ReleasesAt(times ...float64) []Task {
+	ts := make([]Task, len(times))
+	for i, r := range times {
+		ts[i] = Task{ID: TaskID(i), Release: r, CommScale: 1, CompScale: 1}
+	}
+	return ts
+}
+
+// Bag builds n nominal tasks all released at time 0 — the bag-of-tasks
+// workload of the paper's experiments.
+func Bag(n int) []Task {
+	ts := make([]Task, n)
+	for i := range ts {
+		ts[i] = Task{ID: TaskID(i), Release: 0, CommScale: 1, CompScale: 1}
+	}
+	return ts
+}
+
+// Record is the complete execution trace of one task.
+type Record struct {
+	Task      TaskID
+	Slave     int
+	Release   float64
+	SendStart float64 // master port acquired
+	Arrive    float64 // send complete, task queued at slave
+	Start     float64 // slave begins computing
+	Complete  float64 // C_i
+}
+
+// Flow returns the task's response time C_i − r_i.
+func (r Record) Flow() float64 { return r.Complete - r.Release }
+
+// String renders one Gantt row.
+func (r Record) String() string {
+	return fmt.Sprintf("task %d → P%d: released %.3f, sent [%.3f,%.3f], ran [%.3f,%.3f]",
+		r.Task, r.Slave+1, r.Release, r.SendStart, r.Arrive, r.Start, r.Complete)
+}
+
+// Schedule is the outcome of running a scheduling algorithm on an
+// instance: one record per task, indexed by TaskID.
+type Schedule struct {
+	Instance Instance
+	Records  []Record
+}
+
+// Makespan returns max C_i, the total execution time.
+func (s Schedule) Makespan() float64 {
+	best := 0.0
+	for _, r := range s.Records {
+		if r.Complete > best {
+			best = r.Complete
+		}
+	}
+	return best
+}
+
+// MaxFlow returns max (C_i − r_i), the maximum response time.
+func (s Schedule) MaxFlow() float64 {
+	best := 0.0
+	for _, r := range s.Records {
+		if f := r.Flow(); f > best {
+			best = f
+		}
+	}
+	return best
+}
+
+// SumFlow returns Σ (C_i − r_i), the sum of response times.
+func (s Schedule) SumFlow() float64 {
+	sum := 0.0
+	for _, r := range s.Records {
+		sum += r.Flow()
+	}
+	return sum
+}
+
+// Objective selects one of the paper's three metrics.
+type Objective int
+
+const (
+	// Makespan is max C_i.
+	Makespan Objective = iota
+	// MaxFlow is max (C_i − r_i).
+	MaxFlow
+	// SumFlow is Σ (C_i − r_i).
+	SumFlow
+)
+
+// Objectives lists the three metrics in the paper's presentation order.
+var Objectives = []Objective{Makespan, MaxFlow, SumFlow}
+
+// String returns the paper's name for the objective.
+func (o Objective) String() string {
+	switch o {
+	case Makespan:
+		return "makespan"
+	case MaxFlow:
+		return "max-flow"
+	case SumFlow:
+		return "sum-flow"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Value evaluates the objective on a schedule.
+func (o Objective) Value(s Schedule) float64 {
+	switch o {
+	case Makespan:
+		return s.Makespan()
+	case MaxFlow:
+		return s.MaxFlow()
+	case SumFlow:
+		return s.SumFlow()
+	default:
+		panic(fmt.Sprintf("core: unknown objective %d", int(o)))
+	}
+}

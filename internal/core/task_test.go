@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewInstanceSortsAndRenumbers(t *testing.T) {
+	pl := NewPlatform([]float64{1}, []float64{1})
+	inst := NewInstance(pl, []Task{
+		{ID: 5, Release: 3},
+		{ID: 9, Release: 1},
+		{ID: 0, Release: 2},
+	})
+	wantReleases := []float64{1, 2, 3}
+	for i, task := range inst.Tasks {
+		if task.ID != TaskID(i) {
+			t.Errorf("task %d has ID %d", i, task.ID)
+		}
+		if task.Release != wantReleases[i] {
+			t.Errorf("task %d released at %v, want %v", i, task.Release, wantReleases[i])
+		}
+	}
+}
+
+func TestNewInstanceStableForTies(t *testing.T) {
+	pl := NewPlatform([]float64{1}, []float64{1})
+	tasks := []Task{{Release: 0, CommScale: 2}, {Release: 0, CommScale: 3}}
+	inst := NewInstance(pl, tasks)
+	if inst.Tasks[0].CommScale != 2 || inst.Tasks[1].CommScale != 3 {
+		t.Fatal("equal releases reordered")
+	}
+}
+
+func TestBagAndReleasesAt(t *testing.T) {
+	bag := Bag(4)
+	if len(bag) != 4 {
+		t.Fatalf("Bag(4) has %d tasks", len(bag))
+	}
+	for i, task := range bag {
+		if task.Release != 0 || task.ID != TaskID(i) {
+			t.Fatalf("bag task %d = %+v", i, task)
+		}
+	}
+	rel := ReleasesAt(0, 1, 2.5)
+	if rel[2].Release != 2.5 {
+		t.Fatalf("ReleasesAt wrong: %+v", rel)
+	}
+}
+
+func TestEffScalesDefaultToOne(t *testing.T) {
+	var task Task // zero value
+	if task.EffComm() != 1 || task.EffComp() != 1 {
+		t.Fatal("zero-value task must behave nominally")
+	}
+	task = Task{CommScale: 1.21, CompScale: 1.331}
+	if task.EffComm() != 1.21 || task.EffComp() != 1.331 {
+		t.Fatal("explicit scales ignored")
+	}
+}
+
+// twoTaskSchedule builds the hand-checked schedule used in several tests:
+// platform c=[1,1], p=[3,7] (Theorem 1's platform), tasks at r=0 and r=1,
+// both sent to P1 ASAP.
+func twoTaskSchedule() Schedule {
+	pl := NewPlatform([]float64{1, 1}, []float64{3, 7})
+	inst := NewInstance(pl, ReleasesAt(0, 1))
+	return Schedule{
+		Instance: inst,
+		Records: []Record{
+			{Task: 0, Slave: 0, Release: 0, SendStart: 0, Arrive: 1, Start: 1, Complete: 4},
+			{Task: 1, Slave: 0, Release: 1, SendStart: 1, Arrive: 2, Start: 4, Complete: 7},
+		},
+	}
+}
+
+func TestObjectiveValues(t *testing.T) {
+	s := twoTaskSchedule()
+	if got := s.Makespan(); got != 7 {
+		t.Errorf("makespan = %v, want 7", got)
+	}
+	if got := s.MaxFlow(); got != 6 { // task 1: 7 - 1
+		t.Errorf("max-flow = %v, want 6", got)
+	}
+	if got := s.SumFlow(); got != 10 { // 4 + 6
+		t.Errorf("sum-flow = %v, want 10", got)
+	}
+	for _, o := range Objectives {
+		direct := o.Value(s)
+		var want float64
+		switch o {
+		case Makespan:
+			want = s.Makespan()
+		case MaxFlow:
+			want = s.MaxFlow()
+		case SumFlow:
+			want = s.SumFlow()
+		}
+		if math.Abs(direct-want) > 0 {
+			t.Errorf("Objective(%v).Value mismatch", o)
+		}
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	if Makespan.String() != "makespan" || MaxFlow.String() != "max-flow" || SumFlow.String() != "sum-flow" {
+		t.Fatal("objective names changed")
+	}
+}
+
+func TestRecordFlowAndString(t *testing.T) {
+	r := Record{Task: 3, Slave: 1, Release: 2, SendStart: 2, Arrive: 3, Start: 3, Complete: 10}
+	if r.Flow() != 8 {
+		t.Fatalf("Flow = %v", r.Flow())
+	}
+	if s := r.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

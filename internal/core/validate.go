@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Eps is the tolerance used when validating floating-point schedules.
+// Virtual times in this codebase come from sums of at most a few thousand
+// float64 operations, so 1e-6 absolute slack is far beyond accumulated
+// error while still catching genuine modeling bugs.
+const Eps = 1e-6
+
+// ValidateMultiport checks a schedule against the macro-dataflow variant
+// of the model (paper Section 5): everything ValidateSchedule checks
+// except the master's one-port exclusivity.
+func ValidateMultiport(s Schedule) error {
+	return validate(s, false)
+}
+
+// ValidateSchedule checks a schedule against every constraint of the
+// paper's model:
+//
+//  1. exactly one record per task, matching the instance's task set;
+//  2. no send starts before the task's release;
+//  3. sends occupy the master's port exclusively (one-port model) and
+//     last exactly c_j scaled by the task's communication factor;
+//  4. a slave starts a task no earlier than its arrival, computes for
+//     exactly p_j scaled by the task's computation factor, and never
+//     overlaps two computations;
+//  5. slaves execute their tasks in arrival order (FIFO queues).
+//
+// It returns the first violation found, or nil for a feasible schedule.
+func ValidateSchedule(s Schedule) error {
+	return validate(s, true)
+}
+
+func validate(s Schedule, onePort bool) error {
+	inst := s.Instance
+	pl := inst.Platform
+	if len(s.Records) != len(inst.Tasks) {
+		return fmt.Errorf("core: %d records for %d tasks", len(s.Records), len(inst.Tasks))
+	}
+	seen := make([]bool, len(inst.Tasks))
+	for _, r := range s.Records {
+		if r.Task < 0 || int(r.Task) >= len(inst.Tasks) {
+			return fmt.Errorf("core: record for unknown task %d", r.Task)
+		}
+		if seen[r.Task] {
+			return fmt.Errorf("core: duplicate record for task %d", r.Task)
+		}
+		seen[r.Task] = true
+		task := inst.Tasks[r.Task]
+		if r.Slave < 0 || r.Slave >= pl.M() {
+			return fmt.Errorf("core: task %d assigned to unknown slave %d", r.Task, r.Slave)
+		}
+		if r.Release != task.Release {
+			return fmt.Errorf("core: task %d record release %v differs from instance %v", r.Task, r.Release, task.Release)
+		}
+		if r.SendStart < task.Release-Eps {
+			return fmt.Errorf("core: task %d sent at %v before release %v", r.Task, r.SendStart, task.Release)
+		}
+		wantComm := pl.C[r.Slave] * task.EffComm()
+		if diff := r.Arrive - r.SendStart - wantComm; diff < -Eps || diff > Eps {
+			return fmt.Errorf("core: task %d communication lasted %v, want %v", r.Task, r.Arrive-r.SendStart, wantComm)
+		}
+		if r.Start < r.Arrive-Eps {
+			return fmt.Errorf("core: task %d started %v before arrival %v", r.Task, r.Start, r.Arrive)
+		}
+		wantComp := pl.P[r.Slave] * task.EffComp()
+		if diff := r.Complete - r.Start - wantComp; diff < -Eps || diff > Eps {
+			return fmt.Errorf("core: task %d computation lasted %v, want %v", r.Task, r.Complete-r.Start, wantComp)
+		}
+	}
+
+	// One-port: the master's sends must not overlap.
+	if onePort {
+		byPort := append([]Record(nil), s.Records...)
+		sort.Slice(byPort, func(i, j int) bool { return byPort[i].SendStart < byPort[j].SendStart })
+		for i := 1; i < len(byPort); i++ {
+			if byPort[i].SendStart < byPort[i-1].Arrive-Eps {
+				return fmt.Errorf("core: one-port violation: send of task %d at %v overlaps send of task %d ending %v",
+					byPort[i].Task, byPort[i].SendStart, byPort[i-1].Task, byPort[i-1].Arrive)
+			}
+		}
+	}
+
+	// Per-slave: computations must not overlap and must follow arrival order.
+	perSlave := make(map[int][]Record)
+	for _, r := range s.Records {
+		perSlave[r.Slave] = append(perSlave[r.Slave], r)
+	}
+	for j, recs := range perSlave {
+		sort.Slice(recs, func(a, b int) bool { return recs[a].Start < recs[b].Start })
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Start < recs[i-1].Complete-Eps {
+				return fmt.Errorf("core: slave %d computes tasks %d and %d concurrently", j, recs[i-1].Task, recs[i].Task)
+			}
+			if recs[i].Arrive < recs[i-1].Arrive-Eps {
+				return fmt.Errorf("core: slave %d executed task %d (arrived %v) before earlier-arrived task %d (%v)",
+					j, recs[i-1].Task, recs[i-1].Arrive, recs[i].Task, recs[i].Arrive)
+			}
+		}
+	}
+	return nil
+}
+
+// WorkConserving reports whether the schedule keeps the port busy whenever
+// a released, unsent task exists and the port is idle. The on-line model
+// permits deliberate idling (some adversarial branches hinge on it), so
+// this is a diagnostic, not a validity requirement.
+func WorkConserving(s Schedule) bool {
+	recs := append([]Record(nil), s.Records...)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].SendStart < recs[j].SendStart })
+	portFree := 0.0
+	for _, r := range recs {
+		if r.SendStart > portFree+Eps {
+			// Port idled during (portFree, r.SendStart). Violation only if a
+			// released unsent task existed throughout; the earliest pending
+			// release among unsent tasks at time portFree is enough to check.
+			for _, other := range recs {
+				if other.SendStart >= r.SendStart-Eps && other.Release < r.SendStart-Eps &&
+					other.Release <= portFree+Eps {
+					return false
+				}
+			}
+		}
+		if r.Arrive > portFree {
+			portFree = r.Arrive
+		}
+	}
+	return true
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateAcceptsFeasible(t *testing.T) {
+	if err := ValidateSchedule(twoTaskSchedule()); err != nil {
+		t.Fatalf("feasible schedule rejected: %v", err)
+	}
+}
+
+func mutate(s Schedule, f func(*Schedule)) Schedule {
+	cp := Schedule{Instance: s.Instance, Records: append([]Record(nil), s.Records...)}
+	f(&cp)
+	return cp
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	base := twoTaskSchedule()
+	cases := []struct {
+		name    string
+		broken  Schedule
+		keyword string
+	}{
+		{
+			"missing record",
+			mutate(base, func(s *Schedule) { s.Records = s.Records[:1] }),
+			"records",
+		},
+		{
+			"duplicate record",
+			mutate(base, func(s *Schedule) { s.Records[1] = s.Records[0] }),
+			"duplicate",
+		},
+		{
+			"unknown slave",
+			mutate(base, func(s *Schedule) { s.Records[0].Slave = 9 }),
+			"unknown slave",
+		},
+		{
+			"send before release",
+			mutate(base, func(s *Schedule) {
+				s.Records[1].SendStart = 0.5
+				s.Records[1].Arrive = 1.5
+				s.Records[1].Start = 4
+				s.Records[1].Complete = 7
+			}),
+			"before release",
+		},
+		{
+			"wrong communication duration",
+			mutate(base, func(s *Schedule) { s.Records[0].Arrive = 2.5 }),
+			"communication",
+		},
+		{
+			"start before arrival",
+			mutate(base, func(s *Schedule) {
+				s.Records[1].Start = 1.5
+				s.Records[1].Complete = 4.5
+			}),
+			"before arrival",
+		},
+		{
+			"wrong computation duration",
+			mutate(base, func(s *Schedule) { s.Records[0].Complete = 5 }),
+			"computation",
+		},
+		{
+			"one-port overlap",
+			mutate(base, func(s *Schedule) {
+				s.Records[1].SendStart = 0.5 + 1 // still after release? release=1 → violates; use release-safe overlap
+			}),
+			"",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateSchedule(tc.broken)
+			if err == nil {
+				t.Fatal("violation accepted")
+			}
+			if tc.keyword != "" && !strings.Contains(err.Error(), tc.keyword) {
+				t.Fatalf("error %q does not mention %q", err, tc.keyword)
+			}
+		})
+	}
+}
+
+func TestValidateOnePortOverlap(t *testing.T) {
+	// Two sends overlapping in time on different slaves, both after release.
+	pl := NewPlatform([]float64{1, 1}, []float64{3, 7})
+	inst := NewInstance(pl, ReleasesAt(0, 0))
+	s := Schedule{
+		Instance: inst,
+		Records: []Record{
+			{Task: 0, Slave: 0, SendStart: 0, Arrive: 1, Start: 1, Complete: 4},
+			{Task: 1, Slave: 1, SendStart: 0.5, Arrive: 1.5, Start: 1.5, Complete: 8.5},
+		},
+	}
+	err := ValidateSchedule(s)
+	if err == nil || !strings.Contains(err.Error(), "one-port") {
+		t.Fatalf("one-port overlap not caught: %v", err)
+	}
+}
+
+func TestValidateSlaveOverlap(t *testing.T) {
+	pl := NewPlatform([]float64{1}, []float64{3})
+	inst := NewInstance(pl, ReleasesAt(0, 0))
+	s := Schedule{
+		Instance: inst,
+		Records: []Record{
+			{Task: 0, Slave: 0, SendStart: 0, Arrive: 1, Start: 1, Complete: 4},
+			{Task: 1, Slave: 0, SendStart: 1, Arrive: 2, Start: 2, Complete: 5}, // overlaps task 0's run
+		},
+	}
+	err := ValidateSchedule(s)
+	if err == nil || !strings.Contains(err.Error(), "concurrently") {
+		t.Fatalf("slave overlap not caught: %v", err)
+	}
+}
+
+func TestValidateFIFOOrder(t *testing.T) {
+	pl := NewPlatform([]float64{1}, []float64{2})
+	inst := NewInstance(pl, ReleasesAt(0, 0))
+	// Task 1 arrives second but runs first: slave-FIFO violation.
+	s := Schedule{
+		Instance: inst,
+		Records: []Record{
+			{Task: 0, Slave: 0, SendStart: 0, Arrive: 1, Start: 4, Complete: 6},
+			{Task: 1, Slave: 0, SendStart: 1, Arrive: 2, Start: 2, Complete: 4},
+		},
+	}
+	err := ValidateSchedule(s)
+	if err == nil || !strings.Contains(err.Error(), "arrived") {
+		t.Fatalf("FIFO violation not caught: %v", err)
+	}
+}
+
+func TestValidateSizeFactors(t *testing.T) {
+	// A perturbed task must be charged scaled durations.
+	pl := NewPlatform([]float64{1}, []float64{2})
+	tasks := []Task{{Release: 0, CommScale: 1.5, CompScale: 2}}
+	inst := NewInstance(pl, tasks)
+	good := Schedule{
+		Instance: inst,
+		Records: []Record{
+			{Task: 0, Slave: 0, SendStart: 0, Arrive: 1.5, Start: 1.5, Complete: 5.5},
+		},
+	}
+	if err := ValidateSchedule(good); err != nil {
+		t.Fatalf("scaled schedule rejected: %v", err)
+	}
+	bad := mutate(good, func(s *Schedule) { s.Records[0].Arrive = 1 })
+	if err := ValidateSchedule(bad); err == nil {
+		t.Fatal("nominal-length send accepted for scaled task")
+	}
+}
+
+func TestWorkConserving(t *testing.T) {
+	if !WorkConserving(twoTaskSchedule()) {
+		t.Fatal("back-to-back schedule reported as idling")
+	}
+	// Insert deliberate idling: task 1 released at 1 but sent at 3.
+	pl := NewPlatform([]float64{1, 1}, []float64{3, 7})
+	inst := NewInstance(pl, ReleasesAt(0, 1))
+	lazy := Schedule{
+		Instance: inst,
+		Records: []Record{
+			{Task: 0, Slave: 0, Release: 0, SendStart: 0, Arrive: 1, Start: 1, Complete: 4},
+			{Task: 1, Slave: 0, Release: 1, SendStart: 3, Arrive: 4, Start: 4, Complete: 7},
+		},
+	}
+	if err := ValidateSchedule(lazy); err != nil {
+		t.Fatalf("idling schedule must still be feasible: %v", err)
+	}
+	if WorkConserving(lazy) {
+		t.Fatal("idling schedule reported as work-conserving")
+	}
+}

@@ -1,0 +1,152 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/textplot"
+	"repro/internal/workload"
+)
+
+// AblationRow is one variant in an ablation sweep.
+type AblationRow struct {
+	Variant string
+	Metrics map[core.Objective]stats.Summary // normalized to the study baseline
+}
+
+// AblationResult is one ablation study.
+type AblationResult struct {
+	Name     string
+	Baseline string
+	Class    core.Class
+	Rows     []AblationRow
+}
+
+// Render formats the study.
+func (a AblationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation %s on %v platforms (normalized to %s)\n", a.Name, a.Class, a.Baseline)
+	headers := []string{"variant", "makespan", "max-flow", "sum-flow"}
+	var rows [][]string
+	for _, r := range a.Rows {
+		rows = append(rows, []string{
+			r.Variant,
+			fmt.Sprintf("%.3f ± %.3f", r.Metrics[core.Makespan].Mean, r.Metrics[core.Makespan].Std),
+			fmt.Sprintf("%.3f ± %.3f", r.Metrics[core.MaxFlow].Mean, r.Metrics[core.MaxFlow].Std),
+			fmt.Sprintf("%.3f ± %.3f", r.Metrics[core.SumFlow].Mean, r.Metrics[core.SumFlow].Std),
+		})
+	}
+	b.WriteString(textplot.Table(headers, rows))
+	return b.String()
+}
+
+// runSweep runs each variant scheduler over shared random platforms and
+// workloads, normalizing by the first variant.
+func runSweep(name string, class core.Class, cfg Config, variants []sim.Scheduler,
+	gen func(rng *rand.Rand) []core.Task) AblationResult {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	acc := make([]map[core.Objective][]float64, len(variants))
+	for i := range acc {
+		acc[i] = map[core.Objective][]float64{}
+	}
+	for p := 0; p < cfg.Platforms; p++ {
+		pl := core.Random(rng, class, core.GenConfig{M: cfg.M})
+		tasks := gen(rng)
+		base := map[core.Objective]float64{}
+		for i, v := range variants {
+			s, err := sim.Simulate(pl, v, tasks)
+			if err != nil {
+				panic(fmt.Sprintf("experiment: ablation %s, variant %s: %v", name, v.Name(), err))
+			}
+			for _, obj := range core.Objectives {
+				val := obj.Value(s)
+				if i == 0 {
+					base[obj] = val
+				}
+				acc[i][obj] = append(acc[i][obj], val/base[obj])
+			}
+		}
+	}
+	res := AblationResult{Name: name, Baseline: variants[0].Name(), Class: class}
+	for i, v := range variants {
+		row := AblationRow{Variant: v.Name(), Metrics: map[core.Objective]stats.Summary{}}
+		for _, obj := range core.Objectives {
+			row.Metrics[obj] = stats.Summarize(acc[i][obj])
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// AblationRRCap sweeps the Round-Robin outstanding-task cap (DESIGN.md
+// §3): cap 1 degenerates to SRPT-like link idling, cap 2 (the default)
+// pipelines, larger caps approach static splitting; strict cyclic is the
+// literal paper reading.
+func AblationRRCap(class core.Class, cfg Config) AblationResult {
+	variants := []sim.Scheduler{
+		sched.NewRR(), // baseline: default cap 2
+		sched.NewRRWith(sched.ByCP, 1, false, "RR-cap1"),
+		sched.NewRRWith(sched.ByCP, 3, false, "RR-cap3"),
+		sched.NewRRWith(sched.ByCP, 4, false, "RR-cap4"),
+		sched.NewRRWith(sched.ByCP, 0, true, "RR-cyclic"),
+	}
+	cfg = cfg.withDefaults()
+	return runSweep("RR-cap", class, cfg, variants, func(rng *rand.Rand) []core.Task {
+		return core.Bag(cfg.Tasks)
+	})
+}
+
+// AblationPlanHorizon sweeps SLJF's plan horizon on its design-target
+// class: the paper notes "the greater this number, the better the final
+// assignment".
+func AblationPlanHorizon(cfg Config) AblationResult {
+	cfg = cfg.withDefaults()
+	variants := []sim.Scheduler{
+		namedScheduler{sched.NewSLJF(cfg.Tasks), fmt.Sprintf("SLJF-full(%d)", cfg.Tasks)},
+		namedScheduler{sched.NewSLJF(cfg.Tasks / 10), fmt.Sprintf("SLJF-%d", cfg.Tasks/10)},
+		namedScheduler{sched.NewSLJF(cfg.Tasks / 100), fmt.Sprintf("SLJF-%d", cfg.Tasks/100)},
+		namedScheduler{sched.NewSLJF(1), "SLJF-1"},
+		namedScheduler{sched.NewLS(), "LS"},
+	}
+	return runSweep("SLJF-horizon", core.CommHomogeneous, cfg, variants, func(rng *rand.Rand) []core.Task {
+		return core.Bag(cfg.Tasks)
+	})
+}
+
+// AblationArrivals compares the heuristics under trickle arrivals instead
+// of the paper's bag-of-tasks, at a given offered load (fraction of the
+// platform's mean service capacity).
+func AblationArrivals(load float64, cfg Config) AblationResult {
+	cfg = cfg.withDefaults()
+	variants := make([]sim.Scheduler, 0, 7)
+	for _, n := range sched.Names() {
+		variants = append(variants, sched.New(n))
+	}
+	return runSweep(fmt.Sprintf("arrivals(load=%.2f)", load), core.Heterogeneous, cfg, variants,
+		func(rng *rand.Rand) []core.Task {
+			// Rate chosen against the mean random platform's capacity:
+			// roughly m/(mean p) tasks per second at load 1.
+			gen := core.DefaultGenConfig()
+			meanP := (gen.PMin + gen.PMax) / 2
+			rate := load * float64(cfg.M) / meanP
+			return workload.Generate(rng, workload.Config{
+				N: cfg.Tasks, Pattern: workload.Poisson, Rate: rate,
+			})
+		})
+}
+
+// namedScheduler overrides a scheduler's display name for sweeps with
+// several parameterizations of the same algorithm.
+type namedScheduler struct {
+	sim.Scheduler
+	label string
+}
+
+// Name implements sim.Scheduler.
+func (n namedScheduler) Name() string { return n.label }

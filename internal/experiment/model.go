@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/textplot"
+)
+
+// ModelAblationResult contrasts the paper's one-port model with the
+// macro-dataflow model its Section 5 criticizes ("communication resources
+// are not limited ... the communication network is assumed to be
+// contention-free, which of course is not realistic"). For each heuristic
+// it reports the normalized makespan under both models plus the speedup
+// unlimited ports would grant.
+type ModelAblationResult struct {
+	Class core.Class
+	Order []string
+	// OnePort and Multiport hold metric(alg)/metric(SRPT) per model.
+	OnePort   map[string]stats.Summary
+	Multiport map[string]stats.Summary
+	// Speedup holds makespan(one-port)/makespan(multiport) per algorithm.
+	Speedup map[string]stats.Summary
+}
+
+// AblationModel runs the seven heuristics on the same random platforms
+// under both communication models.
+func AblationModel(class core.Class, cfg Config) ModelAblationResult {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	names := []string{"SRPT", "LS", "RR", "RRC", "RRP", "SLJF", "SLJFWC"}
+	one := map[string][]float64{}
+	multi := map[string][]float64{}
+	speed := map[string][]float64{}
+	for p := 0; p < cfg.Platforms; p++ {
+		pl := core.Random(rng, class, core.GenConfig{M: cfg.M})
+		tasks := core.Bag(cfg.Tasks)
+		var baseOne, baseMulti float64
+		for _, name := range names {
+			so, err := sim.Simulate(pl, schedulerFor(name, cfg.Tasks), tasks)
+			if err != nil {
+				panic(fmt.Sprintf("experiment: %s one-port: %v", name, err))
+			}
+			sm, err := sim.SimulateMultiport(pl, schedulerFor(name, cfg.Tasks), tasks)
+			if err != nil {
+				panic(fmt.Sprintf("experiment: %s multiport: %v", name, err))
+			}
+			if name == "SRPT" {
+				baseOne, baseMulti = so.Makespan(), sm.Makespan()
+			}
+			one[name] = append(one[name], so.Makespan()/baseOne)
+			multi[name] = append(multi[name], sm.Makespan()/baseMulti)
+			speed[name] = append(speed[name], so.Makespan()/sm.Makespan())
+		}
+	}
+	res := ModelAblationResult{
+		Class:     class,
+		Order:     names,
+		OnePort:   map[string]stats.Summary{},
+		Multiport: map[string]stats.Summary{},
+		Speedup:   map[string]stats.Summary{},
+	}
+	for _, n := range names {
+		res.OnePort[n] = stats.Summarize(one[n])
+		res.Multiport[n] = stats.Summarize(multi[n])
+		res.Speedup[n] = stats.Summarize(speed[n])
+	}
+	return res
+}
+
+// Render formats the study.
+func (r ModelAblationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Model ablation on %v platforms — one-port vs macro-dataflow (normalized makespan, SRPT = 1)\n", r.Class)
+	headers := []string{"algorithm", "one-port", "macro-dataflow", "speedup from ∞ ports"}
+	var rows [][]string
+	for _, n := range r.Order {
+		rows = append(rows, []string{
+			n,
+			fmt.Sprintf("%.3f ± %.3f", r.OnePort[n].Mean, r.OnePort[n].Std),
+			fmt.Sprintf("%.3f ± %.3f", r.Multiport[n].Mean, r.Multiport[n].Std),
+			fmt.Sprintf("%.2f×", r.Speedup[n].Mean),
+		})
+	}
+	b.WriteString(textplot.Table(headers, rows))
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestModelAblationOnePortIsTheCrux pins the Section-5 argument the whole
+// paper rests on: under the macro-dataflow model (unlimited ports) the
+// Round-Robin orderings become irrelevant — RR, RRC and RRP coincide
+// exactly, because with no port contention the prescribed ordering only
+// permutes identical tasks — whereas under the one-port model the
+// communication-blind ordering (RRP) pays a clear penalty on platforms
+// with heterogeneous links.
+func TestModelAblationOnePortIsTheCrux(t *testing.T) {
+	r := AblationModel(core.CompHomogeneous, Config{Platforms: 6, Tasks: 400, M: 5, Seed: 1})
+
+	// Macro-dataflow: the three orderings coincide.
+	rr := r.Multiport["RR"].Mean
+	for _, variant := range []string{"RRC", "RRP"} {
+		if math.Abs(r.Multiport[variant].Mean-rr) > 1e-9 {
+			t.Errorf("under macro-dataflow %s (%v) must equal RR (%v)",
+				variant, r.Multiport[variant].Mean, rr)
+		}
+	}
+
+	// One-port: the communication-blind ordering pays.
+	if r.OnePort["RRP"].Mean <= r.OnePort["RRC"].Mean+0.02 {
+		t.Errorf("under one-port RRP (%v) should be clearly worse than RRC (%v) on comp-homogeneous platforms",
+			r.OnePort["RRP"].Mean, r.OnePort["RRC"].Mean)
+	}
+
+	// Removing the port can only speed a work-conserving heuristic up.
+	for _, n := range r.Order {
+		if s := r.Speedup[n].Mean; s < 1-1e-9 {
+			t.Errorf("%s slowed down (%vx) by removing the port constraint", n, s)
+		}
+	}
+
+	out := r.Render()
+	for _, want := range []string{"macro-dataflow", "one-port", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// TestModelAblationPortBoundSpeedup: on fully heterogeneous platforms the
+// port is a real bottleneck for the aggressive pipeliner (LS), which
+// gains substantially from unlimited ports.
+func TestModelAblationPortBoundSpeedup(t *testing.T) {
+	r := AblationModel(core.Heterogeneous, Config{Platforms: 6, Tasks: 400, M: 5, Seed: 2})
+	if r.Speedup["LS"].Mean < 1.1 {
+		t.Errorf("LS speedup %v from unlimited ports — expected a port-bound regime (> 1.1×)",
+			r.Speedup["LS"].Mean)
+	}
+}

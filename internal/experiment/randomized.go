@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/optimal"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// RandomizedStudyResult quantifies the paper's closing open question —
+// what randomization buys against the Section-3 lower bounds. The bounds
+// hold for deterministic algorithms against an adaptive adversary; a
+// randomized algorithm facing the *fixed* worst-case instance (an
+// oblivious adversary) can beat them in expectation, while the adaptive
+// adversary, reacting to the realized coin flips, still enforces the
+// bound on every single run.
+type RandomizedStudyResult struct {
+	Seeds              int
+	Slack              float64
+	DeterministicBound float64
+	// Oblivious: ratios of RandomizedLS on the fixed Theorem-1 instance
+	// (the very instance that forces LS to the 5/4 bound).
+	Oblivious stats.Summary
+	// Adaptive: ratios of RandomizedLS against the reactive Theorem-1
+	// adversary, one game per seed.
+	Adaptive stats.Summary
+	// LSRatio is deterministic LS's ratio on the fixed instance (= the
+	// bound, by Theorem 1's construction).
+	LSRatio float64
+}
+
+// RandomizedStudy plays RandomizedLS (relative slack on the predicted
+// finish, then a uniform choice among near-best slaves) over the given
+// number of seeds, both against the fixed Theorem-1 worst-case instance
+// and against the adaptive adversary.
+func RandomizedStudy(seeds int, slack float64) RandomizedStudyResult {
+	if seeds <= 0 {
+		seeds = 200
+	}
+	adv := adversary.NewTheorem1()
+	pl := adv.Platform()
+	// The fixed instance is the deepest adversary branch: releases at
+	// 0, c, 2c.
+	tasks := core.ReleasesAt(0, 1, 2)
+	inst := core.NewInstance(pl, tasks)
+	opt := optimal.Solve(inst, core.Makespan).Value
+
+	lsSchedule, err := sim.Simulate(pl, sched.NewLS(), tasks)
+	if err != nil {
+		panic(fmt.Sprintf("experiment: %v", err))
+	}
+
+	oblivious := make([]float64, 0, seeds)
+	adaptive := make([]float64, 0, seeds)
+	for seed := 1; seed <= seeds; seed++ {
+		s, err := sim.Simulate(pl, sched.NewRandomizedLS(slack, uint64(seed)), tasks)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: oblivious seed %d: %v", seed, err))
+		}
+		oblivious = append(oblivious, s.Makespan()/opt)
+
+		out, err := adversary.Play(adv, sched.NewRandomizedLS(slack, uint64(seed)))
+		if err != nil {
+			panic(fmt.Sprintf("experiment: adaptive seed %d: %v", seed, err))
+		}
+		adaptive = append(adaptive, out.Ratio)
+	}
+	return RandomizedStudyResult{
+		Seeds:              seeds,
+		Slack:              slack,
+		DeterministicBound: adv.Bound(),
+		Oblivious:          stats.Summarize(oblivious),
+		Adaptive:           stats.Summarize(adaptive),
+		LSRatio:            lsSchedule.Makespan() / opt,
+	}
+}
+
+// Render formats the study.
+func (r RandomizedStudyResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Randomization study (Theorem 1, %d seeds, slack %.2f)\n", r.Seeds, r.Slack)
+	fmt.Fprintf(&b, "  deterministic bound:                    %.4f\n", r.DeterministicBound)
+	fmt.Fprintf(&b, "  LS on the fixed worst-case instance:    %.4f (hits the bound)\n", r.LSRatio)
+	fmt.Fprintf(&b, "  RandomizedLS vs fixed instance:         %v (expected %.4f)\n", r.Oblivious, r.Oblivious.Mean)
+	fmt.Fprintf(&b, "  RandomizedLS vs adaptive adversary:     %v\n", r.Adaptive)
+	b.WriteString("Against an oblivious adversary, randomization beats the deterministic\n")
+	b.WriteString("bound in expectation; the adaptive adversary reacts to the realized\n")
+	b.WriteString("decisions and enforces it on every run — the bounds are specifically\n")
+	b.WriteString("deterministic lower bounds, as the paper's conclusion hints.\n")
+	return b.String()
+}

@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRandomizedBeatsObliviousAdversary pins the study's punchline: with
+// slack 0.3 the randomized list scheduler flips a fair coin at Theorem
+// 1's decisive tie and expects (1.125 + 1.25)/2 = 1.1875 on the fixed
+// worst-case instance — strictly below the deterministic bound 5/4 —
+// while the adaptive adversary holds every single run at ≥ 5/4.
+func TestRandomizedBeatsObliviousAdversary(t *testing.T) {
+	r := RandomizedStudy(300, 0.3)
+	if r.LSRatio < 1.25-1e-9 {
+		t.Fatalf("LS ratio %v below the bound — the fixed instance is wrong", r.LSRatio)
+	}
+	if r.Oblivious.Mean >= 1.25-0.01 {
+		t.Errorf("oblivious expected ratio %v does not beat the bound", r.Oblivious.Mean)
+	}
+	if r.Oblivious.Mean < 1.18 || r.Oblivious.Mean > 1.20 {
+		t.Errorf("oblivious expected ratio %v outside the predicted 1.1875 neighbourhood", r.Oblivious.Mean)
+	}
+	if r.Adaptive.Min < 1.25-1e-9 {
+		t.Errorf("adaptive adversary let a run through at %v < 5/4", r.Adaptive.Min)
+	}
+	out := r.Render()
+	for _, want := range []string{"deterministic bound", "oblivious", "adaptive"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// TestRandomizedZeroSlackMatchesLS: without slack there is nothing to
+// randomize over on this instance except exact ties, which the instance's
+// deepest branch resolves identically — expectation equals the bound.
+func TestRandomizedZeroSlackMatchesLS(t *testing.T) {
+	r := RandomizedStudy(50, 0.1)
+	if r.Oblivious.Mean < 1.25-1e-9 || r.Oblivious.Mean > 1.25+1e-9 {
+		t.Errorf("slack-0.1 expected ratio %v, want the bound 1.25 (no useful coin)", r.Oblivious.Mean)
+	}
+}

@@ -1,0 +1,168 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentityDet(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 20} {
+		if got := Identity(n).Det(); math.Abs(got-1) > 1e-12 {
+			t.Errorf("det(I_%d) = %v", n, got)
+		}
+	}
+}
+
+func TestKnown2x2(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 0, 3)
+	m.Set(0, 1, 8)
+	m.Set(1, 0, 4)
+	m.Set(1, 1, 6)
+	if got := m.Det(); math.Abs(got-(-14)) > 1e-12 {
+		t.Fatalf("det = %v, want -14", got)
+	}
+}
+
+func TestKnown3x3(t *testing.T) {
+	// det = 6·(-2−0) − 1·(8−0) + 1·(8−... use a fixed example: rows
+	// (6,1,1),(4,-2,5),(2,8,7): det = -306.
+	m := NewMatrix(3)
+	vals := []float64{6, 1, 1, 4, -2, 5, 2, 8, 7}
+	copy(m.Data, vals)
+	if got := m.Det(); math.Abs(got-(-306)) > 1e-9 {
+		t.Fatalf("det = %v, want -306", got)
+	}
+}
+
+func TestSingular(t *testing.T) {
+	m := NewMatrix(3)
+	for j := 0; j < 3; j++ {
+		m.Set(0, j, float64(j+1))
+		m.Set(1, j, 2*float64(j+1)) // row 1 = 2 × row 0
+		m.Set(2, j, float64(j*j))
+	}
+	if got := m.Det(); got != 0 {
+		t.Fatalf("singular det = %v", got)
+	}
+}
+
+func TestPivotingHandlesZeroLeading(t *testing.T) {
+	// Leading zero forces a row swap; det of [[0,1],[1,0]] = -1.
+	m := NewMatrix(2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	if got := m.Det(); math.Abs(got-(-1)) > 1e-12 {
+		t.Fatalf("det = %v, want -1", got)
+	}
+}
+
+func TestTriangularDetIsDiagonalProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 6
+	m := NewMatrix(n)
+	want := 1.0
+	for i := 0; i < n; i++ {
+		d := rng.Float64()*4 - 2
+		if math.Abs(d) < 0.1 {
+			d = 0.5
+		}
+		m.Set(i, i, d)
+		want *= d
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, rng.Float64())
+		}
+	}
+	if got := m.Det(); math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Fatalf("det = %v, want %v", got, want)
+	}
+}
+
+// Property: det(A·B) = det(A)·det(B).
+func TestDetMultiplicativeQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%5) + 2
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		a := RandomMatrix(r, n)
+		b := RandomMatrix(r, n)
+		lhs := a.Mul(b).Det()
+		rhs := a.Det() * b.Det()
+		scale := math.Max(1, math.Max(math.Abs(lhs), math.Abs(rhs)))
+		return math.Abs(lhs-rhs) < 1e-8*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetTransposeInvariantViaPermutation(t *testing.T) {
+	// Swapping two rows negates the determinant.
+	rng := rand.New(rand.NewSource(7))
+	m := RandomMatrix(rng, 5)
+	d := m.Det()
+	swapped := m.Clone()
+	for j := 0; j < 5; j++ {
+		swapped.Data[0*5+j], swapped.Data[3*5+j] = swapped.Data[3*5+j], swapped.Data[0*5+j]
+	}
+	if got := swapped.Det(); math.Abs(got+d) > 1e-9*math.Max(1, math.Abs(d)) {
+		t.Fatalf("row swap: det %v, want %v", got, -d)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := Identity(3)
+	cp := m.Clone()
+	cp.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases memory")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := RandomMatrix(rng, 4)
+	prod := a.Mul(Identity(4))
+	for i := range a.Data {
+		if math.Abs(prod.Data[i]-a.Data[i]) > 1e-12 {
+			t.Fatal("A·I ≠ A")
+		}
+	}
+}
+
+func TestCostModels(t *testing.T) {
+	if got := DetFlops(30); math.Abs(got-2*27000/3.0) > 1e-9 {
+		t.Fatalf("DetFlops(30) = %v", got)
+	}
+	if got := Bytes(10); got != 800 {
+		t.Fatalf("Bytes(10) = %v", got)
+	}
+}
+
+func TestSizeGuards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size matrix accepted")
+		}
+	}()
+	NewMatrix(0)
+}
+
+func TestMulSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch accepted")
+		}
+	}()
+	Identity(2).Mul(Identity(3))
+}
+
+func BenchmarkDet30(b *testing.B) {
+	m := RandomMatrix(rand.New(rand.NewSource(1)), 30)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Det()
+	}
+}

@@ -1,0 +1,146 @@
+// Package lowerbound re-derives, in exact arithmetic, every numeric step
+// of the paper's nine lower-bound proofs (Section 3) and the resulting
+// Table 1. Each TheoremN function returns a Verification whose checks
+// pin the paper's displayed quantities — branch schedule values, optimal
+// schedule values, and the final competitive-ratio bounds — as exact
+// identities or inequalities in Q[√d]. Two transcription slips in the
+// paper are documented where they occur (Theorem 2's third branch and
+// Theorem 4's closing algebra); in both cases the corrected value is
+// verified and the theorem's conclusion is unaffected.
+package lowerbound
+
+import (
+	"fmt"
+
+	"repro/internal/numeric"
+)
+
+// platformQ is an exact master-slave platform.
+type platformQ struct {
+	c []numeric.Quad
+	p []numeric.Quad
+}
+
+// scheduleQ evaluates the FIFO as-soon-as-possible schedule for an
+// assignment sequence, exactly. rel[i] is task i's release time; floor[i]
+// (optional) is the earliest time its send may start — the proofs'
+// "algorithm has not sent j by t₂" branches delay a task beyond its
+// release. It returns the exact makespan, max-flow and sum-flow.
+func scheduleQ(pl platformQ, rel, floor []numeric.Quad, assign []int) (mk, mf, sf numeric.Quad) {
+	zero := numeric.FromInt(0)
+	ready := make([]numeric.Quad, len(pl.c))
+	for j := range ready {
+		ready[j] = zero
+	}
+	port := zero
+	mk, mf, sf = zero, zero, zero
+	for i, j := range assign {
+		start := numeric.Max(port, rel[i])
+		if floor != nil {
+			start = numeric.Max(start, floor[i])
+		}
+		arrive := start.Add(pl.c[j])
+		compStart := numeric.Max(arrive, ready[j])
+		complete := compStart.Add(pl.p[j])
+		port = arrive
+		ready[j] = complete
+		flow := complete.Sub(rel[i])
+		mk = numeric.Max(mk, complete)
+		mf = numeric.Max(mf, flow)
+		sf = sf.Add(flow)
+	}
+	return mk, mf, sf
+}
+
+// CheckKind discriminates exact assertions.
+type CheckKind int
+
+const (
+	// Equal asserts Got == Want exactly.
+	Equal CheckKind = iota
+	// GEq asserts Got ≥ Want exactly.
+	GEq
+)
+
+// Check is one exact assertion extracted from a proof.
+type Check struct {
+	Name string
+	Kind CheckKind
+	Got  numeric.Quad
+	Want numeric.Quad
+}
+
+// Verification is a proof's worth of exact assertions plus its bound.
+type Verification struct {
+	Theorem   int
+	Statement string
+	Bound     numeric.Quad
+	BoundExpr string
+	Checks    []Check
+}
+
+// Verify returns nil if every check holds exactly.
+func (v Verification) Verify() error {
+	for _, ch := range v.Checks {
+		switch ch.Kind {
+		case Equal:
+			if !ch.Got.Equal(ch.Want) {
+				return fmt.Errorf("theorem %d, %s: got %v, want %v (Δ float %.6g)",
+					v.Theorem, ch.Name, ch.Got, ch.Want, ch.Got.Sub(ch.Want).Float64())
+			}
+		case GEq:
+			if ch.Got.Cmp(ch.Want) < 0 {
+				return fmt.Errorf("theorem %d, %s: got %v < %v",
+					v.Theorem, ch.Name, ch.Got, ch.Want)
+			}
+		default:
+			return fmt.Errorf("theorem %d, %s: unknown check kind %d", v.Theorem, ch.Name, ch.Kind)
+		}
+	}
+	return nil
+}
+
+// eq and geq are check constructors.
+func eq(name string, got, want numeric.Quad) Check {
+	return Check{Name: name, Kind: Equal, Got: got, Want: want}
+}
+func geq(name string, got, want numeric.Quad) Check {
+	return Check{Name: name, Kind: GEq, Got: got, Want: want}
+}
+
+// All returns the nine verifications in theorem order.
+func All() []Verification {
+	return []Verification{
+		Theorem1(), Theorem2(), Theorem3(),
+		Theorem4(), Theorem5(), Theorem6(),
+		Theorem7(), Theorem8(), Theorem9(),
+	}
+}
+
+// Table1Entry is one cell of the paper's Table 1.
+type Table1Entry struct {
+	PlatformType string
+	Objective    string
+	Bound        numeric.Quad
+	BoundExpr    string
+	Decimal      float64 // the decimal printed in the paper
+}
+
+// Table1 returns the paper's Table 1 in row-major order
+// (communication-homogeneous, computation-homogeneous, heterogeneous) ×
+// (makespan, max-flow, sum-flow).
+func Table1() []Table1Entry {
+	i := numeric.FromInt
+	f := numeric.Frac
+	return []Table1Entry{
+		{"communication-homogeneous", "makespan", f(5, 4), "5/4", 1.250},
+		{"communication-homogeneous", "max-flow", i(5).Sub(numeric.Sqrt(7)).Div(i(2)), "(5-√7)/2", 1.177},
+		{"communication-homogeneous", "sum-flow", i(2).Add(numeric.SqrtScaled(4, 1, 2)).Div(i(7)), "(2+4√2)/7", 1.093},
+		{"computation-homogeneous", "makespan", f(6, 5), "6/5", 1.200},
+		{"computation-homogeneous", "max-flow", f(5, 4), "5/4", 1.250},
+		{"computation-homogeneous", "sum-flow", f(23, 22), "23/22", 1.045},
+		{"heterogeneous", "makespan", i(1).Add(numeric.Sqrt(3)).Div(i(2)), "(1+√3)/2", 1.366},
+		{"heterogeneous", "max-flow", numeric.Sqrt(2), "√2", 1.414},
+		{"heterogeneous", "sum-flow", numeric.Sqrt(13).Sub(i(1)).Div(i(2)), "(√13-1)/2", 1.302},
+	}
+}

@@ -1,0 +1,157 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/numeric"
+)
+
+// TestAllProofsVerifyExactly is the headline check: every displayed
+// quantity in the nine proofs holds as an exact identity or inequality in
+// Q[√d].
+func TestAllProofsVerifyExactly(t *testing.T) {
+	for _, v := range All() {
+		if err := v.Verify(); err != nil {
+			t.Errorf("%v", err)
+		}
+		if len(v.Checks) < 7 {
+			t.Errorf("theorem %d: only %d checks", v.Theorem, len(v.Checks))
+		}
+		if v.Statement == "" || v.BoundExpr == "" {
+			t.Errorf("theorem %d: missing statement or bound expression", v.Theorem)
+		}
+	}
+}
+
+func TestTheoremNumbersSequential(t *testing.T) {
+	for i, v := range All() {
+		if v.Theorem != i+1 {
+			t.Errorf("verification %d reports theorem %d", i, v.Theorem)
+		}
+	}
+}
+
+func TestTheorem4LargeApproachesBound(t *testing.T) {
+	v := Theorem4Large()
+	if err := v.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// With p = 1000, the main ratio 6p/(5p+2) is within 1/2000 of 6/5.
+	ratio := 6.0 * 1000 / (5*1000 + 2)
+	if 1.2-ratio > 1.0/2000 {
+		t.Fatalf("p=1000 ratio %v too far from 6/5", ratio)
+	}
+}
+
+func TestEpsilonFamiliesVerify(t *testing.T) {
+	// The ε-parameterized proofs must verify for a range of ε.
+	for _, den := range []int64{10, 100, 1000, 1_000_000} {
+		if err := theorem5For(den).Verify(); err != nil {
+			t.Errorf("theorem 5 with ε=1/%d: %v", den, err)
+		}
+		if err := theorem7For(den).Verify(); err != nil {
+			t.Errorf("theorem 7 with ε=1/%d: %v", den, err)
+		}
+		if err := theorem9For(den).Verify(); err != nil {
+			t.Errorf("theorem 9 with ε=1/%d: %v", den, err)
+		}
+	}
+}
+
+func TestTable1MatchesPaperDecimals(t *testing.T) {
+	entries := Table1()
+	if len(entries) != 9 {
+		t.Fatalf("%d entries", len(entries))
+	}
+	for _, e := range entries {
+		got := e.Bound.Float64()
+		// The paper truncates to three decimals.
+		if math.Abs(got-e.Decimal) > 1.5e-3 {
+			t.Errorf("%s / %s: bound %v, paper prints %v", e.PlatformType, e.Objective, got, e.Decimal)
+		}
+	}
+}
+
+// TestBoundsAgreeWithAdversaries cross-checks the exact Table-1 constants
+// against the float bounds the adversary package plays to.
+func TestBoundsAgreeWithAdversaries(t *testing.T) {
+	byExpr := map[string]float64{}
+	for _, adv := range adversary.All() {
+		byExpr[adv.BoundExpr()] = adv.Bound()
+	}
+	for _, v := range All() {
+		advBound, ok := byExpr[v.BoundExpr]
+		if !ok {
+			t.Errorf("theorem %d: no adversary with bound %q", v.Theorem, v.BoundExpr)
+			continue
+		}
+		if math.Abs(v.Bound.Float64()-advBound) > 1e-12 {
+			t.Errorf("theorem %d: exact bound %v vs adversary bound %v", v.Theorem, v.Bound.Float64(), advBound)
+		}
+	}
+	for _, e := range Table1() {
+		if _, ok := byExpr[e.BoundExpr]; !ok {
+			t.Errorf("table entry %s/%s: no adversary with bound %q", e.PlatformType, e.Objective, e.BoundExpr)
+		}
+	}
+}
+
+func TestVerifyReportsFailures(t *testing.T) {
+	bad := Verification{
+		Theorem: 99,
+		Checks: []Check{
+			eq("deliberately wrong", qi(1), qi(2)),
+		},
+	}
+	if err := bad.Verify(); err == nil {
+		t.Fatal("failing check not reported")
+	}
+	bad.Checks = []Check{geq("wrong order", qi(1), qi(2))}
+	if err := bad.Verify(); err == nil {
+		t.Fatal("failing inequality not reported")
+	}
+	good := Verification{Checks: []Check{geq("ok", qi(2), qi(2))}}
+	if err := good.Verify(); err != nil {
+		t.Fatalf("boundary inequality rejected: %v", err)
+	}
+}
+
+func TestScheduleQAgainstHandComputation(t *testing.T) {
+	// Theorem 1's three-task optimal schedule: i on P2, j and k on P1 —
+	// sends [0,1][1,2][2,3], computes [1,8][2,5][5,8]: makespan 8,
+	// max-flow 8, sum-flow 8+4+6 = 18.
+	pl := platformQ{
+		c: []numeric.Quad{qi(1), qi(1)},
+		p: []numeric.Quad{qi(3), qi(7)},
+	}
+	rel := []numeric.Quad{qi(0), qi(1), qi(2)}
+	mk, mf, sf := scheduleQ(pl, rel, nil, []int{1, 0, 0})
+	if !mk.Equal(qi(8)) || !mf.Equal(qi(8)) || !sf.Equal(qi(18)) {
+		t.Fatalf("mk=%v mf=%v sf=%v", mk, mf, sf)
+	}
+}
+
+func TestScheduleQFloorDelaysSend(t *testing.T) {
+	pl := platformQ{c: []numeric.Quad{qi(1)}, p: []numeric.Quad{qi(3)}}
+	rel := []numeric.Quad{qi(0)}
+	mk, _, _ := scheduleQ(pl, rel, []numeric.Quad{qi(5)}, []int{0})
+	if !mk.Equal(qi(9)) {
+		t.Fatalf("floored makespan %v, want 9", mk)
+	}
+}
+
+func TestPaperSlipsAreConfined(t *testing.T) {
+	// The two documented transcription slips must not affect any binding
+	// quantity: Theorem 2's j-unsent branch and Theorem 5's
+	// three-on-one-processor floor are both dominated.
+	v2 := Theorem2()
+	if err := v2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	v5 := Theorem5()
+	if err := v5.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+// Package mpi emulates a small message-passing world — ranks, links with
+// per-message costs, blocking sends, any-source receives — on the
+// deterministic virtual-time kernel of internal/vclock. It stands in for
+// the physical MPI cluster of the paper's Section 4: semantics follow the
+// paper's model (an eager one-port sender: the sending rank is blocked
+// for the whole transfer; the receiver's mailbox buffers arrivals until
+// it posts a receive).
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/vclock"
+)
+
+// LinkCost prices one message on a directed link: the transfer occupies
+// the sender for Latency + Size·ByteTime virtual seconds.
+type LinkCost struct {
+	Latency  float64
+	ByteTime float64
+}
+
+// Duration returns the transfer time for a message of the given size.
+func (lc LinkCost) Duration(size float64) float64 {
+	return lc.Latency + size*lc.ByteTime
+}
+
+// Message is a received message. From is the sender's rank.
+type Message struct {
+	From    int
+	Tag     int
+	Size    float64
+	Payload any
+}
+
+// World is a set of ranks connected by priced links.
+type World struct {
+	cluster *vclock.Cluster
+	links   [][]LinkCost
+	procIDs []int // rank → vclock proc id
+	ranks   map[int]int
+	n       int
+}
+
+// NewWorld creates a world with n ranks and free (zero-cost) links.
+func NewWorld(n int) *World {
+	if n <= 0 {
+		panic(fmt.Sprintf("mpi: world size %d", n))
+	}
+	links := make([][]LinkCost, n)
+	for i := range links {
+		links[i] = make([]LinkCost, n)
+	}
+	return &World{
+		cluster: vclock.New(),
+		links:   links,
+		procIDs: make([]int, n),
+		ranks:   make(map[int]int),
+		n:       n,
+	}
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// SetLink prices the directed link from one rank to another.
+func (w *World) SetLink(from, to int, lc LinkCost) {
+	w.links[from][to] = lc
+}
+
+// Rank installs the program for one rank. Every rank must be installed
+// exactly once before Run.
+func (w *World) Rank(rank int, name string, fn func(r *Rank)) {
+	if rank < 0 || rank >= w.n {
+		panic(fmt.Sprintf("mpi: rank %d out of range", rank))
+	}
+	if _, dup := w.ranks[rank]; dup {
+		panic(fmt.Sprintf("mpi: rank %d installed twice", rank))
+	}
+	id := w.cluster.Spawn(name, func(p *vclock.Proc) {
+		fn(&Rank{w: w, p: p, rank: rank})
+	})
+	w.procIDs[rank] = id
+	w.ranks[rank] = id
+}
+
+// Run executes all rank programs to completion in virtual time.
+func (w *World) Run() error {
+	if len(w.ranks) != w.n {
+		return fmt.Errorf("mpi: %d of %d ranks installed", len(w.ranks), w.n)
+	}
+	return w.cluster.Run()
+}
+
+// Rank is one process's handle on the world.
+type Rank struct {
+	w    *World
+	p    *vclock.Proc
+	rank int
+}
+
+// Rank returns this process's rank.
+func (r *Rank) Rank() int { return r.rank }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.w.n }
+
+// Now returns the current virtual time.
+func (r *Rank) Now() float64 { return r.p.Now() }
+
+// Compute burns d virtual seconds of local work.
+func (r *Rank) Compute(d float64) { r.p.Sleep(d) }
+
+// Send ships a message to another rank, blocking this rank for the link's
+// transfer duration; the message lands in the destination mailbox when
+// the transfer completes. Sending to oneself panics.
+func (r *Rank) Send(to, tag int, size float64, payload any) {
+	if to == r.rank {
+		panic("mpi: self-send")
+	}
+	dur := r.w.links[r.rank][to].Duration(size)
+	r.p.Post(r.w.procIDs[to], vclock.Message{Tag: tag, Size: size, Payload: payload}, dur)
+	r.p.Sleep(dur)
+}
+
+// Recv blocks until a message from any source arrives and returns it in
+// delivery order.
+func (r *Rank) Recv() Message {
+	return r.fromVClock(r.p.Recv())
+}
+
+// RecvDeadline blocks until a message arrives or the clock reaches the
+// deadline; ok reports whether a message was received.
+func (r *Rank) RecvDeadline(deadline float64) (Message, bool) {
+	m, ok := r.p.RecvDeadline(deadline)
+	if !ok {
+		return Message{}, false
+	}
+	return r.fromVClock(m), true
+}
+
+func (r *Rank) fromVClock(m vclock.Message) Message {
+	fromRank := -1
+	for rank, id := range r.w.procIDs {
+		if id == m.From {
+			fromRank = rank
+			break
+		}
+	}
+	return Message{From: fromRank, Tag: m.Tag, Size: m.Size, Payload: m.Payload}
+}

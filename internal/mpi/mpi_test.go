@@ -1,0 +1,204 @@
+package mpi
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLinkCostDuration(t *testing.T) {
+	lc := LinkCost{Latency: 0.5, ByteTime: 0.01}
+	if got := lc.Duration(100); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("duration %v", got)
+	}
+	if got := (LinkCost{}).Duration(1e6); got != 0 {
+		t.Fatalf("free link cost %v", got)
+	}
+}
+
+func TestSendBlocksSenderForTransfer(t *testing.T) {
+	w := NewWorld(2)
+	w.SetLink(0, 1, LinkCost{Latency: 2})
+	var sendReturned, received float64
+	w.Rank(0, "tx", func(r *Rank) {
+		r.Send(1, 1, 0, nil)
+		sendReturned = r.Now()
+	})
+	w.Rank(1, "rx", func(r *Rank) {
+		r.Recv()
+		received = r.Now()
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sendReturned != 2 || received != 2 {
+		t.Fatalf("send returned at %v, received at %v, want 2", sendReturned, received)
+	}
+}
+
+func TestEagerSendDoesNotWaitForReceiver(t *testing.T) {
+	// Receiver is busy computing; sender must still complete its transfer
+	// after the link duration (the paper's model: tasks queue at slaves).
+	w := NewWorld(2)
+	w.SetLink(0, 1, LinkCost{Latency: 1})
+	var senderDone float64
+	var receiverGot float64
+	w.Rank(0, "tx", func(r *Rank) {
+		r.Send(1, 1, 0, "task")
+		senderDone = r.Now()
+	})
+	w.Rank(1, "rx", func(r *Rank) {
+		r.Compute(10)
+		r.Recv()
+		receiverGot = r.Now()
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if senderDone != 1 {
+		t.Fatalf("sender blocked until %v, want 1", senderDone)
+	}
+	if receiverGot != 10 {
+		t.Fatalf("receiver got the buffered message at %v, want 10", receiverGot)
+	}
+}
+
+func TestOnePortSerialization(t *testing.T) {
+	// Rank 0 sends to two slaves back-to-back: the second transfer starts
+	// only after the first completes (the sender is the port).
+	w := NewWorld(3)
+	w.SetLink(0, 1, LinkCost{Latency: 3})
+	w.SetLink(0, 2, LinkCost{Latency: 1})
+	var got1, got2 float64
+	w.Rank(0, "master", func(r *Rank) {
+		r.Send(1, 0, 0, nil)
+		r.Send(2, 0, 0, nil)
+	})
+	w.Rank(1, "s1", func(r *Rank) { r.Recv(); got1 = r.Now() })
+	w.Rank(2, "s2", func(r *Rank) { r.Recv(); got2 = r.Now() })
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got1 != 3 || got2 != 4 {
+		t.Fatalf("arrivals %v, %v; want 3, 4", got1, got2)
+	}
+}
+
+func TestMessageMetadata(t *testing.T) {
+	w := NewWorld(2)
+	w.SetLink(1, 0, LinkCost{ByteTime: 0.5})
+	var msg Message
+	w.Rank(0, "rx", func(r *Rank) { msg = r.Recv() })
+	w.Rank(1, "tx", func(r *Rank) { r.Send(0, 42, 8, "payload") })
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if msg.From != 1 || msg.Tag != 42 || msg.Size != 8 || msg.Payload != "payload" {
+		t.Fatalf("message %+v", msg)
+	}
+}
+
+func TestRecvDeadline(t *testing.T) {
+	w := NewWorld(2)
+	w.SetLink(0, 1, LinkCost{Latency: 5})
+	var first, second bool
+	w.Rank(0, "tx", func(r *Rank) { r.Send(1, 0, 0, nil) })
+	w.Rank(1, "rx", func(r *Rank) {
+		_, first = r.RecvDeadline(1) // too early
+		_, second = r.RecvDeadline(100)
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if first || !second {
+		t.Fatalf("first=%v second=%v", first, second)
+	}
+}
+
+func TestMasterSlaveRoundTrip(t *testing.T) {
+	// A miniature master-slave exchange: master ships 3 tasks to the
+	// faster of two slaves; slaves ACK with zero-cost control messages.
+	w := NewWorld(3)
+	w.SetLink(0, 1, LinkCost{Latency: 1})
+	w.SetLink(0, 2, LinkCost{Latency: 1})
+	var completions []float64
+	w.Rank(0, "master", func(r *Rank) {
+		for i := 0; i < 3; i++ {
+			r.Send(1, i, 0, nil)
+		}
+		for i := 0; i < 3; i++ {
+			r.Recv()
+			completions = append(completions, r.Now())
+		}
+	})
+	slave := func(p float64) func(r *Rank) {
+		return func(r *Rank) {
+			for i := 0; i < 3; i++ {
+				if _, ok := r.RecvDeadline(100); !ok {
+					return
+				}
+				r.Compute(p)
+				r.Send(0, -1, 0, nil)
+			}
+		}
+	}
+	w.Rank(1, "s1", slave(2))
+	w.Rank(2, "s2", func(r *Rank) {}) // idle slave exits immediately
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Tasks arrive at 1, 2, 3; computed [1,3], [3,5], [5,7].
+	want := []float64{3, 5, 7}
+	for i, c := range completions {
+		if math.Abs(c-want[i]) > 1e-12 {
+			t.Fatalf("completions %v, want %v", completions, want)
+		}
+	}
+}
+
+func TestWorldGuards(t *testing.T) {
+	w := NewWorld(2)
+	w.Rank(0, "a", func(r *Rank) {})
+	if err := w.Run(); err == nil || !strings.Contains(err.Error(), "ranks installed") {
+		t.Fatalf("missing rank not reported: %v", err)
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate rank accepted")
+			}
+		}()
+		w2 := NewWorld(1)
+		w2.Rank(0, "a", func(r *Rank) {})
+		w2.Rank(0, "b", func(r *Rank) {})
+	}()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range rank accepted")
+			}
+		}()
+		NewWorld(1).Rank(5, "x", func(r *Rank) {})
+	}()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero-size world accepted")
+			}
+		}()
+		NewWorld(0)
+	}()
+}
+
+func TestSelfSendPanics(t *testing.T) {
+	w := NewWorld(1)
+	w.Rank(0, "solo", func(r *Rank) {
+		r.Send(0, 0, 0, nil)
+	})
+	if err := w.Run(); err == nil {
+		t.Fatal("self-send accepted")
+	}
+}

@@ -1,0 +1,330 @@
+package numeric
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ratOf(t *testing.T, s string) *big.Rat {
+	if t != nil {
+		t.Helper()
+	}
+	r, ok := new(big.Rat).SetString(s)
+	if !ok {
+		panic("bad rational literal " + s)
+	}
+	return r
+}
+
+func TestFromIntAndFrac(t *testing.T) {
+	if got := FromInt(7).Float64(); got != 7 {
+		t.Fatalf("FromInt(7) = %v", got)
+	}
+	if got := Frac(5, 4).Float64(); got != 1.25 {
+		t.Fatalf("Frac(5,4) = %v", got)
+	}
+	if !FromInt(3).IsRational() {
+		t.Fatal("FromInt(3) must be rational")
+	}
+}
+
+func TestSqrtFloatAgreement(t *testing.T) {
+	for _, d := range []int64{2, 3, 5, 7, 13} {
+		got := Sqrt(d).Float64()
+		want := math.Sqrt(float64(d))
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("Sqrt(%d).Float64() = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestNewRejectsPerfectSquares(t *testing.T) {
+	for _, d := range []int64{0, 1, 4, 9, 16, 25} {
+		d := d
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New with d=%d did not panic", d)
+				}
+			}()
+			New(big.NewRat(1, 1), big.NewRat(1, 1), d)
+		}()
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	x := New(big.NewRat(1, 2), big.NewRat(3, 4), 2) // 1/2 + 3/4 √2
+	y := New(big.NewRat(1, 3), big.NewRat(1, 4), 2) // 1/3 + 1/4 √2
+	sum := x.Add(y)
+	if sum.RatPart().Cmp(ratOf(t, "5/6")) != 0 || sum.RadPart().Cmp(big.NewRat(1, 1)) != 0 {
+		t.Fatalf("sum = %v", sum)
+	}
+	diff := sum.Sub(y)
+	if !diff.Equal(x) {
+		t.Fatalf("sum - y = %v, want %v", diff, x)
+	}
+}
+
+func TestSubToRationalDropsField(t *testing.T) {
+	x := New(big.NewRat(1, 1), big.NewRat(2, 1), 7)
+	y := New(big.NewRat(0, 1), big.NewRat(2, 1), 7)
+	z := x.Sub(y)
+	if !z.IsRational() {
+		t.Fatalf("1+2√7 - 2√7 should be rational, got %v", z)
+	}
+	// And a rational result must recombine with a different field.
+	w := z.Add(Sqrt(3))
+	if w.Radicand() != 3 {
+		t.Fatalf("expected promotion into Q[√3], got %v", w)
+	}
+}
+
+func TestMixedFieldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixing √2 and √3 did not panic")
+		}
+	}()
+	Sqrt(2).Add(Sqrt(3))
+}
+
+func TestMulKnownIdentity(t *testing.T) {
+	// (1+√2)(1-√2) = -1
+	x := New(big.NewRat(1, 1), big.NewRat(1, 1), 2)
+	y := New(big.NewRat(1, 1), big.NewRat(-1, 1), 2)
+	if got := x.Mul(y); !got.Equal(FromInt(-1)) {
+		t.Fatalf("(1+√2)(1-√2) = %v, want -1", got)
+	}
+	// (√13)² = 13
+	if got := Sqrt(13).Mul(Sqrt(13)); !got.Equal(FromInt(13)) {
+		t.Fatalf("(√13)² = %v", got)
+	}
+}
+
+func TestInvDiv(t *testing.T) {
+	// 1/(1+√2) = √2 - 1 (the silver ratio identity).
+	x := New(big.NewRat(1, 1), big.NewRat(1, 1), 2)
+	want := New(big.NewRat(-1, 1), big.NewRat(1, 1), 2)
+	if got := x.Inv(); !got.Equal(want) {
+		t.Fatalf("1/(1+√2) = %v, want %v", got, want)
+	}
+	// x / x = 1
+	if got := x.Div(x); !got.Equal(FromInt(1)) {
+		t.Fatalf("x/x = %v", got)
+	}
+	// Rational divisor on radical numerator.
+	if got := Sqrt(3).Div(FromInt(2)); !got.Equal(SqrtScaled(1, 2, 3)) {
+		t.Fatalf("√3/2 = %v", got)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("division by zero did not panic")
+		}
+	}()
+	FromInt(1).Div(FromInt(0))
+}
+
+func TestSignExactCloseCalls(t *testing.T) {
+	cases := []struct {
+		x    Quad
+		want int
+	}{
+		{FromInt(0), 0},
+		{Sqrt(2), +1},
+		{Sqrt(2).Neg(), -1},
+		// 3 - 2√2 > 0 since 9 > 8, but barely.
+		{New(big.NewRat(3, 1), big.NewRat(-2, 1), 2), +1},
+		// 2√2 - 3 < 0 symmetric case.
+		{New(big.NewRat(-3, 1), big.NewRat(2, 1), 2), -1},
+		// 7 - 4√3 > 0 since 49 > 48.
+		{New(big.NewRat(7, 1), big.NewRat(-4, 1), 3), +1},
+		// 4√3 - 7 < 0.
+		{New(big.NewRat(-7, 1), big.NewRat(4, 1), 3), -1},
+		// 18817/10864 - √3 > 0: continued-fraction convergent just above √3.
+		{New(ratOf(nil, "18817/10864"), big.NewRat(-1, 1), 3), +1},
+		// 1351/780 - √3 > 0 (convergent from above), margin ~1e-7.
+		{New(ratOf(nil, "1351/780"), big.NewRat(-1, 1), 3), +1},
+		// 265/153 - √3 < 0 (convergent from below).
+		{New(ratOf(nil, "265/153"), big.NewRat(-1, 1), 3), -1},
+	}
+	for i, tc := range cases {
+		if got := tc.x.Sign(); got != tc.want {
+			t.Errorf("case %d: Sign(%v) = %d, want %d", i, tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCmpAgainstFloats(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		d := []int64{2, 3, 7, 13}[rng.Intn(4)]
+		x := New(big.NewRat(rng.Int63n(41)-20, rng.Int63n(9)+1), big.NewRat(rng.Int63n(41)-20, rng.Int63n(9)+1), d)
+		y := New(big.NewRat(rng.Int63n(41)-20, rng.Int63n(9)+1), big.NewRat(rng.Int63n(41)-20, rng.Int63n(9)+1), d)
+		fx, fy := x.Float64(), y.Float64()
+		if math.Abs(fx-fy) < 1e-6 {
+			continue // too close for float comparison to be trustworthy
+		}
+		want := -1
+		if fx > fy {
+			want = +1
+		}
+		if got := x.Cmp(y); got != want {
+			t.Fatalf("Cmp(%v, %v) = %d, floats %v vs %v", x, y, got, fx, fy)
+		}
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	a := FromInt(1)
+	b := Sqrt(2)    // ≈1.414
+	c := Frac(7, 5) // 1.4
+	if got := Max(a, b, c); !got.Equal(b) {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := Min(b, c, a); !got.Equal(a) {
+		t.Fatalf("Min = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		x    Quad
+		want string
+	}{
+		{Frac(5, 4), "5/4"},
+		{Sqrt(2), "1√2"},
+		{New(big.NewRat(1, 1), big.NewRat(1, 1), 3), "1 + 1√3"},
+		{New(big.NewRat(5, 2), big.NewRat(-1, 2), 7), "5/2 - 1/2√7"},
+	}
+	for _, tc := range cases {
+		if got := tc.x.String(); got != tc.want {
+			t.Errorf("String(%v) = %q, want %q", tc.x.Float64(), got, tc.want)
+		}
+	}
+}
+
+// quadGen builds a bounded random Quad in Q[√d] for property tests.
+func quadGen(rng *rand.Rand, d int64) Quad {
+	num := func() *big.Rat { return big.NewRat(rng.Int63n(201)-100, rng.Int63n(20)+1) }
+	return New(num(), num(), d)
+}
+
+func TestFieldAxiomsQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		d := []int64{2, 3, 7, 13}[rng.Intn(4)]
+		x, y, z := quadGen(rng, d), quadGen(rng, d), quadGen(rng, d)
+
+		if !x.Add(y).Equal(y.Add(x)) {
+			t.Fatal("addition not commutative")
+		}
+		if !x.Mul(y).Equal(y.Mul(x)) {
+			t.Fatal("multiplication not commutative")
+		}
+		if !x.Add(y).Add(z).Equal(x.Add(y.Add(z))) {
+			t.Fatal("addition not associative")
+		}
+		if !x.Mul(y).Mul(z).Equal(x.Mul(y.Mul(z))) {
+			t.Fatal("multiplication not associative")
+		}
+		if !x.Mul(y.Add(z)).Equal(x.Mul(y).Add(x.Mul(z))) {
+			t.Fatal("distributivity fails")
+		}
+		if !x.Sub(x).Equal(FromInt(0)) {
+			t.Fatal("x - x != 0")
+		}
+		if x.Sign() != 0 {
+			if !x.Mul(x.Inv()).Equal(FromInt(1)) {
+				t.Fatalf("x * 1/x != 1 for %v", x)
+			}
+		}
+		// Order compatibility: x < y => x + z < y + z.
+		if x.Less(y) && !x.Add(z).Less(y.Add(z)) {
+			t.Fatal("order not translation-invariant")
+		}
+	}
+}
+
+// TestInvQuick checks the multiplicative-inverse law with testing/quick
+// over pure rationals (field-agnostic Quads), where quick can generate the
+// coefficients directly.
+func TestInvQuick(t *testing.T) {
+	f := func(p int64, q uint8, r int64, s uint8) bool {
+		x := FromRat(big.NewRat(p%1000, int64(q%50)+1))
+		y := FromRat(big.NewRat(r%1000, int64(s%50)+1))
+		sum := x.Add(y)
+		if sum.Sign() == 0 {
+			return true
+		}
+		return sum.Mul(sum.Inv()).Equal(FromInt(1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImmutability(t *testing.T) {
+	a := big.NewRat(1, 2)
+	b := big.NewRat(1, 3)
+	x := New(a, b, 2)
+	a.SetInt64(99) // mutate the inputs after construction
+	b.SetInt64(99)
+	if x.RatPart().Cmp(big.NewRat(1, 2)) != 0 || x.RadPart().Cmp(big.NewRat(1, 3)) != 0 {
+		t.Fatal("Quad shares memory with constructor arguments")
+	}
+	// Accessors must return copies too.
+	x.RatPart().SetInt64(5)
+	if x.RatPart().Cmp(big.NewRat(1, 2)) != 0 {
+		t.Fatal("RatPart returns aliased memory")
+	}
+}
+
+func TestPaperConstants(t *testing.T) {
+	// The nine Table-1 bounds, exact form vs. the decimal the paper prints.
+	cases := []struct {
+		name  string
+		bound Quad
+		dec   float64
+	}{
+		{"comm-homog makespan 5/4", Frac(5, 4), 1.250},
+		{"comm-homog max-flow (5-√7)/2", Frac(5, 2).Sub(SqrtScaled(1, 2, 7)), 1.177},
+		{"comm-homog sum-flow (2+4√2)/7", Frac(2, 7).Add(SqrtScaled(4, 7, 2)), 1.093},
+		{"comp-homog makespan 6/5", Frac(6, 5), 1.200},
+		{"comp-homog max-flow 5/4", Frac(5, 4), 1.250},
+		{"comp-homog sum-flow 23/22", Frac(23, 22), 1.045},
+		{"heterogeneous makespan (1+√3)/2", Frac(1, 2).Add(SqrtScaled(1, 2, 3)), 1.366},
+		{"heterogeneous max-flow √2", Sqrt(2), 1.414},
+		{"heterogeneous sum-flow (√13-1)/2", SqrtScaled(1, 2, 13).Sub(Frac(1, 2)), 1.302},
+	}
+	for _, tc := range cases {
+		// The paper truncates rather than rounds (e.g. 1.0938… printed as
+		// 1.093), so allow a full last-digit of slack.
+		if got := tc.bound.Float64(); math.Abs(got-tc.dec) > 1e-3 {
+			t.Errorf("%s: %v, want ≈%v", tc.name, got, tc.dec)
+		}
+	}
+}
+
+func BenchmarkQuadMul(b *testing.B) {
+	x := New(big.NewRat(355, 113), big.NewRat(22, 7), 2)
+	y := New(big.NewRat(-3, 5), big.NewRat(8, 9), 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Mul(y)
+	}
+}
+
+func BenchmarkQuadCmp(b *testing.B) {
+	x := New(big.NewRat(3, 1), big.NewRat(-2, 1), 2)
+	y := FromInt(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Cmp(y)
+	}
+}

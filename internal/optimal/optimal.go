@@ -1,0 +1,175 @@
+// Package optimal computes exact offline optima for the paper's
+// scheduling problems. It is the denominator of every competitive ratio:
+// the adversary framework divides an algorithm's on-line objective value
+// by the optimum computed here with full knowledge of the instance.
+//
+// For identical tasks under the one-port model, an exchange argument
+// reduces offline optimization to choosing an assignment sequence: tasks
+// are interchangeable, so sending them in release (FIFO) order is lossless,
+// and for a fixed assignment sequence the as-soon-as-possible schedule
+// minimizes every completion time simultaneously, hence every regular
+// objective. The solver therefore enumerates the m^n assignment sequences
+// with branch-and-bound pruning.
+package optimal
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// MaxStates caps the enumeration size (m^n) accepted by Solve; beyond it
+// the exact solver would be impractically slow and callers should use a
+// heuristic bound instead.
+const MaxStates = 50_000_000
+
+// Result is an exact optimum: the objective value, one optimal assignment
+// sequence (slave of the k-th send in FIFO order), and its full schedule.
+type Result struct {
+	Value      float64
+	Assignment []int
+	Schedule   core.Schedule
+}
+
+// Solve returns the exact offline optimum of the objective on the
+// instance. It panics if the instance carries perturbed task sizes (the
+// identical-task exchange argument would not apply) or if m^n exceeds
+// MaxStates.
+func Solve(inst core.Instance, obj core.Objective) Result {
+	checkInstance(inst)
+	n := len(inst.Tasks)
+	m := inst.Platform.M()
+	if math.Pow(float64(m), float64(n)) > MaxStates {
+		panic(fmt.Sprintf("optimal: %d^%d assignment sequences exceed MaxStates", m, n))
+	}
+	if n == 0 {
+		return Result{Schedule: core.Schedule{Instance: inst}}
+	}
+
+	// Seed the bound with a forward greedy (earliest finish) assignment.
+	greedy := greedyAssignment(inst)
+	best := Result{
+		Value:      obj.Value(Evaluate(inst, greedy)),
+		Assignment: greedy,
+	}
+
+	assign := make([]int, n)
+	ready := make([]float64, m)
+	var dfs func(i int, port, partial float64)
+	dfs = func(i int, port, partial float64) {
+		if partial >= best.Value-1e-12 {
+			return // cannot strictly improve
+		}
+		if i == n {
+			best.Value = partial
+			best.Assignment = append(best.Assignment[:0], assign...)
+			return
+		}
+		task := inst.Tasks[i]
+		sendStart := math.Max(port, task.Release)
+		for j := 0; j < m; j++ {
+			arrive := sendStart + inst.Platform.C[j]
+			start := math.Max(arrive, ready[j])
+			complete := start + inst.Platform.P[j]
+			next := partial
+			switch obj {
+			case core.Makespan:
+				next = math.Max(partial, complete)
+			case core.MaxFlow:
+				next = math.Max(partial, complete-task.Release)
+			case core.SumFlow:
+				next = partial + (complete - task.Release)
+			default:
+				panic(fmt.Sprintf("optimal: unknown objective %v", obj))
+			}
+			saved := ready[j]
+			ready[j] = complete
+			assign[i] = j
+			dfs(i+1, arrive, next)
+			ready[j] = saved
+		}
+	}
+	dfs(0, 0, 0)
+	best.Schedule = Evaluate(inst, best.Assignment)
+	return best
+}
+
+// SolveAll computes the optimum for each of the three objectives. Each
+// objective generally requires a different schedule, so three independent
+// searches run.
+func SolveAll(inst core.Instance) map[core.Objective]Result {
+	out := make(map[core.Objective]Result, len(core.Objectives))
+	for _, obj := range core.Objectives {
+		out[obj] = Solve(inst, obj)
+	}
+	return out
+}
+
+// Evaluate builds the as-soon-as-possible FIFO schedule for a fixed
+// assignment sequence: the k-th released task is shipped to assignment[k]
+// as soon as both the port is free and the task is released.
+func Evaluate(inst core.Instance, assignment []int) core.Schedule {
+	checkInstance(inst)
+	if len(assignment) != len(inst.Tasks) {
+		panic(fmt.Sprintf("optimal: %d assignments for %d tasks", len(assignment), len(inst.Tasks)))
+	}
+	m := inst.Platform.M()
+	ready := make([]float64, m)
+	port := 0.0
+	records := make([]core.Record, len(inst.Tasks))
+	for i, task := range inst.Tasks {
+		j := assignment[i]
+		if j < 0 || j >= m {
+			panic(fmt.Sprintf("optimal: assignment %d out of range", j))
+		}
+		sendStart := math.Max(port, task.Release)
+		arrive := sendStart + inst.Platform.C[j]
+		start := math.Max(arrive, ready[j])
+		complete := start + inst.Platform.P[j]
+		port = arrive
+		ready[j] = complete
+		records[i] = core.Record{
+			Task:      task.ID,
+			Slave:     j,
+			Release:   task.Release,
+			SendStart: sendStart,
+			Arrive:    arrive,
+			Start:     start,
+			Complete:  complete,
+		}
+	}
+	return core.Schedule{Instance: inst, Records: records}
+}
+
+// greedyAssignment is the earliest-predicted-finish forward heuristic used
+// to seed branch-and-bound.
+func greedyAssignment(inst core.Instance) []int {
+	m := inst.Platform.M()
+	ready := make([]float64, m)
+	port := 0.0
+	out := make([]int, len(inst.Tasks))
+	for i, task := range inst.Tasks {
+		sendStart := math.Max(port, task.Release)
+		best, bestFinish := 0, math.Inf(1)
+		for j := 0; j < m; j++ {
+			arrive := sendStart + inst.Platform.C[j]
+			finish := math.Max(arrive, ready[j]) + inst.Platform.P[j]
+			if finish < bestFinish {
+				best, bestFinish = j, finish
+			}
+		}
+		out[i] = best
+		port = sendStart + inst.Platform.C[best]
+		ready[best] = bestFinish
+	}
+	return out
+}
+
+func checkInstance(inst core.Instance) {
+	for _, task := range inst.Tasks {
+		if task.EffComm() != 1 || task.EffComp() != 1 {
+			panic("optimal: exact solver requires identical (unperturbed) tasks")
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package optimal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func inst(c, p []float64, releases ...float64) core.Instance {
+	return core.NewInstance(core.NewPlatform(c, p), core.ReleasesAt(releases...))
+}
+
+func TestTheorem1Optima(t *testing.T) {
+	// Platform of Theorem 1: c = 1, p1 = 3, p2 = 7. The proof quotes the
+	// optimal makespans 4 (one task), 7 (tasks at 0 and c) and 8 (tasks at
+	// 0, c, 2c).
+	c, p := []float64{1, 1}, []float64{3, 7}
+	cases := []struct {
+		releases []float64
+		want     float64
+	}{
+		{[]float64{0}, 4},
+		{[]float64{0, 1}, 7},
+		{[]float64{0, 1, 2}, 8},
+	}
+	for _, tc := range cases {
+		got := Solve(inst(c, p, tc.releases...), core.Makespan)
+		if math.Abs(got.Value-tc.want) > 1e-9 {
+			t.Errorf("releases %v: optimal makespan %v, want %v (assignment %v)",
+				tc.releases, got.Value, tc.want, got.Assignment)
+		}
+	}
+}
+
+func TestTheorem2Optima(t *testing.T) {
+	// Platform of Theorem 2: p1 = 2, p2 = 4√2−2, c = 1. The proof quotes
+	// optimal sum-flows 3, 7 and 5+4√2.
+	p2 := 4*math.Sqrt2 - 2
+	c, p := []float64{1, 1}, []float64{2, p2}
+	cases := []struct {
+		releases []float64
+		want     float64
+	}{
+		{[]float64{0}, 3},
+		{[]float64{0, 1}, 7},
+		{[]float64{0, 1, 2}, 5 + 4*math.Sqrt2},
+	}
+	for _, tc := range cases {
+		got := Solve(inst(c, p, tc.releases...), core.SumFlow)
+		if math.Abs(got.Value-tc.want) > 1e-9 {
+			t.Errorf("releases %v: optimal sum-flow %v, want %v", tc.releases, got.Value, tc.want)
+		}
+	}
+}
+
+func TestTheorem6Optimum(t *testing.T) {
+	// Theorem 6: c = (1, 2), p = 3; tasks at 0, 2, 2, 2. The proof derives
+	// an optimal sum-flow of 22 (schedule P2, P1, P2, P1).
+	got := Solve(inst([]float64{1, 2}, []float64{3, 3}, 0, 2, 2, 2), core.SumFlow)
+	if math.Abs(got.Value-22) > 1e-9 {
+		t.Fatalf("optimal sum-flow %v, want 22 (assignment %v)", got.Value, got.Assignment)
+	}
+}
+
+func TestTheorem4Optimum(t *testing.T) {
+	// Theorem 4 with p = 5: c = (1, p/2); tasks at 0, p/2, p/2, p/2.
+	// The proof's reference schedule (P2, P1, P2, P1) reaches 1 + 5p/2.
+	p := 5.0
+	got := Solve(inst([]float64{1, p / 2}, []float64{p, p}, 0, p/2, p/2, p/2), core.Makespan)
+	if got.Value > 1+5*p/2+1e-9 {
+		t.Fatalf("optimal makespan %v, want ≤ %v", got.Value, 1+5*p/2)
+	}
+}
+
+func TestTheorem5MaxFlowOptimum(t *testing.T) {
+	// Theorem 5 with ε = 0.01: c1 = ε, c2 = 1, p = 2 − ε; tasks at 0 and
+	// three at τ = 1 − ε. The proof's reference schedule achieves max-flow 4.
+	eps := 0.01
+	c1, c2 := eps, 1.0
+	p := 2*c2 - c1
+	tau := c2 - c1
+	got := Solve(inst([]float64{c1, c2}, []float64{p, p}, 0, tau, tau, tau), core.MaxFlow)
+	if got.Value > 4+1e-9 {
+		t.Fatalf("optimal max-flow %v, want ≤ 4", got.Value)
+	}
+}
+
+func TestEvaluateProducesValidSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		pl := core.Random(rng, core.Classes[rng.Intn(4)], core.GenConfig{M: 1 + rng.Intn(3)})
+		n := 1 + rng.Intn(6)
+		releases := make([]float64, n)
+		for i := range releases {
+			releases[i] = rng.Float64() * 5
+		}
+		in := core.NewInstance(pl, core.ReleasesAt(releases...))
+		assignment := make([]int, n)
+		for i := range assignment {
+			assignment[i] = rng.Intn(pl.M())
+		}
+		s := Evaluate(in, assignment)
+		if err := core.ValidateSchedule(s); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSolveBeatsOrMatchesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 30; trial++ {
+		pl := core.Random(rng, core.Heterogeneous, core.GenConfig{M: 2 + rng.Intn(2)})
+		n := 2 + rng.Intn(5)
+		releases := make([]float64, n)
+		for i := range releases {
+			releases[i] = rng.Float64() * 3
+		}
+		in := core.NewInstance(pl, core.ReleasesAt(releases...))
+		for _, obj := range core.Objectives {
+			res := Solve(in, obj)
+			greedy := obj.Value(Evaluate(in, greedyAssignment(in)))
+			if res.Value > greedy+1e-9 {
+				t.Fatalf("trial %d %v: optimum %v worse than greedy %v", trial, obj, res.Value, greedy)
+			}
+			if err := core.ValidateSchedule(res.Schedule); err != nil {
+				t.Fatalf("trial %d: optimal schedule invalid: %v", trial, err)
+			}
+			if math.Abs(obj.Value(res.Schedule)-res.Value) > 1e-9 {
+				t.Fatalf("trial %d: reported value %v but schedule evaluates to %v",
+					trial, res.Value, obj.Value(res.Schedule))
+			}
+		}
+	}
+}
+
+// solveExhaustiveWithPermutations enumerates task-to-position mappings as
+// well as machine assignments, dropping the FIFO-is-lossless assumption.
+// Solve relies on that exchange argument; this reference implementation
+// verifies it on small instances.
+func solveExhaustiveWithPermutations(in core.Instance, obj core.Objective) float64 {
+	n := len(in.Tasks)
+	m := in.Platform.M()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	assign := make([]int, n)
+	var tryAssign func(k int)
+	evalPerm := func() {
+		port := 0.0
+		ready := make([]float64, m)
+		val := 0.0
+		for k := 0; k < n; k++ {
+			task := in.Tasks[perm[k]]
+			j := assign[k]
+			sendStart := math.Max(port, task.Release)
+			arrive := sendStart + in.Platform.C[j]
+			complete := math.Max(arrive, ready[j]) + in.Platform.P[j]
+			port = arrive
+			ready[j] = complete
+			switch obj {
+			case core.Makespan:
+				val = math.Max(val, complete)
+			case core.MaxFlow:
+				val = math.Max(val, complete-task.Release)
+			case core.SumFlow:
+				val += complete - task.Release
+			}
+		}
+		if val < best {
+			best = val
+		}
+	}
+	tryAssign = func(k int) {
+		if k == n {
+			evalPerm()
+			return
+		}
+		for j := 0; j < m; j++ {
+			assign[k] = j
+			tryAssign(k + 1)
+		}
+	}
+	var permute func(k int)
+	permute = func(k int) {
+		if k == n {
+			tryAssign(0)
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			permute(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	permute(0)
+	return best
+}
+
+func TestFIFOOrderIsLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 25; trial++ {
+		pl := core.Random(rng, core.Classes[rng.Intn(4)], core.GenConfig{M: 2})
+		n := 2 + rng.Intn(3) // up to 4 tasks: 4! × 2^4 mappings
+		releases := make([]float64, n)
+		for i := range releases {
+			releases[i] = rng.Float64() * 4
+		}
+		in := core.NewInstance(pl, core.ReleasesAt(releases...))
+		for _, obj := range core.Objectives {
+			fifo := Solve(in, obj).Value
+			exhaustive := solveExhaustiveWithPermutations(in, obj)
+			if fifo > exhaustive+1e-9 {
+				t.Fatalf("trial %d %v: FIFO optimum %v beaten by permuted %v on %v releases %v",
+					trial, obj, fifo, exhaustive, pl, releases)
+			}
+		}
+	}
+}
+
+func TestSolveAllConsistent(t *testing.T) {
+	in := inst([]float64{1, 1}, []float64{3, 7}, 0, 1, 2)
+	all := SolveAll(in)
+	if len(all) != 3 {
+		t.Fatalf("%d objectives solved", len(all))
+	}
+	for obj, res := range all {
+		direct := Solve(in, obj)
+		if math.Abs(direct.Value-res.Value) > 1e-12 {
+			t.Errorf("%v: SolveAll %v != Solve %v", obj, res.Value, direct.Value)
+		}
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	in := core.Instance{Platform: core.NewPlatform([]float64{1}, []float64{1})}
+	res := Solve(in, core.Makespan)
+	if res.Value != 0 || len(res.Assignment) != 0 {
+		t.Fatalf("empty instance result: %+v", res)
+	}
+}
+
+func TestPerturbedRejected(t *testing.T) {
+	pl := core.NewPlatform([]float64{1}, []float64{1})
+	in := core.NewInstance(pl, []core.Task{{Release: 0, CommScale: 1.1, CompScale: 1}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("perturbed instance accepted")
+		}
+	}()
+	Solve(in, core.Makespan)
+}
+
+func TestTooLargeRejected(t *testing.T) {
+	pl := core.NewPlatform(make5(1), make5(1))
+	in := core.NewInstance(pl, core.Bag(20))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized instance accepted")
+		}
+	}()
+	Solve(in, core.Makespan)
+}
+
+func make5(v float64) []float64 { return []float64{v, v, v, v, v} }
+
+func BenchmarkSolveMakespan8Tasks(b *testing.B) {
+	in := inst([]float64{1, 1, 1}, []float64{2, 3, 5}, 0, 0, 0, 0, 1, 1, 2, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Solve(in, core.Makespan)
+	}
+}

@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// LS is the paper's static list scheduler: "it sends a task as soon as
+// possible to the slave that would finish it first, according to the
+// current load estimation". The prediction accounts for the link cost, the
+// slave's estimated backlog, and nominal computation time; queues are
+// unbounded, so communication pipelines with computation.
+//
+// On fully homogeneous platforms LS coincides with the FIFO min-ready-time
+// strategy the paper proves optimal for all three objectives (Section 1);
+// this coincidence is property-tested against the exact offline optimum.
+type LS struct{}
+
+// NewLS returns the list scheduler.
+func NewLS() *LS { return &LS{} }
+
+// Name implements sim.Scheduler.
+func (LS) Name() string { return "LS" }
+
+// Reset implements sim.Scheduler.
+func (LS) Reset(core.Platform) {}
+
+// Decide implements sim.Scheduler.
+func (LS) Decide(v sim.View) sim.Action {
+	task, ok := v.FirstPending()
+	if !ok {
+		return sim.Idle()
+	}
+	best := 0
+	bestFinish := v.PredictFinish(0)
+	for j := 1; j < v.M(); j++ {
+		if f := v.PredictFinish(j); f < bestFinish {
+			best, bestFinish = j, f
+		}
+	}
+	return sim.Send(task, best)
+}
+
+// RandomizedLS is an extension beyond the paper: it breaks ties among
+// near-best slaves (within Slack of the best predicted finish) uniformly
+// at random from a seeded generator. The paper's lower bounds apply to
+// deterministic algorithms only; this scheduler exists to probe how much
+// randomization helps against the adversarial instances.
+type RandomizedLS struct {
+	Slack float64
+	rng   rng64
+}
+
+// rng64 is a tiny deterministic xorshift generator so the scheduler's
+// behaviour is reproducible from its seed without carrying *rand.Rand
+// through Reset.
+type rng64 struct{ state uint64 }
+
+func (r *rng64) next() uint64 {
+	x := r.state
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.state = x
+	return x
+}
+
+// intn returns a value in [0, n).
+func (r *rng64) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// NewRandomizedLS returns a randomized list scheduler with the given
+// relative slack (0 reproduces LS exactly) and seed.
+func NewRandomizedLS(slack float64, seed uint64) *RandomizedLS {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RandomizedLS{Slack: slack, rng: rng64{state: seed}}
+}
+
+// Name implements sim.Scheduler.
+func (r *RandomizedLS) Name() string { return "RandLS" }
+
+// Reset implements sim.Scheduler.
+func (r *RandomizedLS) Reset(core.Platform) {}
+
+// Decide implements sim.Scheduler.
+func (r *RandomizedLS) Decide(v sim.View) sim.Action {
+	task, ok := v.FirstPending()
+	if !ok {
+		return sim.Idle()
+	}
+	finishes := make([]float64, v.M())
+	bestFinish := 0.0
+	for j := 0; j < v.M(); j++ {
+		finishes[j] = v.PredictFinish(j)
+		if j == 0 || finishes[j] < bestFinish {
+			bestFinish = finishes[j]
+		}
+	}
+	threshold := bestFinish * (1 + r.Slack)
+	candidates := make([]int, 0, v.M())
+	for j := 0; j < v.M(); j++ {
+		if finishes[j] <= threshold {
+			candidates = append(candidates, j)
+		}
+	}
+	return sim.Send(task, candidates[r.rng.intn(len(candidates))])
+}

@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Metamorphic properties of the whole stack (schedulers + engine):
+// uniformly scaling every cost and release by k scales every timestamp by
+// k, and shifting all releases by Δ shifts every timestamp by exactly Δ
+// (all seven heuristics are scale- and shift-invariant: their decisions
+// depend only on cost ratios and relative times).
+
+func scaledCopy(pl core.Platform, k float64) core.Platform {
+	c := make([]float64, pl.M())
+	p := make([]float64, pl.M())
+	for j := range c {
+		c[j] = pl.C[j] * k
+		p[j] = pl.P[j] * k
+	}
+	return core.NewPlatform(c, p)
+}
+
+func TestScaleInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	const k = 3.5
+	for trial := 0; trial < 6; trial++ {
+		pl := core.Random(rng, core.Classes[trial%4], core.GenConfig{M: 2 + rng.Intn(3)})
+		n := 20 + rng.Intn(20)
+		releases := make([]float64, n)
+		for i := range releases {
+			releases[i] = rng.Float64() * 10
+		}
+		scaledReleases := make([]float64, n)
+		for i := range releases {
+			scaledReleases[i] = releases[i] * k
+		}
+		for _, name := range Names() {
+			base, err := sim.Simulate(pl, New(name), core.ReleasesAt(releases...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			scaled, err := sim.Simulate(scaledCopy(pl, k), New(name), core.ReleasesAt(scaledReleases...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range base.Records {
+				a, b := base.Records[i], scaled.Records[i]
+				if a.Slave != b.Slave {
+					t.Fatalf("%s trial %d task %d: assignment changed under scaling (%d vs %d)",
+						name, trial, i, a.Slave, b.Slave)
+				}
+				if math.Abs(a.Complete*k-b.Complete) > 1e-6*(1+b.Complete) {
+					t.Fatalf("%s trial %d task %d: completion %v×%v ≠ %v",
+						name, trial, i, a.Complete, k, b.Complete)
+				}
+			}
+		}
+	}
+}
+
+func TestShiftInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	const delta = 7.25
+	for trial := 0; trial < 6; trial++ {
+		pl := core.Random(rng, core.Classes[trial%4], core.GenConfig{M: 2 + rng.Intn(3)})
+		n := 15 + rng.Intn(15)
+		releases := make([]float64, n)
+		for i := range releases {
+			releases[i] = rng.Float64() * 5
+		}
+		shifted := make([]float64, n)
+		for i := range releases {
+			shifted[i] = releases[i] + delta
+		}
+		for _, name := range Names() {
+			base, err := sim.Simulate(pl, New(name), core.ReleasesAt(releases...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			moved, err := sim.Simulate(pl, New(name), core.ReleasesAt(shifted...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range base.Records {
+				a, b := base.Records[i], moved.Records[i]
+				if a.Slave != b.Slave {
+					t.Fatalf("%s trial %d task %d: assignment changed under shift", name, trial, i)
+				}
+				if math.Abs(a.Complete+delta-b.Complete) > 1e-6 {
+					t.Fatalf("%s trial %d task %d: completion %v+%v ≠ %v",
+						name, trial, i, a.Complete, delta, b.Complete)
+				}
+			}
+			// Flows are shift-invariant, so all objectives except makespan
+			// coincide exactly.
+			if math.Abs(base.SumFlow()-moved.SumFlow()) > 1e-6 {
+				t.Fatalf("%s: sum-flow changed under shift", name)
+			}
+			if math.Abs(base.MaxFlow()-moved.MaxFlow()) > 1e-6 {
+				t.Fatalf("%s: max-flow changed under shift", name)
+			}
+		}
+	}
+}
+
+// TestSlaveRelabelingInvariance: permuting the slave indices must permute
+// the assignment without changing any objective — no scheduler may depend
+// on slave identity beyond its costs. The SLJF planners are excluded:
+// their backward constructions hit exact slack ties (the p values are
+// commensurable) which are broken by slave index, so relabeling can pick
+// a different — equally planned — assignment.
+func TestSlaveRelabelingInvariance(t *testing.T) {
+	pl := core.NewPlatform([]float64{0.2, 0.5, 0.9}, []float64{4, 2, 7})
+	perm := []int{2, 0, 1} // new index of old slave j
+	permuted := core.NewPlatform(
+		[]float64{0.5, 0.9, 0.2},
+		[]float64{2, 7, 4},
+	)
+	tasks := core.Bag(25)
+	for _, name := range []string{"SRPT", "LS", "RR", "RRC", "RRP"} {
+		a, err := sim.Simulate(pl, New(name), tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sim.Simulate(permuted, New(name), tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.Makespan()-b.Makespan()) > 1e-9 ||
+			math.Abs(a.SumFlow()-b.SumFlow()) > 1e-9 {
+			t.Fatalf("%s: objectives changed under slave relabeling: %v vs %v",
+				name, a.Makespan(), b.Makespan())
+		}
+		for i := range a.Records {
+			if perm[a.Records[i].Slave] != b.Records[i].Slave {
+				t.Fatalf("%s task %d: assignment did not follow the relabeling", name, i)
+			}
+		}
+	}
+}

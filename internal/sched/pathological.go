@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// The schedulers in this file are deliberately weak deterministic
+// algorithms. The Section-3 theorems claim a lower bound on the
+// competitive ratio of *every* deterministic algorithm; testing the
+// adversaries only against sensible heuristics would leave the degenerate
+// branches of the proofs unexercised, so these cover them: pinning,
+// anti-greedy choices, and deliberate procrastination (the "if A did not
+// begin to send the task" branches).
+
+// Pinned sends every task to one fixed slave.
+type Pinned struct{ Slave int }
+
+// NewPinned returns a scheduler pinned to the given slave.
+func NewPinned(slave int) *Pinned { return &Pinned{Slave: slave} }
+
+// Name implements sim.Scheduler.
+func (p *Pinned) Name() string { return fmt.Sprintf("Pinned(P%d)", p.Slave+1) }
+
+// Reset implements sim.Scheduler.
+func (p *Pinned) Reset(core.Platform) {}
+
+// Decide implements sim.Scheduler.
+func (p *Pinned) Decide(v sim.View) sim.Action {
+	task, ok := v.FirstPending()
+	if !ok {
+		return sim.Idle()
+	}
+	return sim.Send(task, p.Slave)
+}
+
+// WorstFit sends each task to the slave with the worst predicted finish —
+// the anti-LS.
+type WorstFit struct{}
+
+// NewWorstFit returns the anti-greedy scheduler.
+func NewWorstFit() *WorstFit { return &WorstFit{} }
+
+// Name implements sim.Scheduler.
+func (WorstFit) Name() string { return "WorstFit" }
+
+// Reset implements sim.Scheduler.
+func (WorstFit) Reset(core.Platform) {}
+
+// Decide implements sim.Scheduler.
+func (WorstFit) Decide(v sim.View) sim.Action {
+	task, ok := v.FirstPending()
+	if !ok {
+		return sim.Idle()
+	}
+	worst := 0
+	worstFinish := v.PredictFinish(0)
+	for j := 1; j < v.M(); j++ {
+		if f := v.PredictFinish(j); f > worstFinish {
+			worst, worstFinish = j, f
+		}
+	}
+	return sim.Send(task, worst)
+}
+
+// Procrastinator holds every task for Delay time units after its release
+// before dispatching it like LS. It exercises the adversary branches that
+// punish algorithms which have not committed a send by the checkpoint.
+type Procrastinator struct {
+	Delay float64
+	ls    LS
+}
+
+// NewProcrastinator returns a scheduler that idles Delay after each
+// release.
+func NewProcrastinator(delay float64) *Procrastinator {
+	return &Procrastinator{Delay: delay}
+}
+
+// Name implements sim.Scheduler.
+func (p *Procrastinator) Name() string { return fmt.Sprintf("Procrastinator(%g)", p.Delay) }
+
+// Reset implements sim.Scheduler.
+func (p *Procrastinator) Reset(core.Platform) {}
+
+// Decide implements sim.Scheduler.
+func (p *Procrastinator) Decide(v sim.View) sim.Action {
+	task, ok := v.FirstPending()
+	if !ok {
+		return sim.Idle()
+	}
+	due := v.Release(task) + p.Delay
+	if v.Now() < due {
+		return sim.Wait(due)
+	}
+	return p.ls.Decide(v)
+}
+
+// SlowestFirst sends each task to the free slave with the largest p_j,
+// falling back to waiting like SRPT — an inverted SRPT.
+type SlowestFirst struct{ pl core.Platform }
+
+// NewSlowestFirst returns the inverted-SRPT scheduler.
+func NewSlowestFirst() *SlowestFirst { return &SlowestFirst{} }
+
+// Name implements sim.Scheduler.
+func (s *SlowestFirst) Name() string { return "SlowestFirst" }
+
+// Reset implements sim.Scheduler.
+func (s *SlowestFirst) Reset(pl core.Platform) { s.pl = pl }
+
+// Decide implements sim.Scheduler.
+func (s *SlowestFirst) Decide(v sim.View) sim.Action {
+	task, ok := v.FirstPending()
+	if !ok {
+		return sim.Idle()
+	}
+	best := -1
+	for j := 0; j < v.M(); j++ {
+		if v.Outstanding(j) > 0 {
+			continue
+		}
+		if best < 0 || s.pl.P[j] > s.pl.P[best] {
+			best = j
+		}
+	}
+	if best < 0 {
+		return sim.Idle()
+	}
+	return sim.Send(task, best)
+}
+
+// Adversarial returns the scheduler set used to stress-test the theorem
+// adversaries: the seven paper heuristics plus the degenerate ones.
+func Adversarial(m int) []sim.Scheduler {
+	out := All()
+	for j := 0; j < m; j++ {
+		out = append(out, NewPinned(j))
+	}
+	out = append(out,
+		NewWorstFit(),
+		NewSlowestFirst(),
+		NewProcrastinator(0.6),
+		NewProcrastinator(2.5),
+	)
+	return out
+}

@@ -1,0 +1,372 @@
+package sched
+
+import (
+	"math"
+)
+
+// This file implements the backward ("last job first") planners behind
+// SLJF and SLJFWC. Both compute, before anything is dispatched, an
+// assignment of the first n send positions to processors, by placing task
+// n first and every earlier task as late as possible; a binary search
+// finds the smallest makespan for which the backward placement fits.
+//
+// The companion report defining the original algorithms is not available
+// offline; DESIGN.md §3 records this reconstruction, and property tests
+// validate both planners against the exact offline optimum on their
+// design-target platform classes.
+
+// planSlots computes the SLJF assignment: n send slots of uniform length c
+// (slot s's transfer completes at s·c), processors with computation times
+// p. It returns, for each forward position 0..n-1, the processor index.
+//
+// Feasibility for a target makespan M is checked backwards: E_j is the
+// latest time by which the next (earlier) task placed on j must complete;
+// placing a task of slot s on j requires its arrival s·c to precede
+// E_j − p_j, and consumes E_j ← E_j − p_j. Slots are placed from n down
+// to 1, each on the feasible processor with the least slack
+// (E_j − p_j − arrival), i.e. a best-fit rule that preserves flexible
+// processors for the tighter, later slots.
+func planSlots(n int, c float64, p []float64) []int {
+	if n <= 0 {
+		return nil
+	}
+	m := len(p)
+	assign := make([]int, n)
+	feasible := func(M float64, out []int) bool {
+		// Slack tolerance: the backward recursion subtracts the same
+		// quantities the forward evaluation adds, but in a different
+		// order, so the exact optimum can show a few-ulp negative slack.
+		// The dispatch is forward-ASAP anyway, so the tolerance cannot
+		// produce an invalid schedule — only an infinitesimally padded M.
+		tol := 1e-9 * (1 + math.Abs(M))
+		e := make([]float64, m)
+		for j := range e {
+			e[j] = M
+		}
+		for s := n; s >= 1; s-- {
+			arrival := float64(s) * c
+			best := -1
+			bestSlack := math.Inf(1)
+			for j := 0; j < m; j++ {
+				slack := e[j] - p[j] - arrival
+				if slack >= -tol && slack < bestSlack {
+					best, bestSlack = j, slack
+				}
+			}
+			if best < 0 {
+				return false
+			}
+			e[best] -= p[best]
+			if out != nil {
+				out[s-1] = best
+			}
+		}
+		return true
+	}
+
+	hi0 := forwardGreedyMakespan(n, uniformComms(m, c), p)
+	lo, hi := 0.0, hi0
+	for iter := 0; iter < 100 && hi-lo > 1e-12*(1+hi); iter++ {
+		mid := (lo + hi) / 2
+		if feasible(mid, nil) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	if !feasible(hi, assign) {
+		// Defence in depth: fall back to the forward greedy assignment,
+		// which is always well-defined.
+		return forwardGreedyAssignment(n, uniformComms(m, c), p)
+	}
+	return assign
+}
+
+// planOnePort computes the SLJFWC assignment with per-processor
+// communication times under the one-port constraint.
+//
+// On its design-target platforms (uniform p) the plan is exact: for a
+// candidate makespan M, a schedule meeting M exists iff one can pick task
+// counts k_j with Σk_j = n such that (a) c_j ≤ M − k_j·p (the first task
+// must fit on the port from time 0) and (b) for every level i ≥ 1 the
+// total port time of all sends whose arrival deadline is at most M − i·p,
+// namely Σ_{l≥i} Σ_{j: k_j≥l} c_j, fits before that deadline. Constraint
+// (b) is the earliest-deadline-first schedulability test with deadlines
+// aligned on levels; the cheapest-first nested level greedy below
+// maximizes the task count for a given M, and a binary search finds the
+// smallest feasible M.
+//
+// On fully heterogeneous platforms the deadlines are not aligned and the
+// exact structure is lost; a backward latest-send-first placement with a
+// bounded local-search polish is used instead (a documented heuristic —
+// the paper only positions SLJFWC as designed for processor-homogeneous
+// platforms).
+func planOnePort(n int, c, p []float64) []int {
+	if n <= 0 {
+		return nil
+	}
+	if uniform(p) {
+		if plan, ok := planOnePortUniform(n, c, p[0]); ok {
+			return plan
+		}
+	}
+	m := len(c)
+	assign := make([]int, n)
+	feasible := func(M float64, out []int) bool {
+		tol := 1e-9 * (1 + math.Abs(M))
+		e := make([]float64, m)
+		for j := range e {
+			e[j] = M
+		}
+		b := M
+		for t := n; t >= 1; t-- {
+			best := -1
+			bestStart := math.Inf(-1)
+			for j := 0; j < m; j++ {
+				x := math.Min(b, e[j]-p[j])
+				if start := x - c[j]; start >= -tol && start > bestStart {
+					best, bestStart = j, start
+				}
+			}
+			if best < 0 {
+				return false
+			}
+			x := math.Min(b, e[best]-p[best])
+			e[best] -= p[best]
+			b = x - c[best]
+			if out != nil {
+				out[t-1] = best
+			}
+		}
+		return true
+	}
+
+	lo, hi := 0.0, forwardGreedyMakespan(n, c, p)
+	for iter := 0; iter < 100 && hi-lo > 1e-12*(1+hi); iter++ {
+		mid := (lo + hi) / 2
+		if feasible(mid, nil) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	if !feasible(hi, assign) {
+		assign = forwardGreedyAssignment(n, c, p)
+	}
+	if better := forwardGreedyAssignment(n, c, p); planMakespan(better, c, p) < planMakespan(assign, c, p) {
+		assign = better
+	}
+	return localSearch(assign, c, p)
+}
+
+// localSearchLimit bounds the instance size for the O(n²·m) single-task
+// reassignment polish; beyond it the pass would dominate planning time.
+const localSearchLimit = 200
+
+// localSearch improves a plan by single-task reassignment hill climbing on
+// the forward-evaluated makespan.
+func localSearch(assign []int, c, p []float64) []int {
+	n, m := len(assign), len(c)
+	if n == 0 || n > localSearchLimit {
+		return assign
+	}
+	best := planMakespan(assign, c, p)
+	improved := true
+	for pass := 0; pass < 8 && improved; pass++ {
+		improved = false
+		for i := 0; i < n; i++ {
+			orig := assign[i]
+			for j := 0; j < m; j++ {
+				if j == orig {
+					continue
+				}
+				assign[i] = j
+				if v := planMakespan(assign, c, p); v < best-1e-12 {
+					best = v
+					orig = j
+					improved = true
+				} else {
+					assign[i] = orig
+				}
+			}
+			assign[i] = orig
+		}
+	}
+	return assign
+}
+
+// uniform reports whether every value matches the first within tolerance.
+func uniform(v []float64) bool {
+	for _, x := range v[1:] {
+		d := x - v[0]
+		if d < 0 {
+			d = -d
+		}
+		if d > 1e-9*(1+v[0]) {
+			return false
+		}
+	}
+	return true
+}
+
+// planOnePortUniform is the exact uniform-p planner described on
+// planOnePort. It reports ok=false only if the construction cannot place n
+// tasks even at the greedy upper bound, which cannot happen for positive
+// costs but is guarded anyway.
+func planOnePortUniform(n int, c []float64, p float64) ([]int, bool) {
+	m := len(c)
+	order := sortByKey(m, func(j int) float64 { return c[j] }) // cheapest link first
+
+	// counts returns per-machine task counts reaching n for makespan M, or
+	// nil if fewer than n tasks fit. Tasks are added one at a time to the
+	// cheapest link whose increment respects every level budget
+	// T_i ≤ M − i·p and the first-arrival cap c_j ≤ M − k_j·p.
+	counts := func(M float64) []int {
+		tol := 1e-9 * (1 + math.Abs(M))
+		k := make([]int, m)
+		t := make([]float64, n+2) // t[i] = port time of sends with deadline ≤ M − i·p
+		for placed := 0; placed < n; placed++ {
+			found := false
+			for _, j := range order {
+				lvl := k[j] + 1
+				if lvl > n {
+					break
+				}
+				// First-arrival cap: the deepest slot's deadline must leave
+				// room for the very first send on this link.
+				if c[j] > M-float64(lvl)*p+tol {
+					continue
+				}
+				ok := true
+				for i := 1; i <= lvl; i++ {
+					if t[i]+c[j] > M-float64(i)*p+tol {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				for i := 1; i <= lvl; i++ {
+					t[i] += c[j]
+				}
+				k[j] = lvl
+				found = true
+				break
+			}
+			if !found {
+				return nil
+			}
+		}
+		return k
+	}
+
+	lo, hi := 0.0, forwardGreedyMakespan(n, c, uniformComps(m, p))
+	for iter := 0; iter < 64 && hi-lo > 1e-11*(1+hi); iter++ {
+		mid := (lo + hi) / 2
+		if counts(mid) != nil {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	k := counts(hi)
+	if k == nil {
+		return nil, false
+	}
+	// Forward order = earliest deadline first: the i-th-from-last task of
+	// machine j has arrival deadline M − i·p, so forward position order is
+	// by descending remaining level. Among equal levels, ship the costlier
+	// link first (its send has the least room to slide right).
+	type slot struct {
+		j     int
+		level int // remaining tasks on j including this one
+	}
+	slots := make([]slot, 0, n)
+	for j := 0; j < m; j++ {
+		for i := k[j]; i >= 1; i-- {
+			slots = append(slots, slot{j: j, level: i})
+		}
+	}
+	// Sort by level descending, then cost descending, then index.
+	for a := 1; a < len(slots); a++ {
+		for b := a; b > 0; b-- {
+			x, y := slots[b], slots[b-1]
+			if x.level > y.level || (x.level == y.level && (c[x.j] > c[y.j] || (c[x.j] == c[y.j] && x.j < y.j))) {
+				slots[b], slots[b-1] = slots[b-1], slots[b]
+			} else {
+				break
+			}
+		}
+	}
+	assign := make([]int, n)
+	for i, s := range slots {
+		assign[i] = s.j
+	}
+	return assign, true
+}
+
+func uniformComps(m int, p float64) []float64 {
+	out := make([]float64, m)
+	for j := range out {
+		out[j] = p
+	}
+	return out
+}
+
+func uniformComms(m int, c float64) []float64 {
+	out := make([]float64, m)
+	for j := range out {
+		out[j] = c
+	}
+	return out
+}
+
+// forwardGreedyMakespan simulates a forward earliest-finish list schedule
+// of n identical tasks released at 0 on the given costs, returning its
+// makespan. It upper-bounds the optimum and seeds the binary searches.
+func forwardGreedyMakespan(n int, c, p []float64) float64 {
+	return planMakespan(forwardGreedyAssignment(n, c, p), c, p)
+}
+
+// forwardGreedyAssignment returns the earliest-finish forward assignment.
+func forwardGreedyAssignment(n int, c, p []float64) []int {
+	m := len(c)
+	ready := make([]float64, m)
+	port := 0.0
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		best := 0
+		bestFinish := math.Inf(1)
+		for j := 0; j < m; j++ {
+			arrive := port + c[j]
+			finish := math.Max(arrive, ready[j]) + p[j]
+			if finish < bestFinish {
+				best, bestFinish = j, finish
+			}
+		}
+		out[i] = best
+		port += c[best]
+		ready[best] = bestFinish
+	}
+	return out
+}
+
+// planMakespan evaluates the makespan a plan achieves when the n tasks are
+// all released at time 0 and dispatched ASAP in plan order under true
+// costs. Used by tests and the plan-horizon ablation.
+func planMakespan(assign []int, c, p []float64) float64 {
+	ready := make([]float64, len(c))
+	port := 0.0
+	makespan := 0.0
+	for _, j := range assign {
+		arrive := port + c[j]
+		finish := math.Max(arrive, ready[j]) + p[j]
+		port = arrive
+		ready[j] = finish
+		if finish > makespan {
+			makespan = finish
+		}
+	}
+	return makespan
+}

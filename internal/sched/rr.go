@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Ordering selects the "prescribed ordering" of the Round-Robin family
+// (paper Section 4.1).
+type Ordering int
+
+const (
+	// ByCP orders slaves by ascending p_j + c_j (the RR variant).
+	ByCP Ordering = iota
+	// ByC orders slaves by ascending c_j (the RRC variant).
+	ByC
+	// ByP orders slaves by ascending p_j (the RRP variant).
+	ByP
+)
+
+// String names the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case ByCP:
+		return "c+p"
+	case ByC:
+		return "c"
+	case ByP:
+		return "p"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// DefaultRRCap is the outstanding-task cap per slave in priority mode: one
+// task computing plus one in flight or queued, which pipelines the link
+// with the processor.
+const DefaultRRCap = 2
+
+// RoundRobin is the Round-Robin family. The paper describes it as sending
+// "a task to each slave one by one, according to a prescribed ordering";
+// the variants differ only in the ordering (by p+c, by c, by p).
+//
+// As discussed in DESIGN.md §3, a blind cyclic dispatcher is
+// permutation-invariant in steady state and cannot reproduce the
+// separations Figure 1 reports between the variants, so the default mode
+// is fixed-priority dispatch: when the port is free, the task goes to the
+// first slave in the prescribed ordering with fewer than Cap unfinished
+// assigned tasks; when every slave is saturated the master waits for a
+// completion. Cyclic mode (the literal reading) is retained for ablation.
+type RoundRobin struct {
+	Order  Ordering
+	Cap    int  // max outstanding tasks per slave in priority mode
+	Cyclic bool // strict cyclic dispatch (ablation mode)
+
+	label  string
+	prio   []int
+	cursor int
+}
+
+// NewRR returns the RR variant (ordering by p_j + c_j).
+func NewRR() *RoundRobin { return &RoundRobin{Order: ByCP, Cap: DefaultRRCap, label: "RR"} }
+
+// NewRRC returns the RRC variant (ordering by c_j).
+func NewRRC() *RoundRobin { return &RoundRobin{Order: ByC, Cap: DefaultRRCap, label: "RRC"} }
+
+// NewRRP returns the RRP variant (ordering by p_j).
+func NewRRP() *RoundRobin { return &RoundRobin{Order: ByP, Cap: DefaultRRCap, label: "RRP"} }
+
+// NewRRWith builds a fully parameterized family member for ablations.
+func NewRRWith(order Ordering, cap int, cyclic bool, label string) *RoundRobin {
+	return &RoundRobin{Order: order, Cap: cap, Cyclic: cyclic, label: label}
+}
+
+// Name implements sim.Scheduler.
+func (r *RoundRobin) Name() string {
+	if r.label != "" {
+		return r.label
+	}
+	return fmt.Sprintf("RR(%v)", r.Order)
+}
+
+// Reset implements sim.Scheduler.
+func (r *RoundRobin) Reset(pl core.Platform) {
+	key := func(j int) float64 {
+		switch r.Order {
+		case ByCP:
+			return pl.C[j] + pl.P[j]
+		case ByC:
+			return pl.C[j]
+		case ByP:
+			return pl.P[j]
+		default:
+			panic(fmt.Sprintf("sched: unknown ordering %v", r.Order))
+		}
+	}
+	r.prio = sortByKey(pl.M(), key)
+	r.cursor = 0
+	if r.Cap <= 0 {
+		r.Cap = DefaultRRCap
+	}
+}
+
+// Decide implements sim.Scheduler.
+func (r *RoundRobin) Decide(v sim.View) sim.Action {
+	task, ok := v.FirstPending()
+	if !ok {
+		return sim.Idle()
+	}
+	if r.Cyclic {
+		j := r.prio[r.cursor%len(r.prio)]
+		r.cursor++
+		return sim.Send(task, j)
+	}
+	for _, j := range r.prio {
+		if v.Outstanding(j) < r.Cap {
+			return sim.Send(task, j)
+		}
+	}
+	return sim.Idle() // all slaves saturated: wait for a completion
+}

@@ -1,0 +1,86 @@
+// Package sched implements the seven on-line scheduling heuristics the
+// paper compares in Section 4 — SRPT, LS, the Round-Robin family (RR, RRC,
+// RRP), SLJF and SLJFWC — plus deliberately bad deterministic schedulers
+// used to exercise the Section-3 adversaries, and a seeded randomized
+// scheduler as an extension (the paper's conclusion raises randomization
+// as an open question).
+//
+// All schedulers operate through the sim.Scheduler interface: they see the
+// nominal platform costs, their own bookkeeping, and the pending queue —
+// never future releases or actual (perturbed) task sizes.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// New constructs a scheduler by its paper name. It panics on unknown
+// names; use Names for the available set.
+func New(name string) sim.Scheduler {
+	switch name {
+	case "SRPT":
+		return NewSRPT()
+	case "LS":
+		return NewLS()
+	case "RR":
+		return NewRR()
+	case "RRC":
+		return NewRRC()
+	case "RRP":
+		return NewRRP()
+	case "SLJF":
+		return NewSLJF(DefaultPlanHorizon)
+	case "SLJFWC":
+		return NewSLJFWC(DefaultPlanHorizon)
+	default:
+		panic(fmt.Sprintf("sched: unknown scheduler %q", name))
+	}
+}
+
+// Names lists the seven paper algorithms in the paper's presentation
+// order (Section 4.1, Figures 1 and 2).
+func Names() []string {
+	return []string{"SRPT", "LS", "RR", "RRC", "RRP", "SLJF", "SLJFWC"}
+}
+
+// All instantiates the seven paper algorithms in presentation order.
+func All() []sim.Scheduler {
+	names := Names()
+	out := make([]sim.Scheduler, len(names))
+	for i, n := range names {
+		out[i] = New(n)
+	}
+	return out
+}
+
+// sortByKey returns slave indices ordered by ascending key, ties broken by
+// index (the "prescribed ordering" of the Round-Robin family).
+func sortByKey(m int, key func(j int) float64) []int {
+	order := make([]int, m)
+	for j := range order {
+		order[j] = j
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ka, kb := key(order[a]), key(order[b])
+		if ka != kb {
+			return ka < kb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// fastest returns the index of the minimum-p slave, ties by index.
+func fastest(pl core.Platform) int {
+	best := 0
+	for j := 1; j < pl.M(); j++ {
+		if pl.P[j] < pl.P[best] {
+			best = j
+		}
+	}
+	return best
+}

@@ -1,0 +1,421 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/optimal"
+	"repro/internal/sim"
+)
+
+func TestRegistry(t *testing.T) {
+	want := []string{"SRPT", "LS", "RR", "RRC", "RRP", "SLJF", "SLJFWC"}
+	names := Names()
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Names()[%d] = %q, want %q", i, names[i], n)
+		}
+		if got := New(n).Name(); got != n {
+			t.Fatalf("New(%q).Name() = %q", n, got)
+		}
+	}
+	if len(All()) != 7 {
+		t.Fatal("All() must return the seven paper algorithms")
+	}
+}
+
+func TestNewUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown name accepted")
+		}
+	}()
+	New("FCFS")
+}
+
+func TestAllSchedulersProduceValidSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		class := core.Classes[trial%4]
+		pl := core.Random(rng, class, core.GenConfig{M: 2 + rng.Intn(4)})
+		n := 5 + rng.Intn(40)
+		releases := make([]float64, n)
+		for i := range releases {
+			releases[i] = rng.Float64() * 10
+		}
+		tasks := core.ReleasesAt(releases...)
+		for _, s := range All() {
+			if _, err := sim.Simulate(pl, s, tasks); err != nil {
+				t.Fatalf("trial %d, %s on %v: %v", trial, s.Name(), class, err)
+			}
+		}
+	}
+}
+
+func TestSRPTSingleOutstanding(t *testing.T) {
+	// SRPT must never queue a second task on a busy slave.
+	pl := core.NewPlatform([]float64{0.1, 0.1}, []float64{1, 2})
+	s, err := sim.Simulate(pl, NewSRPT(), core.Bag(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each slave, computations and incoming communications must not
+	// overlap: arrival of the next task happens after the previous one on
+	// that slave completed.
+	perSlave := map[int][]core.Record{}
+	for _, r := range s.Records {
+		perSlave[r.Slave] = append(perSlave[r.Slave], r)
+	}
+	for j, recs := range perSlave {
+		for a := range recs {
+			for b := range recs {
+				if a == b {
+					continue
+				}
+				// No record may start its send while another is unfinished.
+				if recs[a].SendStart < recs[b].Complete-1e-9 && recs[a].SendStart > recs[b].SendStart {
+					t.Fatalf("slave %d: task %d dispatched at %v while task %d unfinished (completes %v)",
+						j, recs[a].Task, recs[a].SendStart, recs[b].Task, recs[b].Complete)
+				}
+			}
+		}
+	}
+}
+
+func TestSRPTPicksFastestFree(t *testing.T) {
+	pl := core.NewPlatform([]float64{1, 1, 1}, []float64{5, 2, 9})
+	s, err := sim.Simulate(pl, NewSRPT(), core.Bag(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Records[0].Slave != 1 {
+		t.Fatalf("SRPT sent to P%d, want fastest P2", s.Records[0].Slave+1)
+	}
+}
+
+func TestSRPTIdlesLinkWhileBusy(t *testing.T) {
+	// One slave: SRPT sends the next task only after the previous
+	// completed, so each task costs c+p — the Figure-1a weakness.
+	pl := core.NewPlatform([]float64{1}, []float64{3})
+	s, err := sim.Simulate(pl, NewSRPT(), core.Bag(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Makespan(); math.Abs(got-3*(1+3)) > 1e-9 {
+		t.Fatalf("SRPT makespan %v, want 12 (3 × (c+p))", got)
+	}
+}
+
+func TestLSPipelines(t *testing.T) {
+	// LS on the same single-slave platform pipelines: makespan 1 + 3p.
+	pl := core.NewPlatform([]float64{1}, []float64{3})
+	s, err := sim.Simulate(pl, NewLS(), core.Bag(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Makespan(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("LS makespan %v, want 10 (c + 3p)", got)
+	}
+}
+
+// lsOptimalOnHomogeneous verifies the paper's Section-1 claim: on fully
+// homogeneous platforms the FIFO min-ready list strategy is optimal for
+// makespan, max-flow and sum-flow.
+func TestLSOptimalOnHomogeneous(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 25; trial++ {
+		pl := core.Random(rng, core.Homogeneous, core.GenConfig{M: 1 + rng.Intn(3)})
+		n := 1 + rng.Intn(6)
+		releases := make([]float64, n)
+		for i := range releases {
+			releases[i] = rng.Float64() * 5
+		}
+		tasks := core.ReleasesAt(releases...)
+		in := core.NewInstance(pl, tasks)
+		s, err := sim.Simulate(pl, NewLS(), tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, obj := range core.Objectives {
+			opt := optimal.Solve(in, obj).Value
+			got := obj.Value(s)
+			if got > opt+1e-6*(1+opt) {
+				t.Fatalf("trial %d: LS %v = %v, optimum %v on %v releases %v",
+					trial, obj, got, opt, pl, releases)
+			}
+		}
+	}
+}
+
+func TestRRPriorityOrdering(t *testing.T) {
+	pl := core.NewPlatform([]float64{3, 1, 2}, []float64{5, 9, 1})
+	// RRC order: c ascending → P2(c=1), P3(c=2), P1(c=3) → indices 1,2,0.
+	rrc := NewRRC()
+	rrc.Reset(pl)
+	if got := rrc.prio; got[0] != 1 || got[1] != 2 || got[2] != 0 {
+		t.Fatalf("RRC priority %v", got)
+	}
+	// RRP order: p ascending → P3(1), P1(5), P2(9) → 2,0,1.
+	rrp := NewRRP()
+	rrp.Reset(pl)
+	if got := rrp.prio; got[0] != 2 || got[1] != 0 || got[2] != 1 {
+		t.Fatalf("RRP priority %v", got)
+	}
+	// RR order: c+p → P3(3), P1(8), P2(10) → 2,0,1.
+	rr := NewRR()
+	rr.Reset(pl)
+	if got := rr.prio; got[0] != 2 || got[1] != 0 || got[2] != 1 {
+		t.Fatalf("RR priority %v", got)
+	}
+}
+
+func TestRRTieBreakByIndex(t *testing.T) {
+	pl := core.NewPlatform([]float64{1, 1}, []float64{4, 4})
+	rr := NewRR()
+	rr.Reset(pl)
+	if rr.prio[0] != 0 || rr.prio[1] != 1 {
+		t.Fatalf("tie-break priority %v", rr.prio)
+	}
+}
+
+func TestRRCapEnforced(t *testing.T) {
+	// One fast-priority slave: with cap 2 at most two tasks may be
+	// outstanding on it, so the third task must go to the other slave.
+	pl := core.NewPlatform([]float64{0.1, 0.1}, []float64{10, 10.1})
+	s, err := sim.Simulate(pl, NewRR(), core.Bag(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, r := range s.Records {
+		counts[r.Slave]++
+	}
+	if counts[0] != 2 || counts[1] != 1 {
+		t.Fatalf("assignment counts %v, want P1:2 P2:1", counts)
+	}
+}
+
+func TestRRCyclicMode(t *testing.T) {
+	pl := core.NewPlatform([]float64{1, 1, 1}, []float64{2, 4, 8})
+	cyc := NewRRWith(ByP, 0, true, "RR-cyclic")
+	s, err := sim.Simulate(pl, cyc, core.Bag(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strict cycle by ascending p: P1,P2,P3,P1,P2,P3.
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i, r := range s.Records {
+		if r.Slave != want[i] {
+			t.Fatalf("cyclic assignment %d → P%d, want P%d", i, r.Slave+1, want[i]+1)
+		}
+	}
+}
+
+func TestRRWaitsWhenSaturated(t *testing.T) {
+	// Single slow slave, cap 2: the third task must wait for the first
+	// completion, not be force-queued.
+	pl := core.NewPlatform([]float64{0.5}, []float64{4})
+	s, err := sim.Simulate(pl, NewRR(), core.Bag(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Task 0 completes at 0.5+4 = 4.5; task 2's send may only start then.
+	if got := s.Records[2].SendStart; math.Abs(got-4.5) > 1e-9 {
+		t.Fatalf("third send at %v, want 4.5", got)
+	}
+}
+
+func TestSLJFOptimalMakespanOnCommHomogeneous(t *testing.T) {
+	// The claim from [23] that SLJF (knowing the task count) is optimal
+	// for makespan on communication-homogeneous platforms, checked against
+	// exhaustive search.
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 40; trial++ {
+		pl := core.Random(rng, core.CommHomogeneous, core.GenConfig{M: 2 + rng.Intn(2)})
+		n := 1 + rng.Intn(7)
+		tasks := core.Bag(n)
+		in := core.NewInstance(pl, tasks)
+		s, err := sim.Simulate(pl, NewSLJF(n), tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := optimal.Solve(in, core.Makespan).Value
+		if got := s.Makespan(); got > opt+1e-6*(1+opt) {
+			t.Fatalf("trial %d: SLJF makespan %v, optimum %v on %v (n=%d)",
+				trial, got, opt, pl, n)
+		}
+	}
+}
+
+func TestSLJFWCOptimalMakespanOnCompHomogeneous(t *testing.T) {
+	// SLJFWC's design target: processor-homogeneous platforms.
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 40; trial++ {
+		pl := core.Random(rng, core.CompHomogeneous, core.GenConfig{M: 2 + rng.Intn(2)})
+		n := 1 + rng.Intn(7)
+		tasks := core.Bag(n)
+		in := core.NewInstance(pl, tasks)
+		s, err := sim.Simulate(pl, NewSLJFWC(n), tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := optimal.Solve(in, core.Makespan).Value
+		if got := s.Makespan(); got > opt+1e-6*(1+opt) {
+			t.Fatalf("trial %d: SLJFWC makespan %v, optimum %v on %v (n=%d)",
+				trial, got, opt, pl, n)
+		}
+	}
+}
+
+func TestPlannersFallBackToLS(t *testing.T) {
+	// More tasks than the plan horizon: the overflow must still be
+	// dispatched (via LS) and the schedule stays valid.
+	pl := core.NewPlatform([]float64{1, 1}, []float64{2, 3})
+	for _, s := range []sim.Scheduler{NewSLJF(3), NewSLJFWC(3)} {
+		sched, err := sim.Simulate(pl, s, core.Bag(8))
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(sched.Records) != 8 {
+			t.Fatalf("%s completed %d tasks", s.Name(), len(sched.Records))
+		}
+	}
+}
+
+func TestPlannerHorizonDefaults(t *testing.T) {
+	if NewSLJF(0).Horizon != DefaultPlanHorizon || NewSLJFWC(-1).Horizon != DefaultPlanHorizon {
+		t.Fatal("non-positive horizons must select the default")
+	}
+}
+
+func TestPlanSlotsEmpty(t *testing.T) {
+	if planSlots(0, 1, []float64{1}) != nil || planOnePort(0, []float64{1}, []float64{1}) != nil {
+		t.Fatal("empty plans must be nil")
+	}
+}
+
+func TestPlanMakespanAgainstSim(t *testing.T) {
+	// planMakespan's fast evaluation must agree with the full engine.
+	rng := rand.New(rand.NewSource(35))
+	for trial := 0; trial < 20; trial++ {
+		pl := core.Random(rng, core.Heterogeneous, core.GenConfig{M: 3})
+		n := 1 + rng.Intn(10)
+		sl := NewSLJFWC(n)
+		sl.Reset(pl)
+		plan := append([]int(nil), sl.plan...)
+		fast := planMakespan(plan, pl.C, pl.P)
+		s, err := sim.Simulate(pl, NewSLJFWC(n), core.Bag(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fast-s.Makespan()) > 1e-6 {
+			t.Fatalf("trial %d: planMakespan %v, engine %v", trial, fast, s.Makespan())
+		}
+	}
+}
+
+func TestPathologicalSchedulers(t *testing.T) {
+	pl := core.NewPlatform([]float64{1, 1}, []float64{3, 7})
+	tasks := core.Bag(4)
+
+	pinned, err := sim.Simulate(pl, NewPinned(1), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range pinned.Records {
+		if r.Slave != 1 {
+			t.Fatal("Pinned(P2) used another slave")
+		}
+	}
+
+	worst, err := sim.Simulate(pl, NewWorstFit(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := sim.Simulate(pl, NewLS(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.Makespan() <= ls.Makespan() {
+		t.Fatalf("WorstFit makespan %v not worse than LS %v", worst.Makespan(), ls.Makespan())
+	}
+
+	proc, err := sim.Simulate(pl, NewProcrastinator(2), core.ReleasesAt(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proc.Records[0].SendStart < 2 {
+		t.Fatalf("Procrastinator sent at %v, want ≥ 2", proc.Records[0].SendStart)
+	}
+
+	slow, err := sim.Simulate(pl, NewSlowestFirst(), core.Bag(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Records[0].Slave != 1 {
+		t.Fatal("SlowestFirst must pick the slowest slave")
+	}
+}
+
+func TestAdversarialSetSize(t *testing.T) {
+	set := Adversarial(2)
+	if len(set) != 7+2+4 {
+		t.Fatalf("Adversarial(2) has %d schedulers", len(set))
+	}
+	seen := map[string]bool{}
+	for _, s := range set {
+		if seen[s.Name()] {
+			t.Fatalf("duplicate scheduler name %q", s.Name())
+		}
+		seen[s.Name()] = true
+	}
+}
+
+func TestRandomizedLSDeterministicPerSeed(t *testing.T) {
+	pl := core.NewPlatform([]float64{0.5, 0.5, 0.5}, []float64{2, 2.1, 2.2})
+	tasks := core.Bag(30)
+	a, err := sim.Simulate(pl, NewRandomizedLS(0.3, 99), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Simulate(pl, NewRandomizedLS(0.3, 99), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatal("same seed, different schedules")
+		}
+	}
+	// Zero slack restricts choices to exact-best slaves, so the makespan
+	// must match LS (which picks the lowest-index exact-best slave).
+	strict, err := sim.Simulate(pl, NewRandomizedLS(0, 99), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := sim.Simulate(pl, NewLS(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(strict.Makespan()-ls.Makespan()) > 1e-6 {
+		t.Fatalf("zero-slack RandomizedLS makespan %v vs LS %v", strict.Makespan(), ls.Makespan())
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	if ByCP.String() != "c+p" || ByC.String() != "c" || ByP.String() != "p" {
+		t.Fatal("ordering names changed")
+	}
+}
+
+func TestFastestHelper(t *testing.T) {
+	pl := core.NewPlatform([]float64{1, 1, 1}, []float64{4, 2, 2})
+	if fastest(pl) != 1 {
+		t.Fatal("fastest must pick lowest index among ties")
+	}
+}

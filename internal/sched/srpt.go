@@ -1,0 +1,48 @@
+package sched
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// SRPT is the paper's dynamic heuristic. With identical tasks and no
+// preemption, Shortest Remaining Processing Time degenerates to (Section
+// 4.1): "it sends a task to the fastest free slave; if no slave is
+// currently free, it waits for the first slave to finish its task, and
+// then sends it a new one". A slave is free when it has no assigned,
+// unfinished task — so SRPT never overlaps a slave's communication with
+// its own computation, which is exactly why the static heuristics beat it
+// on homogeneous platforms (Figure 1a).
+type SRPT struct {
+	pl core.Platform
+}
+
+// NewSRPT returns the SRPT heuristic.
+func NewSRPT() *SRPT { return &SRPT{} }
+
+// Name implements sim.Scheduler.
+func (s *SRPT) Name() string { return "SRPT" }
+
+// Reset implements sim.Scheduler.
+func (s *SRPT) Reset(pl core.Platform) { s.pl = pl }
+
+// Decide implements sim.Scheduler.
+func (s *SRPT) Decide(v sim.View) sim.Action {
+	task, ok := v.FirstPending()
+	if !ok {
+		return sim.Idle()
+	}
+	best := -1
+	for j := 0; j < v.M(); j++ {
+		if v.Outstanding(j) > 0 {
+			continue
+		}
+		if best < 0 || s.pl.P[j] < s.pl.P[best] {
+			best = j
+		}
+	}
+	if best < 0 {
+		return sim.Idle() // wait for the first completion
+	}
+	return sim.Send(task, best)
+}

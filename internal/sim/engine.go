@@ -1,0 +1,476 @@
+// Package sim implements a deterministic discrete-event simulator of the
+// paper's one-port master-slave machine. A Scheduler is consulted whenever
+// the master's outgoing port is free and work is pending; the engine
+// enforces the one-port constraint, per-slave FIFO execution, release
+// dates, and per-task size perturbation, and produces a complete
+// core.Schedule trace.
+//
+// The engine supports incremental execution (AdvanceTo) and dynamic task
+// injection, which is what the Section-3 adversaries need to observe an
+// algorithm's decisions before choosing the rest of the instance.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// ActionKind discriminates scheduler decisions.
+type ActionKind int
+
+const (
+	// ActSend starts shipping a pending task to a slave immediately.
+	ActSend ActionKind = iota
+	// ActWait asks to be consulted again at a given time (or earlier if
+	// anything happens).
+	ActWait
+	// ActIdle asks to be consulted again at the next state change.
+	ActIdle
+)
+
+// Action is a scheduler decision.
+type Action struct {
+	Kind  ActionKind
+	Task  core.TaskID
+	Slave int
+	Until float64
+}
+
+// Send builds a dispatch action.
+func Send(task core.TaskID, slave int) Action {
+	return Action{Kind: ActSend, Task: task, Slave: slave}
+}
+
+// Wait builds a wake-me-at action.
+func Wait(until float64) Action { return Action{Kind: ActWait, Until: until} }
+
+// Idle builds a consult-me-on-next-event action.
+func Idle() Action { return Action{Kind: ActIdle} }
+
+// Scheduler is an on-line scheduling algorithm. Decide is called whenever
+// the port is free and at least one released task is unsent; the scheduler
+// never sees future releases or actual (perturbed) task sizes.
+type Scheduler interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Reset prepares internal state for a fresh run on the platform.
+	Reset(pl core.Platform)
+	// Decide picks the next action given the observable state.
+	Decide(v View) Action
+}
+
+// View is the scheduler-visible projection of the execution state: static
+// platform costs, the master's own bookkeeping, and pending tasks — never
+// future releases or actual perturbed sizes. The discrete-event engine
+// provides one implementation; the message-passing emulation in
+// internal/mpiexp provides another, so the same Scheduler values drive
+// both substrates.
+type View interface {
+	// Now returns the current time.
+	Now() float64
+	// M returns the number of slaves.
+	M() int
+	// Comm returns the nominal communication time c_j.
+	Comm(j int) float64
+	// Comp returns the nominal computation time p_j.
+	Comp(j int) float64
+	// PendingCount returns the number of released, unsent tasks.
+	PendingCount() int
+	// PendingAt returns the i-th pending task in release (FIFO) order.
+	PendingAt(i int) core.TaskID
+	// FirstPending returns the oldest pending task.
+	FirstPending() (core.TaskID, bool)
+	// Release returns the release time of a task.
+	Release(task core.TaskID) float64
+	// Outstanding returns the number of tasks assigned to slave j and not
+	// yet completed (in flight, queued, or computing).
+	Outstanding(j int) int
+	// ReadyEstimate returns the master's nominal-cost estimate of when
+	// slave j will drain its outstanding backlog.
+	ReadyEstimate(j int) float64
+	// PredictFinish estimates the completion time of a task sent to slave
+	// j right now, under nominal costs.
+	PredictFinish(j int) float64
+	// ReleasedCount returns how many tasks have been released so far.
+	ReleasedCount() int
+	// CompletedCount returns how many tasks have finished.
+	CompletedCount() int
+}
+
+// slaveState is the ground-truth state of one slave.
+type slaveState struct {
+	queue     []int // arrived tasks waiting, FIFO (task indices)
+	computing int   // task index, or -1
+	busyUntil float64
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithUnboundedPort switches the engine to the macro-dataflow model the
+// paper's Section 5 contrasts with: the master may transmit to any number
+// of slaves simultaneously, so sends never contend for the port. Used by
+// the model ablation to show that the one-port constraint is what makes
+// link heterogeneity matter; schedules produced under this option violate
+// the one-port validator by design (use core.ValidateMultiport).
+func WithUnboundedPort() Option {
+	return func(e *Engine) { e.unboundedPort = true }
+}
+
+// Engine simulates one scheduler on one platform.
+type Engine struct {
+	pl    core.Platform
+	sched Scheduler
+
+	unboundedPort bool
+
+	now      float64
+	events   eventHeap
+	seq      int
+	tasks    []core.Task
+	records  []core.Record
+	sent     []bool
+	done     []bool
+	pending  []int // released, unsent task indices, FIFO
+	portFree float64
+	slaves   []slaveState
+	model    *Ledger
+
+	completed int
+	view      engineView
+}
+
+// New builds an engine for the given platform, scheduler and initial task
+// set. Tasks are normalized (sorted by release, densely renumbered) before
+// the run; more tasks may be injected later via InjectTask.
+func New(pl core.Platform, sched Scheduler, tasks []core.Task, opts ...Option) *Engine {
+	inst := core.NewInstance(pl, tasks)
+	e := &Engine{
+		pl:     inst.Platform,
+		sched:  sched,
+		slaves: make([]slaveState, inst.Platform.M()),
+		model:  NewLedger(inst.Platform.M()),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	for j := range e.slaves {
+		e.slaves[j].computing = -1
+	}
+	sched.Reset(e.pl.Clone())
+	for _, task := range inst.Tasks {
+		e.addTask(task)
+	}
+	e.view = engineView{e: e}
+	return e
+}
+
+func (e *Engine) addTask(task core.Task) int {
+	idx := len(e.tasks)
+	task.ID = core.TaskID(idx)
+	e.tasks = append(e.tasks, task)
+	e.records = append(e.records, core.Record{Task: task.ID, Slave: -1, Release: task.Release})
+	e.sent = append(e.sent, false)
+	e.done = append(e.done, false)
+	e.push(event{time: task.Release, kind: evRelease, task: idx})
+	return idx
+}
+
+// InjectTask adds a task mid-run. Its release time must not precede the
+// current simulation time. The assigned TaskID is returned.
+func (e *Engine) InjectTask(task core.Task) core.TaskID {
+	if task.Release < e.now {
+		panic(fmt.Sprintf("sim: injecting task released at %v before now %v", task.Release, e.now))
+	}
+	return core.TaskID(e.addTask(task))
+}
+
+func (e *Engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	e.events.push(ev)
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Platform returns the platform under simulation.
+func (e *Engine) Platform() core.Platform { return e.pl }
+
+// TaskCount returns the number of tasks known so far.
+func (e *Engine) TaskCount() int { return len(e.tasks) }
+
+// Started reports whether the algorithm has begun sending the task, and
+// if so to which slave and when. This is the observation primitive used by
+// the Section-3 adversaries ("we check whether A made a decision
+// concerning the scheduling of i, and which one").
+func (e *Engine) Started(task core.TaskID) (slave int, at float64, ok bool) {
+	if int(task) >= len(e.records) || !e.sent[task] {
+		return 0, 0, false
+	}
+	r := e.records[task]
+	return r.Slave, r.SendStart, true
+}
+
+// Completed reports whether the task has finished computing.
+func (e *Engine) Completed(task core.TaskID) bool {
+	return int(task) < len(e.done) && e.done[task]
+}
+
+// processEvent applies one event to the ground-truth state.
+func (e *Engine) processEvent(ev event) {
+	e.now = ev.time
+	switch ev.kind {
+	case evRelease:
+		e.pending = append(e.pending, ev.task)
+	case evSendComplete:
+		j := ev.dest
+		e.records[ev.task].Arrive = e.now
+		e.model.Arrived(j, ev.task, e.now)
+		s := &e.slaves[j]
+		if s.computing < 0 {
+			e.startCompute(j, ev.task)
+		} else {
+			s.queue = append(s.queue, ev.task)
+		}
+	case evComputeComplete:
+		j := ev.dest
+		s := &e.slaves[j]
+		if s.computing != ev.task {
+			panic(fmt.Sprintf("sim: slave %d completed task %d while computing %d", j, ev.task, s.computing))
+		}
+		e.records[ev.task].Complete = e.now
+		e.done[ev.task] = true
+		e.completed++
+		e.model.Completed(j, ev.task, e.now)
+		s.computing = -1
+		if len(s.queue) > 0 {
+			next := s.queue[0]
+			s.queue = s.queue[1:]
+			e.startCompute(j, next)
+		}
+	case evWake:
+		// No state change; merely triggers a consult.
+	}
+}
+
+func (e *Engine) startCompute(j, task int) {
+	s := &e.slaves[j]
+	dur := e.pl.P[j] * e.tasks[task].EffComp()
+	s.computing = task
+	s.busyUntil = e.now + dur
+	e.records[task].Start = e.now
+	e.push(event{time: s.busyUntil, kind: evComputeComplete, task: task, dest: j})
+}
+
+// consult gives the scheduler a chance to act. Called only when the port
+// is free. Returns after the scheduler sends (port busy again), waits, or
+// idles.
+func (e *Engine) consult() {
+	for e.portFree <= e.now && len(e.pending) > 0 {
+		act := e.sched.Decide(&e.view)
+		switch act.Kind {
+		case ActSend:
+			e.startSend(act.Task, act.Slave)
+			if e.unboundedPort {
+				continue // the port never blocks: keep consulting
+			}
+			return // port is busy now
+		case ActWait:
+			if act.Until <= e.now {
+				panic(fmt.Sprintf("sim: scheduler %s waits until %v which is not after now %v",
+					e.sched.Name(), act.Until, e.now))
+			}
+			e.push(event{time: act.Until, kind: evWake})
+			return
+		case ActIdle:
+			return
+		default:
+			panic(fmt.Sprintf("sim: unknown action kind %d", act.Kind))
+		}
+	}
+}
+
+func (e *Engine) startSend(task core.TaskID, j int) {
+	idx := int(task)
+	if idx < 0 || idx >= len(e.tasks) {
+		panic(fmt.Sprintf("sim: scheduler %s sent unknown task %d", e.sched.Name(), task))
+	}
+	if j < 0 || j >= e.pl.M() {
+		panic(fmt.Sprintf("sim: scheduler %s used unknown slave %d", e.sched.Name(), j))
+	}
+	if e.sent[idx] {
+		panic(fmt.Sprintf("sim: scheduler %s re-sent task %d", e.sched.Name(), task))
+	}
+	pos := -1
+	for i, p := range e.pending {
+		if p == idx {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		panic(fmt.Sprintf("sim: scheduler %s sent unreleased task %d at %v", e.sched.Name(), task, e.now))
+	}
+	e.pending = append(e.pending[:pos], e.pending[pos+1:]...)
+	e.sent[idx] = true
+	dur := e.pl.C[j] * e.tasks[idx].EffComm()
+	e.records[idx].Slave = j
+	e.records[idx].SendStart = e.now
+	arrive := e.now + dur
+	if !e.unboundedPort {
+		e.portFree = arrive
+	}
+	// The master predicts arrival with the nominal link cost; the actual
+	// arrival (evSendComplete) corrects the bookkeeping.
+	e.model.Assign(j, idx, e.now+e.pl.C[j])
+	e.push(event{time: arrive, kind: evSendComplete, task: idx, dest: j})
+}
+
+// step drains every event at the next event time, then consults the
+// scheduler. It reports whether an event was processed.
+func (e *Engine) step() bool {
+	ev, ok := e.events.peek()
+	if !ok {
+		return false
+	}
+	t := ev.time
+	for {
+		next, ok := e.events.peek()
+		if !ok || next.time != t {
+			break
+		}
+		e.processEvent(e.events.pop())
+	}
+	e.consult()
+	return true
+}
+
+// AdvanceTo processes all events up to and including time t and then sets
+// the clock to t. The scheduler is consulted as usual along the way.
+func (e *Engine) AdvanceTo(t float64) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: cannot advance backwards from %v to %v", e.now, t))
+	}
+	for {
+		ev, ok := e.events.peek()
+		if !ok || ev.time > t {
+			break
+		}
+		e.step()
+	}
+	e.now = t
+}
+
+// Run drives the simulation to completion and returns the full schedule.
+// It fails if the scheduler permanently idles while work is pending.
+func (e *Engine) Run() (core.Schedule, error) {
+	for e.step() {
+	}
+	if e.completed != len(e.tasks) {
+		return core.Schedule{}, fmt.Errorf("sim: scheduler %s completed %d of %d tasks (idle deadlock at t=%v with %d pending)",
+			e.sched.Name(), e.completed, len(e.tasks), e.now, len(e.pending))
+	}
+	return e.Snapshot(), nil
+}
+
+// Snapshot assembles the schedule from the records produced so far. It is
+// primarily useful after Run; during a run, records of unfinished tasks
+// have zero fields.
+func (e *Engine) Snapshot() core.Schedule {
+	inst := core.Instance{Platform: e.pl.Clone(), Tasks: append([]core.Task(nil), e.tasks...)}
+	return core.Schedule{Instance: inst, Records: append([]core.Record(nil), e.records...)}
+}
+
+// Simulate is the one-call convenience wrapper: build, run, validate.
+func Simulate(pl core.Platform, sched Scheduler, tasks []core.Task) (core.Schedule, error) {
+	s, err := New(pl, sched, tasks).Run()
+	if err != nil {
+		return core.Schedule{}, err
+	}
+	if err := core.ValidateSchedule(s); err != nil {
+		return core.Schedule{}, fmt.Errorf("sim: %s produced an infeasible schedule: %w", sched.Name(), err)
+	}
+	return s, nil
+}
+
+// SimulateMultiport runs the scheduler under the macro-dataflow model
+// (unbounded master ports) and validates everything except the one-port
+// constraint.
+func SimulateMultiport(pl core.Platform, sched Scheduler, tasks []core.Task) (core.Schedule, error) {
+	s, err := New(pl, sched, tasks, WithUnboundedPort()).Run()
+	if err != nil {
+		return core.Schedule{}, err
+	}
+	if err := core.ValidateMultiport(s); err != nil {
+		return core.Schedule{}, fmt.Errorf("sim: %s produced an infeasible multiport schedule: %w", sched.Name(), err)
+	}
+	return s, nil
+}
+
+// engineView is the Engine-backed View implementation.
+type engineView struct {
+	e *Engine
+}
+
+// Now returns the current time.
+func (v *engineView) Now() float64 { return v.e.now }
+
+// M returns the number of slaves.
+func (v *engineView) M() int { return v.e.pl.M() }
+
+// Comm returns the nominal communication time c_j.
+func (v *engineView) Comm(j int) float64 { return v.e.pl.C[j] }
+
+// Comp returns the nominal computation time p_j.
+func (v *engineView) Comp(j int) float64 { return v.e.pl.P[j] }
+
+// PendingCount returns the number of released, unsent tasks.
+func (v *engineView) PendingCount() int { return len(v.e.pending) }
+
+// PendingAt returns the i-th pending task in release (FIFO) order.
+func (v *engineView) PendingAt(i int) core.TaskID { return core.TaskID(v.e.pending[i]) }
+
+// FirstPending returns the oldest pending task.
+func (v *engineView) FirstPending() (core.TaskID, bool) {
+	if len(v.e.pending) == 0 {
+		return 0, false
+	}
+	return core.TaskID(v.e.pending[0]), true
+}
+
+// Release returns the release time of a task.
+func (v *engineView) Release(task core.TaskID) float64 { return v.e.tasks[task].Release }
+
+// Outstanding returns the number of tasks assigned to slave j and not yet
+// completed (in flight, queued, or computing).
+func (v *engineView) Outstanding(j int) int { return v.e.model.Outstanding(j) }
+
+// ReadyEstimate returns the master's nominal-cost estimate of when slave j
+// will drain its outstanding backlog.
+func (v *engineView) ReadyEstimate(j int) float64 { return v.e.model.Ready(j, v.e.pl.P[j]) }
+
+// PredictFinish estimates the completion time of a task sent to slave j
+// right now, under nominal costs: the send occupies [now, now+c_j], the
+// computation starts when both the task has arrived and the slave is free.
+func (v *engineView) PredictFinish(j int) float64 {
+	arrive := v.e.now + v.e.pl.C[j]
+	start := math.Max(arrive, v.ReadyEstimate(j))
+	return start + v.e.pl.P[j]
+}
+
+// ReleasedCount returns how many tasks have been released so far.
+func (v *engineView) ReleasedCount() int {
+	n := 0
+	for i := range v.e.tasks {
+		if v.e.tasks[i].Release <= v.e.now {
+			n++
+		}
+	}
+	return n
+}
+
+// CompletedCount returns how many tasks have finished.
+func (v *engineView) CompletedCount() int { return v.e.completed }

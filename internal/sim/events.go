@@ -1,0 +1,58 @@
+package sim
+
+import "container/heap"
+
+// eventKind orders simultaneous events deterministically.
+type eventKind int
+
+const (
+	evRelease eventKind = iota
+	evComputeComplete
+	evSendComplete
+	evWake
+)
+
+type event struct {
+	time float64
+	kind eventKind
+	seq  int // insertion order, final tie-break
+	task int // task index for release/send/compute events
+	dest int // slave index for send/compute events
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func (h *eventHeap) push(e event) { heap.Push(h, e) }
+
+func (h *eventHeap) pop() event { return heap.Pop(h).(event) }
+
+func (h eventHeap) peek() (event, bool) {
+	if len(h) == 0 {
+		return event{}, false
+	}
+	return h[0], true
+}

@@ -1,0 +1,73 @@
+package sim
+
+// Ledger is the bookkeeping a real master can maintain about its slaves:
+// it records its own dispatch decisions, the actual send durations (the
+// master experiences its own port), and completion notifications, and
+// estimates slave readiness using nominal computation times for
+// everything still outstanding. Both the discrete-event engine and the
+// message-passing emulation (internal/mpiexp) keep their scheduler-facing
+// state in a Ledger, which is what makes the two substrates agree
+// decision-for-decision.
+type Ledger struct {
+	units    [][]ledgerUnit // per slave, in dispatch order
+	lastSync []float64      // latest time the slave was known idle
+}
+
+// ledgerUnit is one outstanding task: the arrival time is actual once the
+// send completed, predicted before that.
+type ledgerUnit struct {
+	task    int
+	arrival float64
+}
+
+// NewLedger creates bookkeeping for m slaves.
+func NewLedger(m int) *Ledger {
+	return &Ledger{units: make([][]ledgerUnit, m), lastSync: make([]float64, m)}
+}
+
+// Assign records that a task's send to slave j has started, with the
+// nominal-cost arrival prediction.
+func (l *Ledger) Assign(j, task int, predictedArrival float64) {
+	l.units[j] = append(l.units[j], ledgerUnit{task: task, arrival: predictedArrival})
+}
+
+// Arrived corrects the task's arrival to the observed send completion.
+func (l *Ledger) Arrived(j, task int, actual float64) {
+	for i := range l.units[j] {
+		if l.units[j][i].task == task {
+			l.units[j][i].arrival = actual
+			return
+		}
+	}
+}
+
+// Completed removes the task from slave j's backlog after a completion
+// notification at the given time.
+func (l *Ledger) Completed(j, task int, at float64) {
+	units := l.units[j]
+	for i := range units {
+		if units[i].task == task {
+			l.units[j] = append(units[:i], units[i+1:]...)
+			break
+		}
+	}
+	if at > l.lastSync[j] {
+		l.lastSync[j] = at
+	}
+}
+
+// Outstanding returns the number of assigned, unfinished tasks on slave j.
+func (l *Ledger) Outstanding(j int) int { return len(l.units[j]) }
+
+// Ready estimates when slave j drains its backlog, charging nominalComp
+// per outstanding task.
+func (l *Ledger) Ready(j int, nominalComp float64) float64 {
+	t := l.lastSync[j]
+	for _, u := range l.units[j] {
+		if u.arrival > t {
+			t = u.arrival
+		}
+		t += nominalComp
+	}
+	return t
+}

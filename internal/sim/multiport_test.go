@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestMultiportSendsOverlap(t *testing.T) {
+	// Two slaves, two tasks: under macro-dataflow both sends start at 0.
+	pl := core.NewPlatform([]float64{1, 1}, []float64{3, 7})
+	s, err := SimulateMultiport(pl, greedyFinish{}, core.ReleasesAt(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// greedyFinish: task 0 → P1 (finish 4); task 1 re-evaluated at t=0 with
+	// port free: P1 predicts max(1, 4)+3 = 7; P2 predicts 1+7 = 8 → P1.
+	// Both sends start at 0 (the one-port serialization is gone); P1's
+	// FIFO queue still serializes computation.
+	if s.Records[0].SendStart != 0 || s.Records[1].SendStart != 0 {
+		t.Fatalf("sends at %v and %v, want both at 0",
+			s.Records[0].SendStart, s.Records[1].SendStart)
+	}
+	if err := core.ValidateSchedule(s); err == nil {
+		t.Fatal("overlapping sends must fail the one-port validator")
+	}
+	if err := core.ValidateMultiport(s); err != nil {
+		t.Fatalf("multiport validator rejected the schedule: %v", err)
+	}
+}
+
+func TestMultiportNeverSlower(t *testing.T) {
+	// Removing the port constraint can only help a greedy scheduler.
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 15; trial++ {
+		pl := core.Random(rng, core.Classes[trial%4], core.GenConfig{M: 2 + rng.Intn(3)})
+		tasks := core.Bag(20 + rng.Intn(30))
+		one, err := Simulate(pl, greedyFinish{}, tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := SimulateMultiport(pl, greedyFinish{}, tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if multi.Makespan() > one.Makespan()+1e-9 {
+			t.Fatalf("trial %d: multiport %v slower than one-port %v",
+				trial, multi.Makespan(), one.Makespan())
+		}
+	}
+}
+
+func TestMultiportPortBound(t *testing.T) {
+	// A port-bound scenario: many tasks through one expensive shared link
+	// versus free parallel links. One-port makespan ≈ n·c; multiport ≈ c+p.
+	pl := core.NewPlatform([]float64{1, 1, 1, 1}, []float64{0.5, 0.5, 0.5, 0.5})
+	tasks := core.Bag(8)
+	one, err := Simulate(pl, greedyFinish{}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := SimulateMultiport(pl, greedyFinish{}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Makespan() < 8*1 {
+		t.Fatalf("one-port makespan %v below the port bound 8", one.Makespan())
+	}
+	// Multiport: 8 tasks over 4 slaves, 2 each, pipelined: 1 + 2×0.5 = 2.
+	if math.Abs(multi.Makespan()-2) > 1e-9 {
+		t.Fatalf("multiport makespan %v, want 2", multi.Makespan())
+	}
+}

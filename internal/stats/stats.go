@@ -1,0 +1,73 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment harness aggregates over repeated random platforms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N              int
+	Mean, Std      float64
+	Min, Max       float64
+	Median         float64
+	GeometricMean  float64
+	geometricValid bool
+}
+
+// Summarize computes a Summary. It panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	logSum := 0.0
+	s.geometricValid = true
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		if x > 0 {
+			logSum += math.Log(x)
+		} else {
+			s.geometricValid = false
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if s.geometricValid {
+		s.GeometricMean = math.Exp(logSum / float64(len(xs)))
+	}
+	varSum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varSum += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(varSum / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// String renders "mean ± std [min, max]".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4f ± %.4f [%.4f, %.4f]", s.Mean, s.Std, s.Min, s.Max)
+}
+
+// Mean is a convenience for the common single-statistic case.
+func Mean(xs []float64) float64 { return Summarize(xs).Mean }

@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("N=%d mean=%v", s.N, s.Mean)
+	}
+	// Sample std of this classic dataset is ~2.138.
+	if math.Abs(s.Std-2.1380899) > 1e-6 {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min=%v max=%v", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Fatalf("median = %v", s.Median)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3})
+	if s.Mean != 3 || s.Std != 0 || s.Median != 3 || s.Min != 3 || s.Max != 3 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	if got := Summarize([]float64{9, 1, 5}).Median; got != 5 {
+		t.Fatalf("median = %v", got)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := Summarize([]float64{1, 4, 16})
+	if math.Abs(s.GeometricMean-4) > 1e-12 {
+		t.Fatalf("geomean = %v", s.GeometricMean)
+	}
+	// Non-positive values disable the geometric mean.
+	if got := Summarize([]float64{1, 0, 4}).GeometricMean; got != 0 {
+		t.Fatalf("geomean with zero = %v", got)
+	}
+}
+
+func TestEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty sample accepted")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestMeanAndString(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+	if s := Summarize([]float64{1, 2}).String(); s == "" {
+		t.Fatal("empty String")
+	}
+}

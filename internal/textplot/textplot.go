@@ -1,0 +1,126 @@
+// Package textplot renders the reproduction's tables, bar charts and
+// Gantt diagrams as plain text, standing in for the paper's figures.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Table renders rows under headers with aligned columns.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len([]rune(cell)); pad > 0 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Bars renders a horizontal bar chart: one labelled bar per value, scaled
+// so the largest value spans width cells.
+func Bars(labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxLabel := 0
+	maxVal := 0.0
+	for i, l := range labels {
+		if len([]rune(l)) > maxLabel {
+			maxLabel = len([]rune(l))
+		}
+		if values[i] > maxVal {
+			maxVal = values[i]
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		fmt.Fprintf(&b, "%-*s ", maxLabel, l)
+		n := int(math.Round(values[i] / maxVal * float64(width)))
+		if n < 0 {
+			n = 0
+		}
+		b.WriteString(strings.Repeat("█", n))
+		fmt.Fprintf(&b, " %.3f\n", values[i])
+	}
+	return b.String()
+}
+
+// Gantt renders a schedule: one row for the master's port and one per
+// slave, with sends as '▒' and computations as '█', at the given number
+// of characters per time unit column (auto-scaled to fit maxWidth).
+func Gantt(s core.Schedule, maxWidth int) string {
+	if maxWidth <= 0 {
+		maxWidth = 100
+	}
+	makespan := s.Makespan()
+	if makespan <= 0 {
+		return "(empty schedule)\n"
+	}
+	scale := float64(maxWidth) / makespan
+	m := s.Instance.Platform.M()
+
+	rows := make([][]byte, m+1)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", maxWidth+1))
+	}
+	paint := func(row []byte, from, to float64, ch byte) {
+		a := int(from * scale)
+		z := int(to * scale)
+		if z >= len(row) {
+			z = len(row) - 1
+		}
+		for x := a; x <= z; x++ {
+			row[x] = ch
+		}
+	}
+	recs := append([]core.Record(nil), s.Records...)
+	sort.Slice(recs, func(a, b int) bool { return recs[a].SendStart < recs[b].SendStart })
+	for _, r := range recs {
+		paint(rows[0], r.SendStart, r.Arrive, '-')
+		paint(rows[r.Slave+1], r.Start, r.Complete, '#')
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s |%s|\n", "port", rows[0])
+	for j := 0; j < m; j++ {
+		fmt.Fprintf(&b, "%-6s |%s|\n", fmt.Sprintf("P%d", j+1), rows[j+1])
+	}
+	fmt.Fprintf(&b, "%-6s 0%s%.3f\n", "", strings.Repeat(" ", maxWidth-len(fmt.Sprintf("%.3f", makespan))+1), makespan)
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"short", "1"},
+		{"a-much-longer-name", "23.5"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines: %q", len(lines), out)
+	}
+	// All value columns start at the same offset.
+	idx1 := strings.Index(lines[2], "1")
+	idx2 := strings.Index(lines[3], "23.5")
+	if idx1 != idx2 {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatal("missing separator")
+	}
+}
+
+func TestBarsScaling(t *testing.T) {
+	out := Bars([]string{"a", "bb"}, []float64{1, 2}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	aBlocks := strings.Count(lines[0], "█")
+	bBlocks := strings.Count(lines[1], "█")
+	if bBlocks != 10 || aBlocks != 5 {
+		t.Fatalf("bar widths %d, %d; want 5, 10\n%s", aBlocks, bBlocks, out)
+	}
+	if !strings.Contains(lines[0], "1.000") || !strings.Contains(lines[1], "2.000") {
+		t.Fatalf("values missing:\n%s", out)
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	out := Bars([]string{"x"}, []float64{0}, 10)
+	if !strings.Contains(out, "0.000") {
+		t.Fatalf("zero bar: %q", out)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	pl := core.NewPlatform([]float64{1, 1}, []float64{3, 7})
+	inst := core.NewInstance(pl, core.ReleasesAt(0, 1))
+	s := core.Schedule{
+		Instance: inst,
+		Records: []core.Record{
+			{Task: 0, Slave: 0, SendStart: 0, Arrive: 1, Start: 1, Complete: 4},
+			{Task: 1, Slave: 1, Release: 1, SendStart: 1, Arrive: 2, Start: 2, Complete: 9},
+		},
+	}
+	out := Gantt(s, 60)
+	if !strings.Contains(out, "port") || !strings.Contains(out, "P1") || !strings.Contains(out, "P2") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "-") {
+		t.Fatalf("missing paint:\n%s", out)
+	}
+	if !strings.Contains(out, "9.000") {
+		t.Fatalf("missing makespan label:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	pl := core.NewPlatform([]float64{1}, []float64{1})
+	out := Gantt(core.Schedule{Instance: core.Instance{Platform: pl}}, 40)
+	if !strings.Contains(out, "empty") {
+		t.Fatalf("empty schedule: %q", out)
+	}
+}

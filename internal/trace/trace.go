@@ -1,0 +1,148 @@
+// Package trace analyses completed schedules: per-slave utilization,
+// port occupancy, queueing behaviour and per-task latency decomposition.
+// The paper reasons about exactly these quantities informally (idle
+// links, pipelined communication, saturated ports); this package makes
+// them measurable for any run.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// SlaveStats describes one slave's activity over a schedule.
+type SlaveStats struct {
+	Slave       int
+	Tasks       int
+	BusyTime    float64 // total computation time
+	Utilization float64 // BusyTime / makespan
+	// MeanQueueWait is the average time a task spent queued at the slave
+	// between arrival and computation start.
+	MeanQueueWait float64
+	// FirstStart and LastComplete bound the slave's active window.
+	FirstStart   float64
+	LastComplete float64
+}
+
+// Report is the full analysis of one schedule.
+type Report struct {
+	Makespan float64
+	MaxFlow  float64
+	SumFlow  float64
+	// PortBusy is the fraction of the makespan the master's port spent
+	// transmitting.
+	PortBusy float64
+	// PortIdleWithPending accumulates port idle time while at least one
+	// released task was unsent — zero for work-conserving schedules.
+	PortIdleWithPending float64
+	Slaves              []SlaveStats
+	// MeanCommWait is the average task wait between release and send
+	// start (master-side queueing).
+	MeanCommWait float64
+	// MeanQueueWait is the average slave-side wait (arrival to start).
+	MeanQueueWait float64
+	// MeanService is the average comm+comp service time actually charged.
+	MeanService float64
+}
+
+// Analyze computes a Report. It panics on schedules with missing records
+// (use it only on completed runs).
+func Analyze(s core.Schedule) Report {
+	if len(s.Records) == 0 {
+		return Report{}
+	}
+	mk := s.Makespan()
+	r := Report{
+		Makespan: mk,
+		MaxFlow:  s.MaxFlow(),
+		SumFlow:  s.SumFlow(),
+	}
+	m := s.Instance.Platform.M()
+	r.Slaves = make([]SlaveStats, m)
+	for j := range r.Slaves {
+		r.Slaves[j] = SlaveStats{Slave: j, FirstStart: math.Inf(1)}
+	}
+
+	commBusy := 0.0
+	for _, rec := range s.Records {
+		st := &r.Slaves[rec.Slave]
+		st.Tasks++
+		st.BusyTime += rec.Complete - rec.Start
+		st.MeanQueueWait += rec.Start - rec.Arrive
+		if rec.Start < st.FirstStart {
+			st.FirstStart = rec.Start
+		}
+		if rec.Complete > st.LastComplete {
+			st.LastComplete = rec.Complete
+		}
+		commBusy += rec.Arrive - rec.SendStart
+		r.MeanCommWait += rec.SendStart - rec.Release
+		r.MeanQueueWait += rec.Start - rec.Arrive
+		r.MeanService += (rec.Arrive - rec.SendStart) + (rec.Complete - rec.Start)
+	}
+	n := float64(len(s.Records))
+	r.MeanCommWait /= n
+	r.MeanQueueWait /= n
+	r.MeanService /= n
+	if mk > 0 {
+		r.PortBusy = commBusy / mk
+	}
+	for j := range r.Slaves {
+		st := &r.Slaves[j]
+		if st.Tasks > 0 {
+			st.MeanQueueWait /= float64(st.Tasks)
+		}
+		if mk > 0 {
+			st.Utilization = st.BusyTime / mk
+		}
+		if st.Tasks == 0 {
+			st.FirstStart = 0
+		}
+	}
+	r.PortIdleWithPending = portIdleWithPending(s)
+	return r
+}
+
+// portIdleWithPending measures deliberate (non-work-conserving) idling:
+// time the port sat idle while a released task remained unsent.
+func portIdleWithPending(s core.Schedule) float64 {
+	recs := append([]core.Record(nil), s.Records...)
+	sort.Slice(recs, func(a, b int) bool { return recs[a].SendStart < recs[b].SendStart })
+	idle := 0.0
+	portFree := 0.0
+	for i, rec := range recs {
+		if rec.SendStart > portFree {
+			// The port idled during [portFree, rec.SendStart); charge only
+			// the part where some not-yet-sent task was already released.
+			for _, later := range recs[i:] {
+				lo := math.Max(portFree, later.Release)
+				hi := rec.SendStart
+				if lo < hi {
+					idle += hi - lo
+					break // one witness suffices; intervals would overlap
+				}
+			}
+		}
+		if rec.Arrive > portFree {
+			portFree = rec.Arrive
+		}
+	}
+	return idle
+}
+
+// Render formats the report as text.
+func (r Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan %.4f   max-flow %.4f   sum-flow %.4f\n", r.Makespan, r.MaxFlow, r.SumFlow)
+	fmt.Fprintf(&b, "port busy %.1f%%   deliberate idle %.4f   mean waits: master %.4f, slave %.4f, service %.4f\n",
+		r.PortBusy*100, r.PortIdleWithPending, r.MeanCommWait, r.MeanQueueWait, r.MeanService)
+	for _, st := range r.Slaves {
+		fmt.Fprintf(&b, "  P%-3d %4d tasks   util %5.1f%%   mean queue wait %.4f   active [%.3f, %.3f]\n",
+			st.Slave+1, st.Tasks, st.Utilization*100, st.MeanQueueWait, st.FirstStart, st.LastComplete)
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func handSchedule() core.Schedule {
+	// Theorem-1 layout: two tasks on P1 back-to-back, computed without a
+	// gap: i sent [0,1] run [1,4]; j sent [1,2] run [4,7].
+	pl := core.NewPlatform([]float64{1, 1}, []float64{3, 7})
+	inst := core.NewInstance(pl, core.ReleasesAt(0, 1))
+	return core.Schedule{
+		Instance: inst,
+		Records: []core.Record{
+			{Task: 0, Slave: 0, Release: 0, SendStart: 0, Arrive: 1, Start: 1, Complete: 4},
+			{Task: 1, Slave: 0, Release: 1, SendStart: 1, Arrive: 2, Start: 4, Complete: 7},
+		},
+	}
+}
+
+func TestAnalyzeHandComputed(t *testing.T) {
+	r := Analyze(handSchedule())
+	if r.Makespan != 7 || r.MaxFlow != 6 || r.SumFlow != 10 {
+		t.Fatalf("objectives: %+v", r)
+	}
+	// Port transmits during [0,2] of a makespan of 7.
+	if math.Abs(r.PortBusy-2.0/7.0) > 1e-12 {
+		t.Fatalf("port busy %v", r.PortBusy)
+	}
+	if r.PortIdleWithPending != 0 {
+		t.Fatalf("work-conserving schedule reported idle %v", r.PortIdleWithPending)
+	}
+	p1 := r.Slaves[0]
+	if p1.Tasks != 2 || math.Abs(p1.BusyTime-6) > 1e-12 {
+		t.Fatalf("P1 stats %+v", p1)
+	}
+	if math.Abs(p1.Utilization-6.0/7.0) > 1e-12 {
+		t.Fatalf("P1 utilization %v", p1.Utilization)
+	}
+	// Queue waits: task 0 waits 0, task 1 waits 2 → mean 1.
+	if math.Abs(p1.MeanQueueWait-1) > 1e-12 {
+		t.Fatalf("P1 queue wait %v", p1.MeanQueueWait)
+	}
+	p2 := r.Slaves[1]
+	if p2.Tasks != 0 || p2.Utilization != 0 {
+		t.Fatalf("P2 stats %+v", p2)
+	}
+	// Master-side wait: both sends start at release → 0.
+	if r.MeanCommWait != 0 {
+		t.Fatalf("comm wait %v", r.MeanCommWait)
+	}
+	// Service: (1+3) and (1+3) → 4.
+	if math.Abs(r.MeanService-4) > 1e-12 {
+		t.Fatalf("service %v", r.MeanService)
+	}
+}
+
+func TestAnalyzeDetectsDeliberateIdle(t *testing.T) {
+	pl := core.NewPlatform([]float64{1}, []float64{1})
+	s, err := sim.Simulate(pl, sched.NewProcrastinator(2), core.ReleasesAt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(s)
+	if math.Abs(r.PortIdleWithPending-2) > 1e-9 {
+		t.Fatalf("deliberate idle %v, want 2", r.PortIdleWithPending)
+	}
+}
+
+func TestAnalyzeUtilizationBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 15; trial++ {
+		pl := core.Random(rng, core.Classes[trial%4], core.GenConfig{M: 2 + rng.Intn(3)})
+		s, err := sim.Simulate(pl, sched.NewLS(), core.Bag(30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Analyze(s)
+		if r.PortBusy < 0 || r.PortBusy > 1+1e-9 {
+			t.Fatalf("port busy %v out of [0,1]", r.PortBusy)
+		}
+		total := 0
+		for _, st := range r.Slaves {
+			if st.Utilization < 0 || st.Utilization > 1+1e-9 {
+				t.Fatalf("utilization %v out of [0,1]", st.Utilization)
+			}
+			total += st.Tasks
+		}
+		if total != 30 {
+			t.Fatalf("task conservation: %d", total)
+		}
+		if r.PortIdleWithPending > 1e-9 {
+			t.Fatalf("LS idled %v", r.PortIdleWithPending)
+		}
+	}
+}
+
+func TestSRPTIdlesLink(t *testing.T) {
+	// The Figure-1a mechanism, now measurable: on a homogeneous platform
+	// SRPT's port utilization trails LS's because it waits for a free
+	// slave before transmitting.
+	pl := core.NewPlatform([]float64{0.5, 0.5}, []float64{1, 1})
+	tasks := core.Bag(40)
+	srpt, err := sim.Simulate(pl, sched.NewSRPT(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := sim.Simulate(pl, sched.NewLS(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, rl := Analyze(srpt), Analyze(ls)
+	if rs.Makespan <= rl.Makespan {
+		t.Fatalf("SRPT %v should be slower than LS %v here", rs.Makespan, rl.Makespan)
+	}
+	// SRPT's slaves wait for the link each round: queue wait 0 but lower
+	// utilization.
+	if rs.Slaves[0].Utilization >= rl.Slaves[0].Utilization {
+		t.Fatalf("SRPT utilization %v not below LS %v",
+			rs.Slaves[0].Utilization, rl.Slaves[0].Utilization)
+	}
+}
+
+func TestRenderAndEmpty(t *testing.T) {
+	out := Analyze(handSchedule()).Render()
+	for _, want := range []string{"makespan", "port busy", "P1", "P2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	empty := Analyze(core.Schedule{})
+	if empty.Makespan != 0 || len(empty.Slaves) != 0 {
+		t.Fatalf("empty analysis %+v", empty)
+	}
+}

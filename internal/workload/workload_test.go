@@ -1,0 +1,254 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestBagAtZero(t *testing.T) {
+	tasks := Generate(rand.New(rand.NewSource(1)), Config{N: 50, Pattern: BagAtZero})
+	if len(tasks) != 50 {
+		t.Fatalf("got %d tasks", len(tasks))
+	}
+	for _, task := range tasks {
+		if task.Release != 0 {
+			t.Fatalf("bag task released at %v", task.Release)
+		}
+		if task.EffComm() != 1 || task.EffComp() != 1 {
+			t.Fatal("unperturbed task has non-unit scale")
+		}
+	}
+}
+
+func TestPoissonMonotoneAndRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tasks := Generate(rng, Config{N: 5000, Pattern: Poisson, Rate: 4})
+	last := 0.0
+	for _, task := range tasks {
+		if task.Release < last {
+			t.Fatal("Poisson releases not monotone")
+		}
+		last = task.Release
+	}
+	// Mean inter-arrival should approximate 1/4 s.
+	mean := last / float64(len(tasks))
+	if math.Abs(mean-0.25) > 0.02 {
+		t.Fatalf("mean inter-arrival %v, want ≈0.25", mean)
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	tasks := Generate(rand.New(rand.NewSource(3)), Config{N: 5, Pattern: Periodic, Rate: 2})
+	want := []float64{0, 0.5, 1, 1.5, 2}
+	for i, task := range tasks {
+		if math.Abs(task.Release-want[i]) > 1e-12 {
+			t.Fatalf("periodic release %d = %v, want %v", i, task.Release, want[i])
+		}
+	}
+}
+
+func TestUniformSpreadWithinHorizon(t *testing.T) {
+	tasks := Generate(rand.New(rand.NewSource(4)), Config{N: 200, Pattern: UniformSpread, Horizon: 10})
+	for _, task := range tasks {
+		if task.Release < 0 || task.Release > 10 {
+			t.Fatalf("release %v outside horizon", task.Release)
+		}
+	}
+}
+
+func TestBurstyStructure(t *testing.T) {
+	tasks := Generate(rand.New(rand.NewSource(5)), Config{N: 40, Pattern: Bursty, BurstSize: 10, GapMean: 100})
+	// Within a burst, releases are identical; between bursts there are gaps.
+	releases := make([]float64, len(tasks))
+	for i, task := range tasks {
+		releases[i] = task.Release
+	}
+	if !sort.Float64sAreSorted(releases) {
+		t.Fatal("bursty releases not monotone")
+	}
+	distinct := map[float64]int{}
+	for _, r := range releases {
+		distinct[r]++
+	}
+	if len(distinct) != 4 {
+		t.Fatalf("expected 4 bursts, got %d distinct release times", len(distinct))
+	}
+	for r, n := range distinct {
+		if n != 10 {
+			t.Fatalf("burst at %v has %d tasks, want 10", r, n)
+		}
+	}
+}
+
+func TestPerturbationMatrixModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tasks := Generate(rng, Config{N: 2000, Pattern: BagAtZero, Perturb: 0.1})
+	for _, task := range tasks {
+		s := math.Cbrt(task.EffComp())
+		if s < 0.9-1e-9 || s > 1.1+1e-9 {
+			t.Fatalf("size factor %v outside [0.9, 1.1]", s)
+		}
+		if math.Abs(task.EffComm()-s*s) > 1e-9 {
+			t.Fatalf("comm scale %v is not square of size factor %v", task.EffComm(), s)
+		}
+	}
+}
+
+func TestPerturbationLinearModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tasks := Generate(rng, Config{N: 500, Pattern: BagAtZero, Perturb: 0.1, LinearPerturb: true})
+	for _, task := range tasks {
+		if math.Abs(task.EffComm()-task.EffComp()) > 1e-12 {
+			t.Fatal("linear perturbation must scale both costs identically")
+		}
+		if task.EffComm() < 0.9-1e-9 || task.EffComm() > 1.1+1e-9 {
+			t.Fatalf("linear factor %v outside range", task.EffComm())
+		}
+	}
+}
+
+func TestStrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tasks := Generate(rng, Config{N: 20, Pattern: Poisson, Rate: 1, Perturb: 0.1})
+	clean := Strip(tasks)
+	for i := range clean {
+		if clean[i].EffComm() != 1 || clean[i].EffComp() != 1 {
+			t.Fatal("Strip left perturbation behind")
+		}
+		if clean[i].Release != tasks[i].Release {
+			t.Fatal("Strip changed release times")
+		}
+	}
+	// Original untouched.
+	anyScaled := false
+	for _, task := range tasks {
+		if task.EffComm() != 1 {
+			anyScaled = true
+		}
+	}
+	if !anyScaled {
+		t.Fatal("test needs at least one perturbed task")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(rand.New(rand.NewSource(9)), Config{N: 100, Pattern: Poisson, Rate: 2, Perturb: 0.1})
+	b := Generate(rand.New(rand.NewSource(9)), Config{N: 100, Pattern: Poisson, Rate: 2, Perturb: 0.1})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+}
+
+func TestGeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("N=0 accepted")
+		}
+	}()
+	Generate(rand.New(rand.NewSource(1)), Config{N: 0})
+}
+
+func TestMeanLoad(t *testing.T) {
+	pl := core.NewPlatform([]float64{0.5, 0.5}, []float64{1, 1})
+	// 2 tasks/s offered; capacity = min(2 tasks/s compute, 2 tasks/s port) = 2.
+	tasks := Generate(rand.New(rand.NewSource(10)), Config{N: 1000, Pattern: Periodic, Rate: 2})
+	load := MeanLoad(tasks, pl)
+	if math.Abs(load-1.0) > 0.01 {
+		t.Fatalf("load = %v, want ≈1", load)
+	}
+	// Bag at zero is infinite instantaneous load.
+	if !math.IsInf(MeanLoad(core.Bag(5), pl), 1) {
+		t.Fatal("bag-at-zero load should be +Inf")
+	}
+}
+
+// Property: any generated workload is valid input for core.NewInstance —
+// sorted releases in the instance, dense IDs, positive scales.
+func TestGeneratedWorkloadsFormValidInstances(t *testing.T) {
+	f := func(seed int64, nRaw uint8, patRaw uint8, perturbRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		pattern := Pattern(patRaw % 5)
+		perturb := float64(perturbRaw%11) / 100
+		rng := rand.New(rand.NewSource(seed))
+		tasks := Generate(rng, Config{N: n, Pattern: pattern, Rate: 2, Perturb: perturb})
+		pl := core.NewPlatform([]float64{1, 2}, []float64{3, 4})
+		inst := core.NewInstance(pl, tasks)
+		if len(inst.Tasks) != n {
+			return false
+		}
+		for i, task := range inst.Tasks {
+			if task.ID != core.TaskID(i) {
+				return false
+			}
+			if i > 0 && task.Release < inst.Tasks[i-1].Release {
+				return false
+			}
+			if task.EffComm() <= 0 || task.EffComp() <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultFallbacks(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	// Rate ≤ 0 falls back to 1 task/s for Poisson and Periodic.
+	per := Generate(rng, Config{N: 3, Pattern: Periodic})
+	if per[1].Release != 1 || per[2].Release != 2 {
+		t.Fatalf("periodic default rate: %+v", per)
+	}
+	poi := Generate(rng, Config{N: 100, Pattern: Poisson})
+	if poi[99].Release <= 0 {
+		t.Fatal("poisson default rate produced non-positive horizon")
+	}
+	// UniformSpread defaults its horizon to N seconds.
+	uni := Generate(rng, Config{N: 50, Pattern: UniformSpread})
+	for _, task := range uni {
+		if task.Release < 0 || task.Release > 50 {
+			t.Fatalf("uniform default horizon: release %v", task.Release)
+		}
+	}
+	// Bursty defaults: bursts of 10 with mean gap 5.
+	bur := Generate(rng, Config{N: 25, Pattern: Bursty})
+	if bur[0].Release != bur[9].Release {
+		t.Fatal("bursty default burst size not 10")
+	}
+}
+
+func TestUnknownPatternPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown pattern accepted")
+		}
+	}()
+	Generate(rand.New(rand.NewSource(1)), Config{N: 1, Pattern: Pattern(99)})
+}
+
+func TestPatternString(t *testing.T) {
+	names := map[Pattern]string{
+		BagAtZero:     "bag-at-zero",
+		Poisson:       "poisson",
+		UniformSpread: "uniform",
+		Bursty:        "bursty",
+		Periodic:      "periodic",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Fatalf("%v", p)
+		}
+	}
+	if Pattern(42).String() == "" {
+		t.Fatal("unknown pattern String empty")
+	}
+}

@@ -1,0 +1,109 @@
+package masterslave
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFacadeRun(t *testing.T) {
+	pl := NewPlatform([]float64{1, 1}, []float64{3, 7})
+	s, err := Run("LS", pl, ReleasesAt(0, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 10 { // LS walks into the Theorem-1 trap layout
+		t.Fatalf("makespan %v", s.Makespan())
+	}
+	if got := Optimum(pl, ReleasesAt(0, 1, 2), Makespan); got != 8 {
+		t.Fatalf("optimum %v", got)
+	}
+}
+
+func TestFacadeAlgorithms(t *testing.T) {
+	algos := Algorithms()
+	if len(algos) != 7 {
+		t.Fatalf("%d algorithms", len(algos))
+	}
+	pl := RandomPlatform(rand.New(rand.NewSource(1)), Heterogeneous, 4)
+	for _, a := range algos {
+		s, err := Run(a, pl, Bag(25))
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if len(s.Records) != 25 {
+			t.Fatalf("%s: %d records", a, len(s.Records))
+		}
+	}
+}
+
+func TestFacadeCompetitiveRatio(t *testing.T) {
+	ratio, bound, err := CompetitiveRatio(1, "LS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bound-1.25) > 1e-12 {
+		t.Fatalf("bound %v", bound)
+	}
+	if math.Abs(ratio-1.25) > 1e-9 {
+		t.Fatalf("LS vs Theorem 1 ratio %v, want exactly 5/4", ratio)
+	}
+	if _, _, err := CompetitiveRatio(10, "LS"); err == nil {
+		t.Fatal("theorem 10 accepted")
+	}
+}
+
+func TestFacadeVerifyProofs(t *testing.T) {
+	if err := VerifyProofs(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeRunScheduler(t *testing.T) {
+	pl := NewPlatform([]float64{0.5}, []float64{1})
+	s, err := RunScheduler(NewScheduler("SRPT"), pl, Bag(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Makespan()-4.5) > 1e-9 { // 3 × (c+p), SRPT idles the link
+		t.Fatalf("makespan %v", s.Makespan())
+	}
+}
+
+func TestFacadeExperimentWrappers(t *testing.T) {
+	cfg := ExperimentConfig{Platforms: 2, Tasks: 60, M: 3, Seed: 5}
+	f1 := Figure1(CommHomogeneous, cfg)
+	if len(f1.Order) != 7 {
+		t.Fatalf("figure 1 order %v", f1.Order)
+	}
+	f2 := Figure2(cfg)
+	if f2.Perturb != 0.1 {
+		t.Fatalf("figure 2 perturbation %v", f2.Perturb)
+	}
+	rows := Table1()
+	if len(rows) != 9 {
+		t.Fatalf("table 1 rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Confirmed {
+			t.Fatalf("theorem %d unconfirmed via facade", r.Theorem)
+		}
+	}
+}
+
+func TestFacadeOffline(t *testing.T) {
+	pl := NewPlatform([]float64{1, 1}, []float64{3, 7})
+	plan := OfflinePlan(pl, 3)
+	if len(plan) != 3 {
+		t.Fatalf("plan %v", plan)
+	}
+	mk := OfflineMakespan(pl, 3)
+	lb := OfflineLowerBound(pl, 3)
+	if lb > mk+1e-9 {
+		t.Fatalf("lower bound %v exceeds plan makespan %v", lb, mk)
+	}
+	// Comm-homogeneous: the plan is optimal; Theorem-1's 3-bag optimum is 8.
+	if math.Abs(mk-8) > 1e-6 {
+		t.Fatalf("offline makespan %v, want 8", mk)
+	}
+}
