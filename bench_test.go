@@ -6,6 +6,11 @@ package masterslave
 // and reports the headline quantity via b.ReportMetric so `go test
 // -bench=. -benchmem` reproduces the paper's rows and series.
 // `cmd/paperbench` runs the same harness at the paper's full scale.
+//
+// BenchmarkFigure1Serial vs BenchmarkFigure1Parallel is the scaling
+// trajectory: the same sweep on a one-worker pool and a GOMAXPROCS-wide
+// pool, with bit-identical outputs (DESIGN.md §5) and only the wall clock
+// differing.
 
 import (
 	"math/rand"
@@ -18,7 +23,8 @@ import (
 )
 
 // benchCfg keeps the per-iteration cost of the figure benchmarks modest;
-// the shapes at this scale match the full-scale runs (see EXPERIMENTS.md).
+// the shapes at this scale match the full-scale runs through
+// cmd/paperbench.
 var benchCfg = experiment.Config{Platforms: 3, Tasks: 300, M: 5, Seed: 1}
 
 // BenchmarkTable1 regenerates Table 1: the nine adversary games against
@@ -71,6 +77,25 @@ func BenchmarkFigure1c(b *testing.B) { benchFigure1(b, core.CompHomogeneous) }
 
 // BenchmarkFigure1d regenerates Figure 1(d): fully heterogeneous.
 func BenchmarkFigure1d(b *testing.B) { benchFigure1(b, core.Heterogeneous) }
+
+// benchFigure1Workers runs the heterogeneous panel — the most expensive
+// of the four — at a paper-shaped scale on a fixed-size worker pool.
+func benchFigure1Workers(b *testing.B, workers int) {
+	cfg := experiment.Config{Platforms: 8, Tasks: 500, M: 5, Seed: 1, Workers: workers}
+	var r experiment.Figure1Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = experiment.Figure1(core.Heterogeneous, cfg)
+	}
+	b.ReportMetric(r.Cells["SLJFWC"][core.Makespan].Mean, "SLJFWC-makespan")
+}
+
+// BenchmarkFigure1Serial is the one-worker baseline of the sweep engine.
+func BenchmarkFigure1Serial(b *testing.B) { benchFigure1Workers(b, 1) }
+
+// BenchmarkFigure1Parallel is the same sweep on a GOMAXPROCS-wide pool;
+// the ratio to BenchmarkFigure1Serial is the sweep-scaling headline.
+func BenchmarkFigure1Parallel(b *testing.B) { benchFigure1Workers(b, 0) }
 
 // BenchmarkFigure2 regenerates the robustness experiment; the reported
 // metrics are the mean perturbed/unperturbed ratios across algorithms.

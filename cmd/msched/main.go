@@ -2,11 +2,19 @@
 // master-slave simulator and prints its metrics, optionally with an ASCII
 // Gantt chart and the exact offline optimum.
 //
+// With -repeat R it becomes a replicate sweep on the deterministic runner:
+// R independently seeded replicates of the scenario run across -parallel
+// workers (replicate r redraws the platform and workload from
+// hash(seed, "msched/replicate=r"); results are identical for every
+// worker count) and the per-replicate metrics are summarized, optionally
+// as machine-readable JSON via -json.
+//
 // Usage examples:
 //
 //	msched -algo LS -class heterogeneous -m 5 -n 100 -seed 7 -gantt
 //	msched -algo SLJF -c 1,1 -p 3,7 -releases 0,1,2 -opt
 //	msched -algo RRC -class comp-homogeneous -n 500 -arrival poisson -rate 2
+//	msched -algo LS -class heterogeneous -n 200 -repeat 64 -parallel 8 -json out.json
 package main
 
 import (
@@ -19,8 +27,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/optimal"
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/textplot"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -44,7 +54,21 @@ func main() {
 	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart")
 	stat := flag.Bool("stats", false, "print utilization and queueing analysis")
 	opt := flag.Bool("opt", false, "also compute the exact offline optimum (small instances only)")
+	repeat := flag.Int("repeat", 1, "number of independently seeded replicates (>1 switches to the sweep mode)")
+	parallel := flag.Int("parallel", 0, "worker-pool size for -repeat; 0 = GOMAXPROCS (results are identical for every value)")
+	jsonOut := flag.String("json", "", "with -repeat: write the machine-readable replicate record to this file")
 	flag.Parse()
+
+	if *repeat > 1 {
+		if *gantt || *stat || *opt {
+			log.Fatal("-gantt, -stats and -opt describe a single run; drop them or drop -repeat")
+		}
+		if err := runReplicates(*repeat, *parallel, *jsonOut, *algo, *cFlag, *pFlag, *class,
+			*m, *seed, *releases, *n, *arrival, *rate, *perturb); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	pl, err := buildPlatform(*cFlag, *pFlag, *class, *m, rng)
@@ -86,6 +110,91 @@ func main() {
 		fmt.Println()
 		fmt.Print(textplot.Gantt(s, 100))
 	}
+}
+
+// runReplicates is the -repeat path: one shard per replicate, each with
+// its own platform and workload streams derived from the root seed, fanned
+// out over the runner's worker pool.
+func runReplicates(repeat, parallel int, jsonOut, algo, cFlag, pFlag, class string,
+	m int, seed int64, releases string, n int, arrival string, rate, perturb float64) error {
+	// Validate every static argument once, before fanning out: otherwise
+	// runner.Map reports the same bad -class or -arrival once per
+	// replicate.
+	if err := sched.Validate(algo); err != nil {
+		return err
+	}
+	probe := runner.RNG(seed, "msched/validate")
+	if _, err := buildPlatform(cFlag, pFlag, class, m, probe); err != nil {
+		return err
+	}
+	if _, err := buildTasks(releases, n, arrival, rate, perturb, probe); err != nil {
+		return err
+	}
+	cells, err := runner.Map(parallel, repeat, func(r int) (runner.Cell, error) {
+		key := fmt.Sprintf("msched/replicate=%04d", r)
+		cell := runner.NewCell(seed, key)
+		pl, err := buildPlatform(cFlag, pFlag, class, m, runner.RNG(seed, key+"/platform"))
+		if err != nil {
+			return cell, err
+		}
+		tasks, err := buildTasks(releases, n, arrival, rate, perturb, runner.RNG(seed, key+"/workload"))
+		if err != nil {
+			return cell, err
+		}
+		s, err := sim.Simulate(pl, sched.New(algo), tasks)
+		if err != nil {
+			return cell, fmt.Errorf("%s: %w", key, err)
+		}
+		cell.Values["makespan"] = s.Makespan()
+		cell.Values["max-flow"] = s.MaxFlow()
+		cell.Values["sum-flow"] = s.SumFlow()
+		return cell, nil
+	})
+	if err != nil {
+		return err
+	}
+	params := map[string]any{
+		"algo": algo, "m": m, "n": n,
+		"arrival": arrival, "rate": rate, "perturb": perturb,
+	}
+	// Record the platform the replicates actually used: the explicit
+	// -c/-p vectors (and -releases) override the random class.
+	if cFlag != "" {
+		params["c"], params["p"] = cFlag, pFlag
+	} else {
+		params["class"] = class
+	}
+	if releases != "" {
+		params["releases"] = releases
+	}
+	res := runner.Result{
+		Experiment: "msched/" + algo,
+		Params:     params,
+		RootSeed:   seed,
+		Cells:      cells,
+	}
+	res.Summarize()
+
+	platformDesc := class + " platforms"
+	if cFlag != "" {
+		platformDesc = "fixed platform c=[" + cFlag + "] p=[" + pFlag + "]"
+	}
+	fmt.Printf("algorithm: %s\n", algo)
+	fmt.Printf("replicates: %d (%s, %s arrivals)\n\n", repeat, platformDesc, arrival)
+	for _, metric := range []string{"makespan", "max-flow", "sum-flow"} {
+		printSummary(metric, res.Summaries[metric])
+	}
+	if jsonOut != "" {
+		if err := runner.WriteJSON(jsonOut, res); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d replicate cells to %s\n", repeat, jsonOut)
+	}
+	return nil
+}
+
+func printSummary(name string, s stats.Summary) {
+	fmt.Printf("%-9s %s (median %.4f)\n", name+":", s, s.Median)
 }
 
 func buildPlatform(cFlag, pFlag, class string, m int, rng *rand.Rand) (core.Platform, error) {

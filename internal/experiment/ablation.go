@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -25,6 +26,7 @@ type AblationResult struct {
 	Baseline string
 	Class    core.Class
 	Rows     []AblationRow
+	Raw      runner.Result
 }
 
 // Render formats the study.
@@ -45,39 +47,66 @@ func (a AblationResult) Render() string {
 	return b.String()
 }
 
+// variant is one arm of an ablation sweep. make is a factory, not an
+// instance: schedulers are stateful during a run, and the runner executes
+// platform replicates concurrently, so every cell builds its own copies.
+type variant struct {
+	name string
+	make func() sim.Scheduler
+}
+
 // runSweep runs each variant scheduler over shared random platforms and
-// workloads, normalizing by the first variant.
-func runSweep(name string, class core.Class, cfg Config, variants []sim.Scheduler,
+// workloads, normalizing by the first variant. Platform replicate p is
+// the shard "ablation/<study>/platform=p", with independent platform and
+// workload streams derived per cell.
+func runSweep(name string, class core.Class, cfg Config, variants []variant,
 	gen func(rng *rand.Rand) []core.Task) AblationResult {
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	acc := make([]map[core.Objective][]float64, len(variants))
-	for i := range acc {
-		acc[i] = map[core.Objective][]float64{}
-	}
-	for p := 0; p < cfg.Platforms; p++ {
-		pl := core.Random(rng, class, core.GenConfig{M: cfg.M})
-		tasks := gen(rng)
+	cells, err := runner.Map(cfg.Workers, cfg.Platforms, func(p int) (runner.Cell, error) {
+		key := fmt.Sprintf("ablation/%s/platform=%03d", name, p)
+		cell := runner.NewCell(cfg.Seed, key)
+		pl := core.Random(runner.RNG(cfg.Seed, key+"/platform"), class, core.GenConfig{M: cfg.M})
+		tasks := gen(runner.RNG(cfg.Seed, key+"/workload"))
 		base := map[core.Objective]float64{}
 		for i, v := range variants {
-			s, err := sim.Simulate(pl, v, tasks)
+			s, err := sim.Simulate(pl, v.make(), tasks)
 			if err != nil {
-				panic(fmt.Sprintf("experiment: ablation %s, variant %s: %v", name, v.Name(), err))
+				return cell, fmt.Errorf("%s: variant %s: %w", key, v.name, err)
 			}
 			for _, obj := range core.Objectives {
 				val := obj.Value(s)
 				if i == 0 {
 					base[obj] = val
 				}
-				acc[i][obj] = append(acc[i][obj], val/base[obj])
+				cell.Values[v.name+"/"+obj.String()] = val / base[obj]
 			}
 		}
+		return cell, nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiment: ablation %s: %v", name, err))
 	}
-	res := AblationResult{Name: name, Baseline: variants[0].Name(), Class: class}
+	// Ablations sweep their own variant list, not Config.Schedulers; the
+	// record names what actually ran.
+	params := cfg.params()
+	delete(params, "schedulers")
+	variantNames := make([]string, len(variants))
 	for i, v := range variants {
-		row := AblationRow{Variant: v.Name(), Metrics: map[core.Objective]stats.Summary{}}
+		variantNames[i] = v.name
+	}
+	params["variants"] = strings.Join(variantNames, ",")
+	raw := runner.Result{
+		Experiment: "ablation/" + name,
+		Params:     params,
+		RootSeed:   cfg.Seed,
+		Cells:      cells,
+	}
+	raw.Summarize()
+	res := AblationResult{Name: name, Baseline: variants[0].name, Class: class, Raw: raw}
+	for _, v := range variants {
+		row := AblationRow{Variant: v.name, Metrics: map[core.Objective]stats.Summary{}}
 		for _, obj := range core.Objectives {
-			row.Metrics[obj] = stats.Summarize(acc[i][obj])
+			row.Metrics[obj] = raw.Summaries[v.name+"/"+obj.String()]
 		}
 		res.Rows = append(res.Rows, row)
 	}
@@ -89,12 +118,12 @@ func runSweep(name string, class core.Class, cfg Config, variants []sim.Schedule
 // pipelines, larger caps approach static splitting; strict cyclic is the
 // literal paper reading.
 func AblationRRCap(class core.Class, cfg Config) AblationResult {
-	variants := []sim.Scheduler{
-		sched.NewRR(), // baseline: default cap 2
-		sched.NewRRWith(sched.ByCP, 1, false, "RR-cap1"),
-		sched.NewRRWith(sched.ByCP, 3, false, "RR-cap3"),
-		sched.NewRRWith(sched.ByCP, 4, false, "RR-cap4"),
-		sched.NewRRWith(sched.ByCP, 0, true, "RR-cyclic"),
+	variants := []variant{
+		{"RR", func() sim.Scheduler { return sched.NewRR() }}, // baseline: default cap 2
+		{"RR-cap1", func() sim.Scheduler { return sched.NewRRWith(sched.ByCP, 1, false, "RR-cap1") }},
+		{"RR-cap3", func() sim.Scheduler { return sched.NewRRWith(sched.ByCP, 3, false, "RR-cap3") }},
+		{"RR-cap4", func() sim.Scheduler { return sched.NewRRWith(sched.ByCP, 4, false, "RR-cap4") }},
+		{"RR-cyclic", func() sim.Scheduler { return sched.NewRRWith(sched.ByCP, 0, true, "RR-cyclic") }},
 	}
 	cfg = cfg.withDefaults()
 	return runSweep("RR-cap", class, cfg, variants, func(rng *rand.Rand) []core.Task {
@@ -107,12 +136,17 @@ func AblationRRCap(class core.Class, cfg Config) AblationResult {
 // assignment".
 func AblationPlanHorizon(cfg Config) AblationResult {
 	cfg = cfg.withDefaults()
-	variants := []sim.Scheduler{
-		namedScheduler{sched.NewSLJF(cfg.Tasks), fmt.Sprintf("SLJF-full(%d)", cfg.Tasks)},
-		namedScheduler{sched.NewSLJF(cfg.Tasks / 10), fmt.Sprintf("SLJF-%d", cfg.Tasks/10)},
-		namedScheduler{sched.NewSLJF(cfg.Tasks / 100), fmt.Sprintf("SLJF-%d", cfg.Tasks/100)},
-		namedScheduler{sched.NewSLJF(1), "SLJF-1"},
-		namedScheduler{sched.NewLS(), "LS"},
+	horizon := func(n int, label string) variant {
+		return variant{label, func() sim.Scheduler {
+			return namedScheduler{sched.NewSLJF(n), label}
+		}}
+	}
+	variants := []variant{
+		horizon(cfg.Tasks, fmt.Sprintf("SLJF-full(%d)", cfg.Tasks)),
+		horizon(cfg.Tasks/10, fmt.Sprintf("SLJF-%d", cfg.Tasks/10)),
+		horizon(cfg.Tasks/100, fmt.Sprintf("SLJF-%d", cfg.Tasks/100)),
+		horizon(1, "SLJF-1"),
+		{"LS", func() sim.Scheduler { return namedScheduler{sched.NewLS(), "LS"} }},
 	}
 	return runSweep("SLJF-horizon", core.CommHomogeneous, cfg, variants, func(rng *rand.Rand) []core.Task {
 		return core.Bag(cfg.Tasks)
@@ -124,9 +158,10 @@ func AblationPlanHorizon(cfg Config) AblationResult {
 // platform's mean service capacity).
 func AblationArrivals(load float64, cfg Config) AblationResult {
 	cfg = cfg.withDefaults()
-	variants := make([]sim.Scheduler, 0, 7)
+	variants := make([]variant, 0, len(sched.Names()))
 	for _, n := range sched.Names() {
-		variants = append(variants, sched.New(n))
+		name := n
+		variants = append(variants, variant{name, func() sim.Scheduler { return sched.New(name) }})
 	}
 	return runSweep(fmt.Sprintf("arrivals(load=%.2f)", load), core.Heterogeneous, cfg, variants,
 		func(rng *rand.Rand) []core.Task {

@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// detCfg is deliberately small: the determinism contract is about seeding
+// and sharding, not statistics, so a handful of cells suffices.
+var detCfg = Config{Platforms: 5, Tasks: 120, M: 4, Seed: 11}
+
+func workerCounts() []int {
+	counts := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+func withWorkers(cfg Config, w int) Config {
+	cfg.Workers = w
+	return cfg
+}
+
+// TestFigure1WorkerIndependence: the same root seed with 1, 4 and
+// GOMAXPROCS workers yields deeply equal Figure1Result values — including
+// the per-cell machine-readable record — and identical canonical JSON.
+func TestFigure1WorkerIndependence(t *testing.T) {
+	ref := Figure1(core.Heterogeneous, withWorkers(detCfg, 1))
+	refJSON, err := runner.EncodeJSON(ref.Raw.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workerCounts()[1:] {
+		got := Figure1(core.Heterogeneous, withWorkers(detCfg, w))
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("workers=%d: Figure1Result differs from serial run", w)
+		}
+		gotJSON, err := runner.EncodeJSON(got.Raw.Canonical())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(refJSON) != string(gotJSON) {
+			t.Errorf("workers=%d: canonical JSON differs from serial run", w)
+		}
+	}
+}
+
+// TestFigure2WorkerIndependence covers the robustness sweep, which draws
+// two random streams per cell (platform and perturbed workload).
+func TestFigure2WorkerIndependence(t *testing.T) {
+	ref := Figure2(withWorkers(detCfg, 1))
+	for _, w := range workerCounts()[1:] {
+		if got := Figure2(withWorkers(detCfg, w)); !reflect.DeepEqual(ref, got) {
+			t.Errorf("workers=%d: Figure2Result differs from serial run", w)
+		}
+	}
+}
+
+// TestTable1WorkerIndependence: the adversary games are deterministic, so
+// every worker count must reproduce the same nine rows.
+func TestTable1WorkerIndependence(t *testing.T) {
+	ref := Table1Parallel(1)
+	for _, w := range workerCounts()[1:] {
+		if got := Table1Parallel(w); !reflect.DeepEqual(ref, got) {
+			t.Errorf("workers=%d: Table1 rows differ from serial run", w)
+		}
+	}
+}
+
+// TestAblationWorkerIndependence covers the sweep harness shared by the
+// RR-cap, plan-horizon and arrivals studies (fresh scheduler instances
+// per cell; per-cell workload streams).
+func TestAblationWorkerIndependence(t *testing.T) {
+	ref := AblationArrivals(0.8, withWorkers(detCfg, 1))
+	for _, w := range workerCounts()[1:] {
+		if got := AblationArrivals(0.8, withWorkers(detCfg, w)); !reflect.DeepEqual(ref, got) {
+			t.Errorf("workers=%d: ablation result differs from serial run", w)
+		}
+	}
+}
+
+// TestModelAblationWorkerIndependence covers the dual-engine sweep.
+func TestModelAblationWorkerIndependence(t *testing.T) {
+	ref := AblationModel(core.CompHomogeneous, withWorkers(detCfg, 1))
+	for _, w := range workerCounts()[1:] {
+		if got := AblationModel(core.CompHomogeneous, withWorkers(detCfg, w)); !reflect.DeepEqual(ref, got) {
+			t.Errorf("workers=%d: model ablation differs from serial run", w)
+		}
+	}
+}
+
+// TestRandomizedWorkerIndependence covers the seed-sharded study.
+func TestRandomizedWorkerIndependence(t *testing.T) {
+	ref := RandomizedStudyParallel(50, 0.3, 1)
+	for _, w := range workerCounts()[1:] {
+		if got := RandomizedStudyParallel(50, 0.3, w); !reflect.DeepEqual(ref, got) {
+			t.Errorf("workers=%d: randomized study differs from serial run", w)
+		}
+	}
+}
+
+// TestSchedulerFilterStability: running a subset of schedulers reproduces
+// exactly the full sweep's cells for those coordinates — the filter never
+// perturbs platform or workload draws.
+func TestSchedulerFilterStability(t *testing.T) {
+	full := Figure1(core.Heterogeneous, detCfg)
+	sub := detCfg
+	sub.Schedulers = []string{"LS", "SLJF"}
+	filtered := Figure1(core.Heterogeneous, sub)
+	if got := filtered.Order; !reflect.DeepEqual(got, []string{"LS", "SLJF"}) {
+		t.Fatalf("filtered order %v", got)
+	}
+	for i, cell := range filtered.Raw.Cells {
+		for k, v := range cell.Values {
+			if fv := full.Raw.Cells[i].Values[k]; fv != v {
+				t.Errorf("cell %s key %s: filtered %v vs full %v", cell.Key, k, v, fv)
+			}
+		}
+	}
+	// The normalization baseline runs even when SRPT is filtered out.
+	if _, ok := filtered.Cells["LS"]; !ok || filtered.Cells["LS"][core.Makespan].N != detCfg.Platforms {
+		t.Errorf("filtered LS summary incomplete: %+v", filtered.Cells["LS"])
+	}
+}
+
+// TestSeedSensitivity: different root seeds must actually change the
+// draws (guards against a derivation that ignores the root).
+func TestSeedSensitivity(t *testing.T) {
+	a := Figure1(core.Heterogeneous, detCfg)
+	other := detCfg
+	other.Seed = detCfg.Seed + 1
+	b := Figure1(core.Heterogeneous, other)
+	if reflect.DeepEqual(a.Cells, b.Cells) {
+		t.Error("different root seeds produced identical results")
+	}
+}

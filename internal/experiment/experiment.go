@@ -3,16 +3,22 @@
 // Figure 1 (the seven heuristics on the four platform classes, normalized
 // to SRPT), Figure 2 (robustness under matrix-size perturbation), and the
 // ablation studies DESIGN.md calls out.
+//
+// Every sweep runs on internal/runner's deterministic worker pool: each
+// (experiment × platform-replicate) cell derives its randomness from
+// runner.Seed(rootSeed, shardKey), so results are bit-identical whether
+// computed by one goroutine or GOMAXPROCS of them, and every result
+// carries a machine-readable runner.Result record (see DESIGN.md §5).
 package experiment
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/lowerbound"
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -28,6 +34,17 @@ type Config struct {
 	Tasks     int
 	M         int
 	Seed      int64
+	// Workers caps the runner's worker pool; ≤ 0 selects GOMAXPROCS. It is
+	// an execution knob, not part of the experiment's identity: every value
+	// yields bit-identical results, so stored configs normalize it to 0.
+	Workers int
+	// Schedulers restricts which heuristics are simulated and reported;
+	// empty selects the full paper registry (sched.Names()). Cell seeds
+	// depend only on (Seed, cell key), never on this list, so a filtered
+	// sweep reproduces exactly the corresponding cells of the full sweep.
+	// SRPT is always simulated as the normalization baseline even when it
+	// is filtered out of the report.
+	Schedulers []string
 }
 
 // schedulerFor instantiates a heuristic for a workload of n tasks: the
@@ -55,7 +72,47 @@ func (c Config) withDefaults() Config {
 	if c.M <= 0 {
 		c.M = 5
 	}
+	if len(c.Schedulers) == 0 {
+		c.Schedulers = sched.Names()
+	} else {
+		c.Schedulers = append([]string(nil), c.Schedulers...)
+		for _, n := range c.Schedulers {
+			if err := sched.Validate(n); err != nil {
+				panic("experiment: " + err.Error())
+			}
+		}
+	}
 	return c
+}
+
+// canonical strips the execution knob so stored results are comparable
+// across worker counts.
+func (c Config) canonical() Config {
+	c.Workers = 0
+	return c
+}
+
+// params renders the config for the machine-readable record.
+func (c Config) params() map[string]any {
+	return map[string]any{
+		"platforms":  c.Platforms,
+		"tasks":      c.Tasks,
+		"m":          c.M,
+		"schedulers": strings.Join(c.Schedulers, ","),
+	}
+}
+
+// summariesByScheduler regroups a runner.Result's flat "name/objective"
+// summaries into the presentation maps the render paths consume.
+func summariesByScheduler(raw *runner.Result, names []string) map[string]map[core.Objective]stats.Summary {
+	out := make(map[string]map[core.Objective]stats.Summary, len(names))
+	for _, n := range names {
+		out[n] = map[core.Objective]stats.Summary{}
+		for _, obj := range core.Objectives {
+			out[n][obj] = raw.Summaries[n+"/"+obj.String()]
+		}
+	}
+	return out
 }
 
 // Cell is one scheduler × objective aggregate.
@@ -73,46 +130,63 @@ type Figure1Result struct {
 	Config Config
 	Cells  map[string]map[core.Objective]stats.Summary
 	Order  []string // scheduler presentation order
+	// Raw is the machine-readable per-cell record (one cell per random
+	// platform, values keyed "scheduler/objective").
+	Raw runner.Result
 }
 
 // Figure1 reproduces one panel of Figure 1: draw Config.Platforms random
 // platforms of the class, run the seven heuristics on a bag of
 // Config.Tasks identical tasks, and normalize each metric to SRPT's.
+// Platform replicates are independent shards: replicate p draws its
+// platform from seed hash(Seed, "fig1/<class>/platform=p/platform"), so
+// the sweep parallelizes without changing a single draw.
 func Figure1(class core.Class, cfg Config) Figure1Result {
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	names := sched.Names()
-	acc := map[string]map[core.Objective][]float64{}
-	for _, n := range names {
-		acc[n] = map[core.Objective][]float64{}
-	}
-	for p := 0; p < cfg.Platforms; p++ {
-		pl := core.Random(rng, class, core.GenConfig{M: cfg.M})
+	names := cfg.Schedulers
+	cells, err := runner.Map(cfg.Workers, cfg.Platforms, func(p int) (runner.Cell, error) {
+		key := fmt.Sprintf("fig1/%v/platform=%03d", class, p)
+		cell := runner.NewCell(cfg.Seed, key)
+		pl := core.Random(runner.RNG(cfg.Seed, key+"/platform"), class, core.GenConfig{M: cfg.M})
 		tasks := core.Bag(cfg.Tasks)
+		srpt, err := sim.Simulate(pl, schedulerFor("SRPT", cfg.Tasks), tasks)
+		if err != nil {
+			return cell, fmt.Errorf("%s: SRPT on %v: %w", key, pl, err)
+		}
 		base := map[core.Objective]float64{}
+		for _, obj := range core.Objectives {
+			base[obj] = obj.Value(srpt)
+		}
 		for _, name := range names {
-			s, err := sim.Simulate(pl, schedulerFor(name, cfg.Tasks), tasks)
-			if err != nil {
-				panic(fmt.Sprintf("experiment: %s on %v: %v", name, pl, err))
+			s := srpt
+			if name != "SRPT" {
+				if s, err = sim.Simulate(pl, schedulerFor(name, cfg.Tasks), tasks); err != nil {
+					return cell, fmt.Errorf("%s: %s on %v: %w", key, name, pl, err)
+				}
 			}
 			for _, obj := range core.Objectives {
-				v := obj.Value(s)
-				if name == "SRPT" {
-					base[obj] = v
-				}
-				acc[name][obj] = append(acc[name][obj], v/base[obj])
+				cell.Values[name+"/"+obj.String()] = obj.Value(s) / base[obj]
 			}
 		}
+		return cell, nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiment: figure 1 %v: %v", class, err))
 	}
-	res := Figure1Result{Class: class, Config: cfg, Order: names,
-		Cells: map[string]map[core.Objective]stats.Summary{}}
-	for _, n := range names {
-		res.Cells[n] = map[core.Objective]stats.Summary{}
-		for _, obj := range core.Objectives {
-			res.Cells[n][obj] = stats.Summarize(acc[n][obj])
-		}
+	raw := runner.Result{
+		Experiment: "fig1/" + class.String(),
+		Params:     cfg.params(),
+		RootSeed:   cfg.Seed,
+		Cells:      cells,
 	}
-	return res
+	raw.Summarize()
+	return Figure1Result{
+		Class:  class,
+		Config: cfg.canonical(),
+		Order:  names,
+		Cells:  summariesByScheduler(&raw, names),
+		Raw:    raw,
+	}
 }
 
 // Render formats the panel as a table plus a makespan bar chart, in the
@@ -148,6 +222,7 @@ type Figure2Result struct {
 	Perturb float64
 	Cells   map[string]map[core.Objective]stats.Summary
 	Order   []string
+	Raw     runner.Result
 }
 
 // Figure2 reproduces the robustness experiment: fully heterogeneous
@@ -161,46 +236,56 @@ type Figure2Result struct {
 // under queueing dynamics planning errors compound — which is where the
 // paper's "robust for makespan, not as much for sum-flow or max-flow"
 // contrast lives.
+//
+// Each platform replicate derives two independent streams — the platform
+// draw and the workload draw — from its shard key, so filtering
+// schedulers or changing the worker count never perturbs an instance.
 func Figure2(cfg Config) Figure2Result {
 	cfg = cfg.withDefaults()
 	const perturb = 0.1
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	names := sched.Names()
-	acc := map[string]map[core.Objective][]float64{}
-	for _, n := range names {
-		acc[n] = map[core.Objective][]float64{}
-	}
+	names := cfg.Schedulers
 	gen := core.DefaultGenConfig()
 	rate := 0.9 * float64(cfg.M) / ((gen.PMin + gen.PMax) / 2)
-	for p := 0; p < cfg.Platforms; p++ {
-		pl := core.Random(rng, core.Heterogeneous, core.GenConfig{M: cfg.M})
-		perturbed := workload.Generate(rng, workload.Config{
+	cells, err := runner.Map(cfg.Workers, cfg.Platforms, func(p int) (runner.Cell, error) {
+		key := fmt.Sprintf("fig2/platform=%03d", p)
+		cell := runner.NewCell(cfg.Seed, key)
+		pl := core.Random(runner.RNG(cfg.Seed, key+"/platform"), core.Heterogeneous, core.GenConfig{M: cfg.M})
+		perturbed := workload.Generate(runner.RNG(cfg.Seed, key+"/workload"), workload.Config{
 			N: cfg.Tasks, Pattern: workload.Poisson, Rate: rate, Perturb: perturb,
 		})
 		nominal := workload.Strip(perturbed)
 		for _, name := range names {
 			ps, err := sim.Simulate(pl, schedulerFor(name, cfg.Tasks), perturbed)
 			if err != nil {
-				panic(fmt.Sprintf("experiment: %s perturbed: %v", name, err))
+				return cell, fmt.Errorf("%s: %s perturbed: %w", key, name, err)
 			}
 			ns, err := sim.Simulate(pl, schedulerFor(name, cfg.Tasks), nominal)
 			if err != nil {
-				panic(fmt.Sprintf("experiment: %s nominal: %v", name, err))
+				return cell, fmt.Errorf("%s: %s nominal: %w", key, name, err)
 			}
 			for _, obj := range core.Objectives {
-				acc[name][obj] = append(acc[name][obj], obj.Value(ps)/obj.Value(ns))
+				cell.Values[name+"/"+obj.String()] = obj.Value(ps) / obj.Value(ns)
 			}
 		}
+		return cell, nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiment: figure 2: %v", err))
 	}
-	res := Figure2Result{Config: cfg, Perturb: perturb, Order: names,
-		Cells: map[string]map[core.Objective]stats.Summary{}}
-	for _, n := range names {
-		res.Cells[n] = map[core.Objective]stats.Summary{}
-		for _, obj := range core.Objectives {
-			res.Cells[n][obj] = stats.Summarize(acc[n][obj])
-		}
+	raw := runner.Result{
+		Experiment: "fig2",
+		Params:     cfg.params(),
+		RootSeed:   cfg.Seed,
+		Cells:      cells,
 	}
-	return res
+	raw.Summarize()
+	return Figure2Result{
+		Config:  cfg.canonical(),
+		Perturb: perturb,
+		Order:   names,
+		Cells:   summariesByScheduler(&raw, names),
+		Raw:     raw,
+	}
 }
 
 // Render formats the robustness table.
@@ -236,26 +321,35 @@ type Table1Row struct {
 	Confirmed    bool // MinRatio ≥ Bound − Slack
 }
 
-// Table1 regenerates the paper's Table 1: the exact bounds (verified in
-// internal/lowerbound) and, for each theorem, the worst competitive ratio
-// measured by playing the adversary against every registered scheduler —
-// which must confirm the bound.
-func Table1() []Table1Row {
-	var rows []Table1Row
-	for _, adv := range adversary.All() {
+// Table1 regenerates the paper's Table 1 with a GOMAXPROCS-wide pool; see
+// Table1Parallel.
+func Table1() []Table1Row { return Table1Parallel(0) }
+
+// Table1Parallel regenerates the paper's Table 1: the exact bounds
+// (verified in internal/lowerbound) and, for each theorem, the worst
+// competitive ratio measured by playing the adversary against every
+// registered scheduler — which must confirm the bound. Each theorem is
+// one shard; adversary games are deterministic (no randomness), so the
+// rows are identical for every worker count.
+func Table1Parallel(workers int) []Table1Row {
+	n := len(adversary.All())
+	rows, err := runner.Map(workers, n, func(i int) (Table1Row, error) {
+		// Fresh adversary and scheduler instances per cell: both are
+		// stateful during play and must not be shared across goroutines.
+		adv := adversary.All()[i]
 		schedulers := sched.Adversarial(adv.Platform().M())
 		minRatio := 0.0
 		minName := ""
 		for _, s := range schedulers {
 			out, err := adversary.Play(adv, s)
 			if err != nil {
-				panic(fmt.Sprintf("experiment: %s vs %s: %v", adv.Name(), s.Name(), err))
+				return Table1Row{}, fmt.Errorf("%s vs %s: %w", adv.Name(), s.Name(), err)
 			}
 			if minName == "" || out.Ratio < minRatio {
 				minRatio, minName = out.Ratio, s.Name()
 			}
 		}
-		rows = append(rows, Table1Row{
+		return Table1Row{
 			Theorem:      adv.Theorem(),
 			PlatformType: adv.Platform().Classify().String(),
 			Objective:    adv.Objective(),
@@ -265,9 +359,42 @@ func Table1() []Table1Row {
 			MinRatio:     minRatio,
 			MinScheduler: minName,
 			Confirmed:    minRatio >= adv.Bound()-adv.Slack()-1e-9,
-		})
+		}, nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiment: table 1: %v", err))
 	}
 	return rows
+}
+
+// Table1Result converts Table-1 rows into the machine-readable record
+// (one cell per theorem; adversary games take no random seed, so cell
+// seeds are derived but unused).
+func Table1Result(rows []Table1Row) runner.Result {
+	raw := runner.Result{Experiment: "table1"}
+	for _, r := range rows {
+		cell := runner.NewCell(0, fmt.Sprintf("table1/theorem=%d", r.Theorem))
+		cell.Values["bound"] = r.Bound
+		cell.Values["slack"] = r.Slack
+		cell.Values["min_ratio"] = r.MinRatio
+		cell.Values["confirmed"] = boolToFloat(r.Confirmed)
+		cell.Labels = map[string]string{
+			"platform_type":   r.PlatformType,
+			"objective":       r.Objective.String(),
+			"bound_expr":      r.BoundExpr,
+			"worst_scheduler": r.MinScheduler,
+		}
+		raw.Cells = append(raw.Cells, cell)
+	}
+	raw.Summarize()
+	return raw
+}
+
+func boolToFloat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // RenderTable1 formats the Table-1 reproduction, including the exact

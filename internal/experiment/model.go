@@ -2,10 +2,11 @@ package experiment
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/textplot"
@@ -25,49 +26,65 @@ type ModelAblationResult struct {
 	Multiport map[string]stats.Summary
 	// Speedup holds makespan(one-port)/makespan(multiport) per algorithm.
 	Speedup map[string]stats.Summary
+	Raw     runner.Result
 }
 
 // AblationModel runs the seven heuristics on the same random platforms
-// under both communication models.
+// under both communication models. One shard per random platform, as with
+// every other sweep.
 func AblationModel(class core.Class, cfg Config) ModelAblationResult {
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	names := []string{"SRPT", "LS", "RR", "RRC", "RRP", "SLJF", "SLJFWC"}
-	one := map[string][]float64{}
-	multi := map[string][]float64{}
-	speed := map[string][]float64{}
-	for p := 0; p < cfg.Platforms; p++ {
-		pl := core.Random(rng, class, core.GenConfig{M: cfg.M})
+	names := sched.Names()
+	cells, err := runner.Map(cfg.Workers, cfg.Platforms, func(p int) (runner.Cell, error) {
+		key := fmt.Sprintf("ablation/model/%v/platform=%03d", class, p)
+		cell := runner.NewCell(cfg.Seed, key)
+		pl := core.Random(runner.RNG(cfg.Seed, key+"/platform"), class, core.GenConfig{M: cfg.M})
 		tasks := core.Bag(cfg.Tasks)
 		var baseOne, baseMulti float64
 		for _, name := range names {
 			so, err := sim.Simulate(pl, schedulerFor(name, cfg.Tasks), tasks)
 			if err != nil {
-				panic(fmt.Sprintf("experiment: %s one-port: %v", name, err))
+				return cell, fmt.Errorf("%s: %s one-port: %w", key, name, err)
 			}
 			sm, err := sim.SimulateMultiport(pl, schedulerFor(name, cfg.Tasks), tasks)
 			if err != nil {
-				panic(fmt.Sprintf("experiment: %s multiport: %v", name, err))
+				return cell, fmt.Errorf("%s: %s multiport: %w", key, name, err)
 			}
 			if name == "SRPT" {
 				baseOne, baseMulti = so.Makespan(), sm.Makespan()
 			}
-			one[name] = append(one[name], so.Makespan()/baseOne)
-			multi[name] = append(multi[name], sm.Makespan()/baseMulti)
-			speed[name] = append(speed[name], so.Makespan()/sm.Makespan())
+			cell.Values[name+"/one-port"] = so.Makespan() / baseOne
+			cell.Values[name+"/multiport"] = sm.Makespan() / baseMulti
+			cell.Values[name+"/speedup"] = so.Makespan() / sm.Makespan()
 		}
+		return cell, nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiment: model ablation %v: %v", class, err))
 	}
+	// The model ablation always runs the full registry, regardless of
+	// Config.Schedulers; the record names what actually ran.
+	params := cfg.params()
+	params["schedulers"] = strings.Join(names, ",")
+	raw := runner.Result{
+		Experiment: "ablation/model/" + class.String(),
+		Params:     params,
+		RootSeed:   cfg.Seed,
+		Cells:      cells,
+	}
+	raw.Summarize()
 	res := ModelAblationResult{
 		Class:     class,
 		Order:     names,
 		OnePort:   map[string]stats.Summary{},
 		Multiport: map[string]stats.Summary{},
 		Speedup:   map[string]stats.Summary{},
+		Raw:       raw,
 	}
 	for _, n := range names {
-		res.OnePort[n] = stats.Summarize(one[n])
-		res.Multiport[n] = stats.Summarize(multi[n])
-		res.Speedup[n] = stats.Summarize(speed[n])
+		res.OnePort[n] = raw.Summaries[n+"/one-port"]
+		res.Multiport[n] = raw.Summaries[n+"/multiport"]
+		res.Speedup[n] = raw.Summaries[n+"/speedup"]
 	}
 	return res
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/optimal"
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -32,20 +33,28 @@ type RandomizedStudyResult struct {
 	// LSRatio is deterministic LS's ratio on the fixed instance (= the
 	// bound, by Theorem 1's construction).
 	LSRatio float64
+	Raw     runner.Result
 }
 
-// RandomizedStudy plays RandomizedLS (relative slack on the predicted
-// finish, then a uniform choice among near-best slaves) over the given
-// number of seeds, both against the fixed Theorem-1 worst-case instance
-// and against the adaptive adversary.
+// RandomizedStudy runs RandomizedStudyParallel with a GOMAXPROCS-wide
+// pool; results are identical for every worker count.
 func RandomizedStudy(seeds int, slack float64) RandomizedStudyResult {
+	return RandomizedStudyParallel(seeds, slack, 0)
+}
+
+// RandomizedStudyParallel plays RandomizedLS (relative slack on the
+// predicted finish, then a uniform choice among near-best slaves) over the
+// given number of seeds, both against the fixed Theorem-1 worst-case
+// instance and against the adaptive adversary. Each seed is one shard;
+// RandomizedLS takes its coin-flip seed explicitly, so the study is
+// already per-cell seeded and parallelizes without a shared stream.
+func RandomizedStudyParallel(seeds int, slack float64, workers int) RandomizedStudyResult {
 	if seeds <= 0 {
 		seeds = 200
 	}
-	adv := adversary.NewTheorem1()
-	pl := adv.Platform()
 	// The fixed instance is the deepest adversary branch: releases at
 	// 0, c, 2c.
+	pl := adversary.NewTheorem1().Platform()
 	tasks := core.ReleasesAt(0, 1, 2)
 	inst := core.NewInstance(pl, tasks)
 	opt := optimal.Solve(inst, core.Makespan).Value
@@ -55,28 +64,42 @@ func RandomizedStudy(seeds int, slack float64) RandomizedStudyResult {
 		panic(fmt.Sprintf("experiment: %v", err))
 	}
 
-	oblivious := make([]float64, 0, seeds)
-	adaptive := make([]float64, 0, seeds)
-	for seed := 1; seed <= seeds; seed++ {
+	cells, err := runner.Map(workers, seeds, func(i int) (runner.Cell, error) {
+		seed := i + 1
+		key := fmt.Sprintf("randomized/seed=%04d", seed)
+		// RandomizedLS takes its coin seed directly, so the cell records
+		// that seed rather than a derived one.
+		cell := runner.Cell{Key: key, Seed: int64(seed), Values: map[string]float64{}}
 		s, err := sim.Simulate(pl, sched.NewRandomizedLS(slack, uint64(seed)), tasks)
 		if err != nil {
-			panic(fmt.Sprintf("experiment: oblivious seed %d: %v", seed, err))
+			return cell, fmt.Errorf("%s: oblivious: %w", key, err)
 		}
-		oblivious = append(oblivious, s.Makespan()/opt)
-
-		out, err := adversary.Play(adv, sched.NewRandomizedLS(slack, uint64(seed)))
+		cell.Values["oblivious"] = s.Makespan() / opt
+		// A fresh adversary per cell: the game mutates adversary state.
+		out, err := adversary.Play(adversary.NewTheorem1(), sched.NewRandomizedLS(slack, uint64(seed)))
 		if err != nil {
-			panic(fmt.Sprintf("experiment: adaptive seed %d: %v", seed, err))
+			return cell, fmt.Errorf("%s: adaptive: %w", key, err)
 		}
-		adaptive = append(adaptive, out.Ratio)
+		cell.Values["adaptive"] = out.Ratio
+		return cell, nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiment: randomized study: %v", err))
 	}
+	raw := runner.Result{
+		Experiment: "randomized",
+		Params:     map[string]any{"seeds": seeds, "slack": slack},
+		Cells:      cells,
+	}
+	raw.Summarize()
 	return RandomizedStudyResult{
 		Seeds:              seeds,
 		Slack:              slack,
-		DeterministicBound: adv.Bound(),
-		Oblivious:          stats.Summarize(oblivious),
-		Adaptive:           stats.Summarize(adaptive),
+		DeterministicBound: adversary.NewTheorem1().Bound(),
+		Oblivious:          raw.Summaries["oblivious"],
+		Adaptive:           raw.Summaries["adaptive"],
 		LSRatio:            lsSchedule.Makespan() / opt,
+		Raw:                raw,
 	}
 }
 

@@ -1,0 +1,128 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Cell is the machine-readable record of one shard: its key, the seed the
+// runner derived for it, scalar measurements keyed by "coordinate/metric"
+// strings (e.g. "LS/makespan"), and optional string-valued labels (e.g.
+// Table 1's worst scheduler).
+type Cell struct {
+	Key    string             `json:"key"`
+	Seed   int64              `json:"seed"`
+	Values map[string]float64 `json:"values"`
+	Labels map[string]string  `json:"labels,omitempty"`
+}
+
+// NewCell builds a Cell for a shard key under the given root seed, with
+// the seed filled in by the canonical derivation.
+func NewCell(root int64, key string) Cell {
+	return Cell{Key: key, Seed: Seed(root, key), Values: map[string]float64{}}
+}
+
+// Meta records execution facts that are deliberately OUTSIDE the
+// determinism contract: how many workers ran and how long the wall clock
+// took. Everything in a Result except Meta is bit-identical across worker
+// counts; comparisons must go through Canonical.
+type Meta struct {
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// Result is the machine-readable outcome of one experiment sweep: the
+// experiment's name, its parameters, the root seed, every cell, and
+// summary statistics aggregated over cells per value key.
+type Result struct {
+	Experiment string                   `json:"experiment"`
+	Params     map[string]any           `json:"params,omitempty"`
+	RootSeed   int64                    `json:"root_seed"`
+	Cells      []Cell                   `json:"cells"`
+	Summaries  map[string]stats.Summary `json:"summaries,omitempty"`
+	Meta       *Meta                    `json:"meta,omitempty"`
+}
+
+// Canonical returns a copy with Meta stripped: the part of the Result
+// that is guaranteed identical for every worker count. Determinism tests
+// and cross-run comparisons operate on Canonical results.
+func (r Result) Canonical() Result {
+	r.Meta = nil
+	return r
+}
+
+// Summarize fills Summaries with a stats.Summary per value key, over all
+// cells carrying that key. It returns the receiver for chaining.
+func (r *Result) Summarize() *Result {
+	acc := map[string][]float64{}
+	for _, c := range r.Cells {
+		for k, v := range c.Values {
+			acc[k] = append(acc[k], v)
+		}
+	}
+	r.Summaries = make(map[string]stats.Summary, len(acc))
+	for k, xs := range acc {
+		r.Summaries[k] = stats.Summarize(xs)
+	}
+	return r
+}
+
+// ValueKeys returns the sorted union of value keys across cells.
+func (r Result) ValueKeys() []string {
+	set := map[string]bool{}
+	for _, c := range r.Cells {
+		for k := range c.Values {
+			set[k] = true
+		}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Report is the envelope cmd/paperbench writes with -json: every artifact
+// the run produced, in run order.
+type Report struct {
+	RootSeed int64    `json:"root_seed"`
+	Results  []Result `json:"results"`
+	Meta     *Meta    `json:"meta,omitempty"`
+}
+
+// Canonical strips Meta at every level, leaving only worker-count-
+// independent content.
+func (rep Report) Canonical() Report {
+	rep.Meta = nil
+	out := make([]Result, len(rep.Results))
+	for i, r := range rep.Results {
+		out[i] = r.Canonical()
+	}
+	rep.Results = out
+	return rep
+}
+
+// EncodeJSON renders v as indented JSON with a trailing newline. Map keys
+// are emitted sorted (encoding/json's contract), so canonical content
+// marshals to identical bytes across runs and worker counts.
+func EncodeJSON(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("runner: encode: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteJSON writes v as indented JSON to path.
+func WriteJSON(path string, v any) error {
+	b, err := EncodeJSON(v)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

@@ -1,0 +1,117 @@
+// Package runner is the deterministic parallel experiment engine behind
+// internal/experiment and the CLIs. It solves the one problem every sweep
+// in this repository shares: fanning (class × scheduler × platform-
+// replicate) cells out over a worker pool without the worker count or the
+// goroutine schedule ever changing a result.
+//
+// The contract (DESIGN.md §5) has two halves:
+//
+//   - Seeding. No cell ever reads from a shared random stream. Each cell
+//     derives its own rand.Source from Seed(rootSeed, shardKey), where the
+//     shard key is a stable string such as "fig1/heterogeneous/platform=003".
+//     Two consequences: cells are order-independent (a cell's draws do not
+//     depend on which cells ran before it), and sweeps are filter-stable
+//     (running a subset of schedulers or classes reproduces exactly the
+//     cells the full sweep would have produced for those coordinates).
+//
+//   - Execution. Map runs one function per index over a bounded pool and
+//     writes results into a slice by index. Workers only race on the
+//     work-queue counter; outputs land in distinct elements, so the result
+//     is a pure function of (rootSeed, cell definitions) and bit-identical
+//     for 1, 4, or GOMAXPROCS workers.
+package runner
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Seed derives a cell seed from the experiment's root seed and the cell's
+// shard key, via FNV-1a over the root's little-endian bytes followed by
+// the key bytes. The derivation is part of the repository's reproducibility
+// contract: changing it invalidates every recorded JSON artifact, so it is
+// pinned by golden constants in seed_test.go (TestSeedGolden).
+func Seed(root int64, key string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(root))
+	h.Write(b[:])
+	h.Write([]byte(key))
+	return int64(h.Sum64())
+}
+
+// RNG returns a fresh generator seeded with Seed(root, key). Every cell
+// (and every independent concern inside a cell — platform draw, workload
+// draw) gets its own RNG under its own sub-key, never a shared stream.
+func RNG(root int64, key string) *rand.Rand {
+	return rand.New(rand.NewSource(Seed(root, key)))
+}
+
+// Workers normalizes a worker-count knob: values ≤ 0 select
+// runtime.GOMAXPROCS(0), anything else is used as given.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map evaluates fn(0..n-1) over a pool of workers and returns the results
+// in index order. The output is identical for every worker count: each
+// index writes only its own slot, and fn is expected to derive any
+// randomness from Seed/RNG rather than shared state.
+//
+// A panic inside fn is recovered and reported as that index's error, so a
+// failing cell in a 10 000-cell sweep surfaces as a diagnosable error
+// instead of killing the process from a worker goroutine. All errors are
+// joined; results at error indices are zero values.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = protect(fn, i)
+		}
+		return out, errors.Join(errs...)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = protect(fn, i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out, errors.Join(errs...)
+}
+
+func protect[T any](fn func(int) (T, error), i int) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: cell %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return fn(i)
+}

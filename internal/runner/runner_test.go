@@ -1,0 +1,205 @@
+package runner
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSeedStability pins the seed derivation. These constants are part of
+// the reproducibility contract: recorded JSON artifacts embed per-cell
+// seeds, so the derivation must never drift silently.
+func TestSeedStability(t *testing.T) {
+	got := Seed(2006, "fig1/heterogeneous/platform=000")
+	if got2 := Seed(2006, "fig1/heterogeneous/platform=000"); got != got2 {
+		t.Fatalf("Seed not deterministic: %d vs %d", got, got2)
+	}
+	// Distinct keys and distinct roots must decorrelate.
+	seen := map[int64]string{}
+	for root := int64(0); root < 4; root++ {
+		for i := 0; i < 64; i++ {
+			key := fmt.Sprintf("exp/cell=%03d", i)
+			s := Seed(root, key)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: root=%d %s vs %s", root, key, prev)
+			}
+			seen[s] = fmt.Sprintf("root=%d %s", root, key)
+		}
+	}
+}
+
+// TestRNGIndependence verifies that two cells' generators produce streams
+// independent of evaluation order — the property the whole parallel
+// determinism story rests on.
+func TestRNGIndependence(t *testing.T) {
+	draw := func(key string) []float64 {
+		rng := RNG(7, key)
+		out := make([]float64, 5)
+		for i := range out {
+			out[i] = rng.Float64()
+		}
+		return out
+	}
+	a1 := draw("cell/a")
+	_ = draw("cell/b") // interleave another cell
+	a2 := draw("cell/a")
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatalf("cell/a stream changed after drawing cell/b: %v vs %v", a1, a2)
+	}
+}
+
+// TestMapDeterminism runs the same seeded workload with 1, 4 and
+// GOMAXPROCS workers and requires bit-identical outputs.
+func TestMapDeterminism(t *testing.T) {
+	const n = 64
+	work := func(i int) ([]float64, error) {
+		rng := RNG(42, fmt.Sprintf("det/cell=%03d", i))
+		out := make([]float64, 32)
+		for k := range out {
+			out[k] = rng.NormFloat64()
+		}
+		return out, nil
+	}
+	ref, err := Map(1, n, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		got, err := Map(workers, n, work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("workers=%d diverged from serial", workers)
+		}
+	}
+}
+
+// TestMapOrderAndCoverage checks each index runs exactly once and results
+// land at their own index.
+func TestMapOrderAndCoverage(t *testing.T) {
+	const n = 100
+	var calls atomic.Int64
+	got, err := Map(8, n, func(i int) (int, error) {
+		calls.Add(1)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != n {
+		t.Fatalf("fn called %d times, want %d", calls.Load(), n)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("index %d got %d", i, v)
+		}
+	}
+}
+
+// TestMapErrorsAndPanics: errors are joined and panics are converted into
+// errors naming the failing cell instead of killing the process.
+func TestMapErrorsAndPanics(t *testing.T) {
+	_, err := Map(4, 10, func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, fmt.Errorf("cell three failed")
+		case 7:
+			panic("cell seven exploded")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	for _, want := range []string{"cell three failed", "cell 7 panicked", "cell seven exploded"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error missing %q:\n%v", want, err)
+		}
+	}
+}
+
+// TestMapEmptyAndOversized covers the edges: zero cells and more workers
+// than cells.
+func TestMapEmptyAndOversized(t *testing.T) {
+	if got, err := Map(4, 0, func(int) (int, error) { return 1, nil }); err != nil || len(got) != 0 {
+		t.Fatalf("empty map: %v %v", got, err)
+	}
+	got, err := Map(64, 3, func(i int) (int, error) { return i, nil })
+	if err != nil || !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("oversized pool: %v %v", got, err)
+	}
+}
+
+// TestResultCanonicalJSON: two results that differ only in Meta encode to
+// identical canonical JSON.
+func TestResultCanonicalJSON(t *testing.T) {
+	build := func(workers int, wall float64) Result {
+		r := Result{
+			Experiment: "unit",
+			Params:     map[string]any{"tasks": 10},
+			RootSeed:   5,
+			Meta:       &Meta{Workers: workers, WallSeconds: wall},
+		}
+		for i := 0; i < 3; i++ {
+			c := NewCell(5, fmt.Sprintf("unit/cell=%d", i))
+			c.Values["LS/makespan"] = float64(i) + 0.5
+			r.Cells = append(r.Cells, c)
+		}
+		r.Summarize()
+		return r
+	}
+	a, err := EncodeJSON(build(1, 0.9).Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeJSON(build(16, 0.1).Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("canonical JSON differs:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(string(a), `"LS/makespan"`) {
+		t.Errorf("JSON missing value key:\n%s", a)
+	}
+	full, err := EncodeJSON(build(16, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(full), `"workers": 16`) {
+		t.Errorf("full JSON missing meta:\n%s", full)
+	}
+}
+
+// TestSummarize aggregates per-key across cells.
+func TestSummarize(t *testing.T) {
+	r := Result{RootSeed: 1}
+	for i, v := range []float64{1, 2, 3} {
+		c := NewCell(1, fmt.Sprintf("s/cell=%d", i))
+		c.Values["x"] = v
+		r.Cells = append(r.Cells, c)
+	}
+	r.Summarize()
+	if s := r.Summaries["x"]; s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if keys := r.ValueKeys(); !reflect.DeepEqual(keys, []string{"x"}) {
+		t.Fatalf("keys %v", keys)
+	}
+}
+
+// BenchmarkMapOverhead measures the pool's fixed cost per cell against
+// trivially small work units.
+func BenchmarkMapOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = Map(0, 256, func(i int) (float64, error) {
+			rng := rand.New(rand.NewSource(int64(i)))
+			return rng.Float64(), nil
+		})
+	}
+}

@@ -1,0 +1,30 @@
+package runner
+
+import "testing"
+
+// TestSeedGolden pins the seed derivation to recorded constants. These
+// values are embedded in every JSON artifact this repository has ever
+// written (each cell records its derived seed), so any change to Seed —
+// byte order, hash variant, key framing — must fail here loudly rather
+// than silently invalidating recorded results. If you change the
+// derivation deliberately, bump these constants and call the change out
+// as breaking in CHANGES.md.
+func TestSeedGolden(t *testing.T) {
+	golden := []struct {
+		root int64
+		key  string
+		want int64
+	}{
+		{2006, "fig1/heterogeneous/platform=000", -4261875309688946958},
+		{2006, "fig2/platform=009", -4374989750899345826},
+		{0, "", -6284781860667377211},
+		{-1, "msched/replicate=0001", -7076024478334618563},
+		{11, "ablation/RR-cap/platform=004/workload", -7059355115454739115},
+	}
+	for _, g := range golden {
+		if got := Seed(g.root, g.key); got != g.want {
+			t.Errorf("Seed(%d, %q) = %d, want %d — the derivation drifted; this breaks every recorded artifact",
+				g.root, g.key, got, g.want)
+		}
+	}
+}

@@ -13,6 +13,7 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -45,6 +46,18 @@ func New(name string) sim.Scheduler {
 // order (Section 4.1, Figures 1 and 2).
 func Names() []string {
 	return []string{"SRPT", "LS", "RR", "RRC", "RRP", "SLJF", "SLJFWC"}
+}
+
+// Validate reports whether name is a registered paper algorithm, with a
+// descriptive error for CLI and config surfaces (New panics instead,
+// being reserved for trusted experiment code).
+func Validate(name string) error {
+	for _, n := range Names() {
+		if n == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown scheduler %q; valid: %s", name, strings.Join(Names(), ", "))
 }
 
 // All instantiates the seven paper algorithms in presentation order.

@@ -13,8 +13,8 @@
 //	s, err := masterslave.Run("LS", pl, masterslave.Bag(1000))
 //	fmt.Println(s.Makespan(), s.SumFlow())
 //
-// See DESIGN.md for the architecture and EXPERIMENTS.md for the
-// paper-versus-measured record of every table and figure.
+// See DESIGN.md for the architecture and README.md for the quickstart
+// and the map from figures and tables to paper sections.
 package masterslave
 
 import (
