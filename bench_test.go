@@ -116,6 +116,25 @@ func BenchmarkFigure2(b *testing.B) {
 	b.ReportMetric(sf/n, "sumflow-ratio")
 }
 
+// BenchmarkScenarioStudy runs the dynamic-platform sweep (DESIGN.md §8)
+// at reduced scale and reports the worst mean makespan degradation over
+// every scheduler × group — how much the hardest scenario costs.
+func BenchmarkScenarioStudy(b *testing.B) {
+	var r experiment.ScenarioStudyResult
+	for i := 0; i < b.N; i++ {
+		r = experiment.ScenarioStudy(benchCfg)
+	}
+	worst := 0.0
+	for _, group := range r.Groups {
+		for _, name := range r.Order {
+			if v := group[name+"/makespan-degradation"].Mean; v > worst {
+				worst = v
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-makespan-degradation")
+}
+
 // BenchmarkAblationRRCap sweeps the Round-Robin outstanding cap
 // (DESIGN.md X1).
 func BenchmarkAblationRRCap(b *testing.B) {

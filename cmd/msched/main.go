@@ -15,6 +15,14 @@
 //	msched -algo SLJF -c 1,1 -p 3,7 -releases 0,1,2 -opt
 //	msched -algo RRC -class comp-homogeneous -n 500 -arrival poisson -rate 2
 //	msched -algo LS -class heterogeneous -n 200 -repeat 64 -parallel 8 -json out.json
+//
+// With -scenario the platform becomes dynamic: a generated event timeline
+// (slave failures, speed drift, or a flash crowd — seeded like everything
+// else) runs against the fail-safe-wrapped algorithm, destroyed work is
+// re-dispatched, and the metrics are failure-time objectives:
+//
+//	msched -algo LS -class heterogeneous -n 200 -scenario failures -intensity 1.5
+//	msched -algo SRPT -class comp-homogeneous -n 200 -scenario drift -repeat 32 -json out.json
 package main
 
 import (
@@ -26,8 +34,10 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/experiment"
 	"repro/internal/optimal"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -40,7 +50,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("msched: ")
 
-	algo := flag.String("algo", "LS", "algorithm: "+strings.Join(sched.Names(), ", "))
+	algo := flag.String("algo", "LS", "algorithm: "+strings.Join(sched.Names(), ", ")+", SO-LS")
 	class := flag.String("class", "heterogeneous", "random platform class: homogeneous, comm-homogeneous, comp-homogeneous, heterogeneous")
 	m := flag.Int("m", 5, "number of slaves for random platforms")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -57,14 +67,33 @@ func main() {
 	repeat := flag.Int("repeat", 1, "number of independently seeded replicates (>1 switches to the sweep mode)")
 	parallel := flag.Int("parallel", 0, "worker-pool size for -repeat; 0 = GOMAXPROCS (results are identical for every value)")
 	jsonOut := flag.String("json", "", "with -repeat: write the machine-readable replicate record to this file")
+	scenarioKind := flag.String("scenario", "", "dynamic-platform scenario: "+strings.Join(experiment.ScenarioKinds, ", ")+" (empty = static platform)")
+	intensity := flag.Float64("intensity", 1, "scenario event density (1 ≈ one failure per slave / ±40% drift / platform-sized crowd)")
 	flag.Parse()
 
+	if err := validateAlgo(*algo); err != nil {
+		log.Fatal(err)
+	}
+	if err := validateScenarioKind(*scenarioKind); err != nil {
+		log.Fatal(err)
+	}
+	if *scenarioKind != "" {
+		if *gantt || *stat || *opt {
+			log.Fatal("-gantt, -stats and -opt describe a static run; drop them or drop -scenario")
+		}
+		if *intensity <= 0 {
+			log.Fatalf("-intensity %v must be positive", *intensity)
+		}
+		if *releases == "" && *n <= 0 {
+			log.Fatal("-scenario needs a non-empty workload")
+		}
+	}
 	if *repeat > 1 {
 		if *gantt || *stat || *opt {
 			log.Fatal("-gantt, -stats and -opt describe a single run; drop them or drop -repeat")
 		}
 		if err := runReplicates(*repeat, *parallel, *jsonOut, *algo, *cFlag, *pFlag, *class,
-			*m, *seed, *releases, *n, *arrival, *rate, *perturb); err != nil {
+			*m, *seed, *releases, *n, *arrival, *rate, *perturb, *scenarioKind, *intensity); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -78,6 +107,13 @@ func main() {
 	tasks, err := buildTasks(*releases, *n, *arrival, *rate, *perturb, rng)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *scenarioKind != "" {
+		if err := runScenario(*scenarioKind, *intensity, *algo, *seed, *arrival, pl, tasks); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	scheduler := sched.New(*algo)
@@ -112,15 +148,82 @@ func main() {
 	}
 }
 
+// validateAlgo accepts the paper registry plus the speed-oblivious
+// extension (which sched.Validate deliberately keeps out of the figure
+// sweeps' registry).
+func validateAlgo(name string) error {
+	if name == "SO-LS" {
+		return nil
+	}
+	return sched.Validate(name)
+}
+
+// validateScenarioKind rejects unknown -scenario values up front.
+func validateScenarioKind(kind string) error {
+	if kind == "" {
+		return nil
+	}
+	for _, k := range experiment.ScenarioKinds {
+		if k == kind {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown scenario %q; valid: %s", kind, strings.Join(experiment.ScenarioKinds, ", "))
+}
+
+// generateScenario draws the dynamic-platform timeline for one instance:
+// the horizon is the algorithm's own static makespan on the identical
+// instance, so event density is calibrated to the run, and the static
+// schedule doubles as the degradation baseline.
+func generateScenario(kind string, intensity float64, algo string, rng *rand.Rand,
+	pl core.Platform, tasks []core.Task) (scenario.Scenario, core.Schedule, error) {
+	static, err := sim.Simulate(pl, sched.New(algo), tasks)
+	if err != nil {
+		return scenario.Scenario{}, core.Schedule{}, fmt.Errorf("static baseline: %w", err)
+	}
+	return experiment.BuildScenario(kind, rng, pl, static.Makespan(), intensity), static, nil
+}
+
+// runScenario is the single-run -scenario path: one generated timeline,
+// the fail-safe-wrapped algorithm, failure-time metrics and the
+// degradation against the static baseline.
+func runScenario(kind string, intensity float64, algo string, seed int64, arrival string,
+	pl core.Platform, tasks []core.Task) error {
+	sc, static, err := generateScenario(kind, intensity, algo, runner.RNG(seed, "msched/scenario"), pl, tasks)
+	if err != nil {
+		return err
+	}
+	out, err := scenario.Run(pl, sched.FailSafe(sched.New(algo)), tasks, sc)
+	if err != nil {
+		return err
+	}
+	kinds := make([]string, 0, 4)
+	for _, k := range sc.Kinds() {
+		kinds = append(kinds, k.String())
+	}
+	fmt.Printf("platform: %v (%v)\n", pl, pl.Classify())
+	fmt.Printf("workload: %d tasks, %s arrivals\n", len(tasks), arrival)
+	fmt.Printf("scenario: %s — %d events (%s), final m=%d\n",
+		sc.Name, out.EventsApplied, strings.Join(kinds, ", "), out.FinalM)
+	fmt.Printf("algorithm: %s (fail-safe wrapped)\n\n", algo)
+	fmt.Printf("makespan: %.4f (static %.4f, degradation %.3f)\n",
+		out.Schedule.Makespan(), static.Makespan(), out.Schedule.Makespan()/static.Makespan())
+	fmt.Printf("max-flow: %.4f (static %.4f)\n", out.Schedule.MaxFlow(), static.MaxFlow())
+	fmt.Printf("sum-flow: %.4f (static %.4f)\n", out.Schedule.SumFlow(), static.SumFlow())
+	fmt.Printf("re-dispatch: %d attempts lost to failures, %d re-released\n", out.Lost, out.Redispatched)
+	return nil
+}
+
 // runReplicates is the -repeat path: one shard per replicate, each with
 // its own platform and workload streams derived from the root seed, fanned
 // out over the runner's worker pool.
 func runReplicates(repeat, parallel int, jsonOut, algo, cFlag, pFlag, class string,
-	m int, seed int64, releases string, n int, arrival string, rate, perturb float64) error {
+	m int, seed int64, releases string, n int, arrival string, rate, perturb float64,
+	scenarioKind string, intensity float64) error {
 	// Validate every static argument once, before fanning out: otherwise
 	// runner.Map reports the same bad -class or -arrival once per
 	// replicate.
-	if err := sched.Validate(algo); err != nil {
+	if err := validateAlgo(algo); err != nil {
 		return err
 	}
 	probe := runner.RNG(seed, "msched/validate")
@@ -141,6 +244,24 @@ func runReplicates(repeat, parallel int, jsonOut, algo, cFlag, pFlag, class stri
 		if err != nil {
 			return cell, err
 		}
+		if scenarioKind != "" {
+			sc, static, err := generateScenario(scenarioKind, intensity, algo,
+				runner.RNG(seed, key+"/scenario"), pl, tasks)
+			if err != nil {
+				return cell, fmt.Errorf("%s: %w", key, err)
+			}
+			out, err := scenario.Run(pl, sched.FailSafe(sched.New(algo)), tasks, sc)
+			if err != nil {
+				return cell, fmt.Errorf("%s: %w", key, err)
+			}
+			cell.Values["makespan"] = out.Schedule.Makespan()
+			cell.Values["max-flow"] = out.Schedule.MaxFlow()
+			cell.Values["sum-flow"] = out.Schedule.SumFlow()
+			cell.Values["makespan-degradation"] = out.Schedule.Makespan() / static.Makespan()
+			cell.Values["lost"] = float64(out.Lost)
+			cell.Values["redispatched"] = float64(out.Redispatched)
+			return cell, nil
+		}
 		s, err := sim.Simulate(pl, sched.New(algo), tasks)
 		if err != nil {
 			return cell, fmt.Errorf("%s: %w", key, err)
@@ -156,6 +277,10 @@ func runReplicates(repeat, parallel int, jsonOut, algo, cFlag, pFlag, class stri
 	params := map[string]any{
 		"algo": algo, "m": m, "n": n,
 		"arrival": arrival, "rate": rate, "perturb": perturb,
+	}
+	if scenarioKind != "" {
+		params["scenario"] = scenarioKind
+		params["intensity"] = intensity
 	}
 	// Record the platform the replicates actually used: the explicit
 	// -c/-p vectors (and -releases) override the random class.
@@ -180,8 +305,16 @@ func runReplicates(repeat, parallel int, jsonOut, algo, cFlag, pFlag, class stri
 		platformDesc = "fixed platform c=[" + cFlag + "] p=[" + pFlag + "]"
 	}
 	fmt.Printf("algorithm: %s\n", algo)
-	fmt.Printf("replicates: %d (%s, %s arrivals)\n\n", repeat, platformDesc, arrival)
-	for _, metric := range []string{"makespan", "max-flow", "sum-flow"} {
+	fmt.Printf("replicates: %d (%s, %s arrivals)\n", repeat, platformDesc, arrival)
+	if scenarioKind != "" {
+		fmt.Printf("scenario: %s at intensity %g (fail-safe wrapped)\n", scenarioKind, intensity)
+	}
+	fmt.Println()
+	metrics := []string{"makespan", "max-flow", "sum-flow"}
+	if scenarioKind != "" {
+		metrics = append(metrics, "makespan-degradation", "lost")
+	}
+	for _, metric := range metrics {
 		printSummary(metric, res.Summaries[metric])
 	}
 	if jsonOut != "" {

@@ -1,7 +1,8 @@
 // Command paperbench regenerates the paper's evaluation artifacts at full
 // scale: Table 1 (exact bounds, adversary confirmation, exact proof
 // verification), the four panels of Figure 1, the Figure 2 robustness
-// study, and the ablation studies from DESIGN.md.
+// study, the dynamic-platform scenario study, and the ablation studies
+// from DESIGN.md.
 //
 // Sweeps run on the deterministic worker pool in internal/runner: results
 // are bit-identical for every -parallel value (only the "meta" stanza of
@@ -11,16 +12,27 @@
 //
 //	paperbench                          # everything at paper scale
 //	paperbench -experiment fig1b        # one artifact
+//	paperbench -experiment scenario     # the dynamic-platform study
 //	paperbench -platforms 4 -tasks 200  # reduced scale
 //	paperbench -parallel 8 -json out.json
 //	paperbench -classes heterogeneous,comp-homogeneous -schedulers LS,SLJFWC
+//
+// With -bench-json the command instead times the repository's headline
+// sweeps (the Figure-1 serial and parallel benchmarks and the scenario
+// study) via testing.Benchmark and writes a machine-readable perf
+// artifact (ns/op per benchmark), so CI can track the performance
+// trajectory across PRs:
+//
+//	paperbench -bench-json BENCH_PR2.json -platforms 4 -tasks 300
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
+	"testing"
 	"time"
 
 	"repro/internal/core"
@@ -34,7 +46,7 @@ func main() {
 	log.SetPrefix("paperbench: ")
 
 	which := flag.String("experiment", "all",
-		"artifact: table1, fig1a, fig1b, fig1c, fig1d, fig2, ablation-rr, ablation-horizon, ablation-arrivals, ablation-model, randomized, all")
+		"artifact: table1, fig1a, fig1b, fig1c, fig1d, fig2, scenario, ablation-rr, ablation-horizon, ablation-arrivals, ablation-model, randomized, all")
 	platforms := flag.Int("platforms", 10, "random platforms per figure (paper: 10)")
 	tasks := flag.Int("tasks", 1000, "tasks per run (paper: 1000)")
 	m := flag.Int("m", 5, "slaves per platform (paper: 5)")
@@ -43,6 +55,7 @@ func main() {
 	jsonOut := flag.String("json", "", "write a machine-readable report of every artifact to this file")
 	classesFlag := flag.String("classes", "", "comma-separated platform-class filter for the class-parameterized artifacts (default: all four)")
 	schedulersFlag := flag.String("schedulers", "", "comma-separated scheduler filter for the figure sweeps (default: the full registry)")
+	benchJSON := flag.String("bench-json", "", "time the headline sweeps instead and write the ns/op perf artifact to this file")
 	flag.Parse()
 
 	classes, err := parseClasses(*classesFlag)
@@ -59,6 +72,13 @@ func main() {
 		Seed:       *seed,
 		Workers:    *parallel,
 		Schedulers: splitList(*schedulersFlag),
+	}
+
+	if *benchJSON != "" {
+		if err := writeBenchArtifact(*benchJSON, cfg); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	type artifact struct {
@@ -88,6 +108,21 @@ func main() {
 		{"fig1d", classPtr(core.Heterogeneous), fig1(core.Heterogeneous)},
 		{"fig2", nil, func() []runner.Result {
 			r := experiment.Figure2(cfg)
+			fmt.Println(r.Render())
+			return []runner.Result{r.Raw}
+		}},
+		{"scenario", nil, func() []runner.Result {
+			var selected []core.Class
+			for _, class := range experiment.ScenarioClasses {
+				if classes[class] {
+					selected = append(selected, class)
+				}
+			}
+			if len(selected) == 0 {
+				fmt.Println("(skipped: every platform class of this artifact is excluded by -classes)")
+				return nil
+			}
+			r := experiment.ScenarioStudyOver(selected, cfg)
 			fmt.Println(r.Render())
 			return []runner.Result{r.Raw}
 		}},
@@ -192,6 +227,76 @@ func main() {
 		log.Printf("wrote %d result(s) to %s (workers=%d, wall=%.2fs; everything outside \"meta\" is worker-count independent)",
 			len(report.Results), *jsonOut, report.Meta.Workers, report.Meta.WallSeconds)
 	}
+}
+
+// BenchEntry is one timed sweep in the perf artifact.
+type BenchEntry struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+// BenchArtifact is the machine-readable perf record CI uploads
+// (BENCH_PR2.json): wall-clock costs of the headline sweeps at the
+// configured scale, plus enough environment to compare runs honestly.
+// Unlike the result reports, ns/op is inherently machine-dependent — the
+// artifact tracks the trajectory, it is not part of the determinism
+// contract.
+type BenchArtifact struct {
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Platforms  int          `json:"platforms"`
+	Tasks      int          `json:"tasks"`
+	M          int          `json:"m"`
+	Benchmarks []BenchEntry `json:"benchmarks"`
+}
+
+// writeBenchArtifact times the Figure-1 sweep on a one-worker pool and a
+// GOMAXPROCS-wide pool (the serial/parallel scaling headline) and the
+// scenario study, via testing.Benchmark, and writes the artifact.
+func writeBenchArtifact(path string, cfg experiment.Config) error {
+	serial := cfg
+	serial.Workers = 1
+	wide := cfg
+	wide.Workers = 0
+	benches := []struct {
+		name string
+		fn   func()
+	}{
+		{"Figure1Serial", func() { experiment.Figure1(core.Heterogeneous, serial) }},
+		{"Figure1Parallel", func() { experiment.Figure1(core.Heterogeneous, wide) }},
+		{"ScenarioStudy", func() { experiment.ScenarioStudy(wide) }},
+	}
+	art := BenchArtifact{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Platforms:  cfg.Platforms,
+		Tasks:      cfg.Tasks,
+		M:          cfg.M,
+	}
+	for _, bench := range benches {
+		fn := bench.fn
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fn()
+			}
+		})
+		art.Benchmarks = append(art.Benchmarks, BenchEntry{
+			Name:       bench.name,
+			Iterations: res.N,
+			NsPerOp:    float64(res.NsPerOp()),
+		})
+		log.Printf("bench %s: %d iterations, %.0f ns/op", bench.name, res.N, float64(res.NsPerOp()))
+	}
+	if err := runner.WriteJSON(path, art); err != nil {
+		return err
+	}
+	log.Printf("wrote perf artifact to %s", path)
+	return nil
 }
 
 // validateSchedulers rejects unknown names up front, so a typo yields a

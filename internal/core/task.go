@@ -88,6 +88,10 @@ type Record struct {
 	Arrive    float64 // send complete, task queued at slave
 	Start     float64 // slave begins computing
 	Complete  float64 // C_i
+	// Lost marks an attempt destroyed by a slave failure on a dynamic
+	// platform (internal/scenario); its later fields stop at the failure.
+	// Static schedules never set it.
+	Lost bool
 }
 
 // Flow returns the task's response time C_i − r_i.

@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// scenarioTestCfg keeps the study cheap: 2 platforms × 3 slaves × 60
+// tasks still exercises every kind × class × intensity group.
+var scenarioTestCfg = Config{Platforms: 2, Tasks: 60, M: 3, Seed: 11}
+
+func TestScenarioStudyShape(t *testing.T) {
+	r := ScenarioStudy(scenarioTestCfg)
+	wantCells := len(r.Classes) * len(r.Kinds) * len(r.Intensities) * scenarioTestCfg.Platforms
+	if len(r.Raw.Cells) != wantCells {
+		t.Fatalf("%d cells, want %d", len(r.Raw.Cells), wantCells)
+	}
+	if len(r.Classes) < 2 || len(r.Kinds) < 3 {
+		t.Fatalf("study covers %d classes and %d kinds, want ≥2 and ≥3", len(r.Classes), len(r.Kinds))
+	}
+	if len(r.Order) != 8 { // the paper's seven + SO-LS
+		t.Fatalf("order %v", r.Order)
+	}
+	for _, kind := range r.Kinds {
+		for _, class := range r.Classes {
+			for _, intensity := range r.Intensities {
+				g := r.Groups[GroupKey(class, kind, intensity)]
+				if g == nil {
+					t.Fatalf("missing group %s", GroupKey(class, kind, intensity))
+				}
+				for _, name := range r.Order {
+					s, ok := g[name+"/makespan-degradation"]
+					if !ok || s.N != scenarioTestCfg.Platforms {
+						t.Fatalf("group %s scheduler %s: summary %+v over %d platforms",
+							GroupKey(class, kind, intensity), name, s, scenarioTestCfg.Platforms)
+					}
+					if s.Mean < 0.999 {
+						// Failures and churn can only delay completions
+						// measured from original releases; drift is
+						// symmetric so individual cells may improve, but a
+						// mean far below 1 signals a bookkeeping bug.
+						if kind != "drift" && kind != "flash-crowd" {
+							t.Fatalf("group %s %s mean degradation %v < 1", GroupKey(class, kind, intensity), name, s.Mean)
+						}
+					}
+				}
+			}
+		}
+	}
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+// TestScenarioStudyWorkerCountInvariance is the acceptance gate: the
+// sweep must be bit-identical for 1 and 4 workers, including its JSON
+// encoding.
+func TestScenarioStudyWorkerCountInvariance(t *testing.T) {
+	cfg1 := scenarioTestCfg
+	cfg1.Workers = 1
+	cfg4 := scenarioTestCfg
+	cfg4.Workers = 4
+	a := ScenarioStudy(cfg1)
+	b := ScenarioStudy(cfg4)
+	if !reflect.DeepEqual(a.Raw.Canonical(), b.Raw.Canonical()) {
+		t.Fatal("scenario study differs between 1 and 4 workers")
+	}
+	if !reflect.DeepEqual(a.Groups, b.Groups) {
+		t.Fatal("group summaries differ between 1 and 4 workers")
+	}
+	ja, err := runner.EncodeJSON(a.Raw.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := runner.EncodeJSON(b.Raw.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatal("JSON encodings differ between 1 and 4 workers")
+	}
+}
+
+func TestScenarioStudyOverClassSubset(t *testing.T) {
+	full := ScenarioStudy(scenarioTestCfg)
+	one := ScenarioStudyOver(full.Classes[1:2], scenarioTestCfg)
+	if len(one.Raw.Cells)*len(full.Classes) != len(full.Raw.Cells) {
+		t.Fatalf("%d cells for one class, %d for %d classes",
+			len(one.Raw.Cells), len(full.Raw.Cells), len(full.Classes))
+	}
+	// Filter stability: the narrowed study's cells must be exactly the
+	// matching cells of the full study.
+	byKey := map[string]runner.Cell{}
+	for _, c := range full.Raw.Cells {
+		byKey[c.Key] = c
+	}
+	for _, c := range one.Raw.Cells {
+		fc, ok := byKey[c.Key]
+		if !ok {
+			t.Fatalf("cell %s missing from the full study", c.Key)
+		}
+		if !reflect.DeepEqual(c, fc) {
+			t.Fatalf("cell %s differs between narrowed and full study", c.Key)
+		}
+	}
+}
+
+func TestScenarioStudyFiltersSchedulers(t *testing.T) {
+	cfg := scenarioTestCfg
+	cfg.Schedulers = []string{"LS"}
+	r := ScenarioStudy(cfg)
+	if got := r.Order; len(got) != 2 || got[0] != "LS" || got[1] != SpeedObliviousName {
+		t.Fatalf("order %v, want [LS SO-LS]", got)
+	}
+	// Filter stability (DESIGN.md §5): the LS cells of the filtered sweep
+	// must equal the LS cells of the full sweep.
+	full := ScenarioStudy(scenarioTestCfg)
+	for i, c := range r.Raw.Cells {
+		fc := full.Raw.Cells[i]
+		if c.Key != fc.Key || c.Seed != fc.Seed {
+			t.Fatalf("cell %d key/seed drifted under filtering: %s vs %s", i, c.Key, fc.Key)
+		}
+		for k, v := range c.Values {
+			if fc.Values[k] != v {
+				t.Fatalf("cell %s value %s: filtered %v vs full %v", c.Key, k, v, fc.Values[k])
+			}
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Attempt is one dispatch attempt of an original task: the original ID,
+// the attempt's engine task ID (equal for the first attempt), its
+// execution record, and — if a failure destroyed it — when.
+type Attempt struct {
+	Original core.TaskID
+	ID       core.TaskID
+	Record   core.Record
+	Lost     bool
+	LostAt   float64
+}
+
+// Outcome is the result of running a scheduler through a scenario.
+type Outcome struct {
+	Scenario string
+	// Schedule has exactly one record per ORIGINAL task: the final
+	// successful attempt's trace with the original release restored, so
+	// Makespan/MaxFlow/SumFlow are failure-time objectives (flow counts
+	// from first submission, re-dispatch latency included). Its platform
+	// is the final nominal platform (joins included); under drift or
+	// re-dispatch it intentionally fails core.ValidateSchedule — dynamic
+	// validity is checked by the scenario engine itself.
+	Schedule core.Schedule
+	// Attempts is the full re-dispatch trace, one row per attempt in
+	// dispatch-ID order, including attempts that were never sent.
+	Attempts []Attempt
+	// EventsApplied counts timeline events applied (always the full
+	// timeline on success).
+	EventsApplied int
+	// Lost counts attempts destroyed by failures or departures;
+	// Redispatched counts the clones re-released (equal, by policy).
+	Lost         int
+	Redispatched int
+	// FinalM is the number of slaves at the end (initial + joins).
+	FinalM int
+}
+
+// Run drives the scheduler through the scenario on the platform and
+// workload, applying events in timeline order and re-releasing destroyed
+// work, then validates the dynamic schedule and returns the outcome.
+//
+// Everything is deterministic: the same (platform, scheduler, tasks,
+// scenario) always produces the identical outcome. Events at time t apply
+// after the simulation events at t (a task completing at the instant its
+// slave dies has completed).
+//
+// Schedulers that ignore liveness can dispatch to a dead slave; that
+// surfaces as a *sim.DeadSlaveError. Wrap them with sched.FailSafe (the
+// facade's RunScenario does) to re-route instead.
+func Run(pl core.Platform, s sim.Scheduler, tasks []core.Task, sc Scenario) (Outcome, error) {
+	if err := sc.Validate(pl.M()); err != nil {
+		return Outcome{}, err
+	}
+	e := sim.New(pl, s, tasks)
+	nOrig := e.TaskCount()
+
+	latest := make([]core.TaskID, nOrig) // original → its newest attempt
+	for i := range latest {
+		latest[i] = core.TaskID(i)
+	}
+	origOf := map[core.TaskID]core.TaskID{} // injected attempt → original
+	lostAt := map[core.TaskID]float64{}
+
+	timeline := sc.Timeline()
+	applied := 0
+	for _, ev := range timeline {
+		e.AdvanceTo(ev.Time)
+		if err := e.Err(); err != nil {
+			return Outcome{}, err
+		}
+		var destroyed []core.TaskID
+		switch ev.Kind {
+		case SlaveFail:
+			destroyed = e.FailSlave(ev.Slave)
+		case SlaveLeave:
+			destroyed = e.LeaveSlave(ev.Slave)
+		case SlaveRecover:
+			e.RecoverSlave(ev.Slave)
+		case SlaveJoin:
+			e.AddSlave(ev.C, ev.P)
+		case SpeedDrift:
+			e.DriftCosts(ev.Slave, ev.C, ev.P)
+		default:
+			panic(fmt.Sprintf("scenario: unknown event kind %v", ev.Kind))
+		}
+		// Re-dispatch policy: every destroyed attempt is re-released to
+		// the master immediately, as a fresh task with the original's
+		// actual size.
+		for _, id := range destroyed {
+			lostAt[id] = ev.Time
+			orig := id
+			if o, ok := origOf[id]; ok {
+				orig = o
+			}
+			t := e.Task(id)
+			again := e.InjectTask(core.Task{Release: e.Now(), CommScale: t.CommScale, CompScale: t.CompScale})
+			origOf[again] = orig
+			latest[orig] = again
+		}
+		applied++
+		// Drain the same-time re-releases and wake the scheduler: events
+		// like a recovery change the world without queueing a simulation
+		// event.
+		e.AdvanceTo(ev.Time)
+		e.Kick()
+		if err := e.Err(); err != nil {
+			return Outcome{}, err
+		}
+	}
+
+	full, err := e.Run()
+	if err != nil {
+		return Outcome{}, err
+	}
+
+	out := Outcome{
+		Scenario:      sc.Name,
+		EventsApplied: applied,
+		Lost:          len(lostAt),
+		Redispatched:  len(origOf),
+		FinalM:        full.Instance.Platform.M(),
+	}
+	for id := range full.Records {
+		orig := core.TaskID(id)
+		if o, ok := origOf[core.TaskID(id)]; ok {
+			orig = o
+		}
+		at, lost := lostAt[core.TaskID(id)]
+		out.Attempts = append(out.Attempts, Attempt{
+			Original: orig,
+			ID:       core.TaskID(id),
+			Record:   full.Records[id],
+			Lost:     lost,
+			LostAt:   at,
+		})
+	}
+
+	records := make([]core.Record, nOrig)
+	for i := 0; i < nOrig; i++ {
+		rec := full.Records[latest[i]]
+		rec.Task = core.TaskID(i)
+		rec.Release = full.Instance.Tasks[i].Release
+		records[i] = rec
+	}
+	out.Schedule = core.Schedule{
+		Instance: core.Instance{
+			Platform: full.Instance.Platform,
+			Tasks:    append([]core.Task(nil), full.Instance.Tasks[:nOrig]...),
+		},
+		Records: records,
+	}
+	if err := validateOutcome(&out, pl.M(), timeline); err != nil {
+		return Outcome{}, fmt.Errorf("scenario %q: %s produced an infeasible dynamic schedule: %w", sc.Name, s.Name(), err)
+	}
+	return out, nil
+}
+
+// interval is a half-open [from, to) span of wall-clock time.
+type interval struct{ from, to float64 }
+
+// validateOutcome checks the dynamic-model validity rules that still hold
+// under failures and drift (the static duration equations do not):
+//
+//  1. every original task completes in exactly one non-lost attempt, and
+//     every other attempt of it was destroyed by an event;
+//  2. no send starts while its target slave is dead, and no send targets
+//     a joined slave before its join time;
+//  3. the master's port carries one send at a time, where an aborted send
+//     occupies the port only until the failure that killed it;
+//  4. per attempt, the record is time-ordered (release ≤ send ≤ arrive ≤
+//     start ≤ complete for completed attempts).
+func validateOutcome(out *Outcome, m0 int, timeline []Event) error {
+	// Reconstruct per-slave dead intervals and join times from the
+	// timeline (already validated for consistency).
+	down := map[int][]interval{}
+	joinTime := map[int]float64{}
+	openDown := map[int]float64{}
+	nextJoin := m0
+	for _, ev := range timeline {
+		switch ev.Kind {
+		case SlaveFail, SlaveLeave:
+			openDown[ev.Slave] = ev.Time
+		case SlaveRecover:
+			down[ev.Slave] = append(down[ev.Slave], interval{openDown[ev.Slave], ev.Time})
+			delete(openDown, ev.Slave)
+		case SlaveJoin:
+			joinTime[nextJoin] = ev.Time
+			nextJoin++
+		}
+	}
+	for j, from := range openDown {
+		down[j] = append(down[j], interval{from, math.Inf(1)})
+	}
+
+	completedOf := make(map[core.TaskID]int)
+	type sendSpan struct {
+		id       core.TaskID
+		from, to float64
+	}
+	var sends []sendSpan
+	for _, a := range out.Attempts {
+		r := a.Record
+		if a.Lost {
+			if r.Complete != 0 {
+				return fmt.Errorf("attempt %d lost at %v but has completion %v", a.ID, a.LostAt, r.Complete)
+			}
+		} else if r.Complete == 0 {
+			return fmt.Errorf("attempt %d (task %d) neither completed nor lost", a.ID, a.Original)
+		} else {
+			completedOf[a.Original]++
+		}
+		if r.Slave < 0 {
+			continue // never sent (must have been lost while pending — impossible — or completed)
+		}
+		if t, joined := joinTime[r.Slave]; joined && r.SendStart < t-core.Eps {
+			return fmt.Errorf("attempt %d sent to slave %d at %v before it joined at %v", a.ID, r.Slave, r.SendStart, t)
+		}
+		// Strictly inside the dead interval: a send AT the failure instant
+		// was decided while the slave was alive (events apply after the
+		// simulation activity at their timestamp) and is destroyed by the
+		// failure itself; a send at the recovery instant is legitimate.
+		for _, iv := range down[r.Slave] {
+			if r.SendStart > iv.from+core.Eps && r.SendStart < iv.to-core.Eps {
+				return fmt.Errorf("attempt %d sent to slave %d at %v while it was down (%v,%v)",
+					a.ID, r.Slave, r.SendStart, iv.from, iv.to)
+			}
+		}
+		if r.SendStart < r.Release-core.Eps {
+			return fmt.Errorf("attempt %d sent at %v before release %v", a.ID, r.SendStart, r.Release)
+		}
+		end := r.Arrive
+		if end == 0 { // aborted in flight: the port freed at the failure
+			end = a.LostAt
+		}
+		sends = append(sends, sendSpan{a.ID, r.SendStart, end})
+		if !a.Lost {
+			if r.Start < r.Arrive-core.Eps || r.Complete < r.Start-core.Eps {
+				return fmt.Errorf("attempt %d record is not time-ordered: %+v", a.ID, r)
+			}
+		}
+	}
+	for orig := 0; orig < len(out.Schedule.Records); orig++ {
+		if n := completedOf[core.TaskID(orig)]; n != 1 {
+			return fmt.Errorf("task %d completed %d times, want exactly 1", orig, n)
+		}
+	}
+	sort.Slice(sends, func(i, j int) bool { return sends[i].from < sends[j].from })
+	if len(sends) > 0 {
+		// Check each start against the latest port release seen so far,
+		// not just the previous span's end: a long send must not hide
+		// shorter ones inside it.
+		busyUntil, busyID := sends[0].to, sends[0].id
+		for _, s := range sends[1:] {
+			if s.from < busyUntil-core.Eps {
+				return fmt.Errorf("one-port violation: send of attempt %d at %v overlaps send of attempt %d ending %v",
+					s.id, s.from, busyID, busyUntil)
+			}
+			if s.to > busyUntil {
+				busyUntil, busyID = s.to, s.id
+			}
+		}
+	}
+	return nil
+}

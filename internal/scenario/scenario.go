@@ -1,0 +1,194 @@
+// Package scenario scripts time-varying master-slave platforms on top of
+// the one-port discrete-event engine: slaves failing, recovering, joining,
+// departing and drifting in speed mid-run, with a deterministic re-dispatch
+// policy for the work a failure destroys.
+//
+// A Scenario is a timeline of Events applied at fixed simulation times.
+// Run drives any sim.Scheduler through the timeline: between events the
+// engine runs exactly as in the static model; at an event boundary the
+// platform mutates and every task the event destroyed (in flight, queued,
+// or computing on the lost slave) is re-released to the master as a fresh
+// attempt. Objectives are failure-time objectives: a task's completion is
+// the completion of its final successful attempt, measured against its
+// ORIGINAL release date, so re-dispatch latency is fully charged.
+//
+// The paper studies how (static) heterogeneity hurts on-line scheduling;
+// this package makes heterogeneity a function of time, which is the regime
+// the speed-oblivious and dynamic-processor literature targets
+// (Lindermayr–Megow–Rapp; SELFISHMIGRATE). See DESIGN.md §8.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind discriminates scenario events.
+type Kind int
+
+const (
+	// SlaveFail kills a slave: its queue and in-flight work are destroyed
+	// and re-released to the master.
+	SlaveFail Kind = iota
+	// SlaveRecover brings a failed slave back, empty-queued.
+	SlaveRecover
+	// SlaveJoin adds a new slave with the given costs.
+	SlaveJoin
+	// SlaveLeave removes a slave for good (its work is re-released).
+	SlaveLeave
+	// SpeedDrift changes a slave's actual costs; the nominal costs the
+	// master plans with are NOT updated (see sim.Engine.DriftCosts).
+	SpeedDrift
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case SlaveFail:
+		return "fail"
+	case SlaveRecover:
+		return "recover"
+	case SlaveJoin:
+		return "join"
+	case SlaveLeave:
+		return "leave"
+	case SpeedDrift:
+		return "drift"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one platform mutation at a fixed simulation time. Slave
+// indexes the target for Fail/Recover/Leave/Drift (joined slaves are
+// indexed in join order after the initial platform); C and P carry the
+// new slave's costs for SlaveJoin and the new actual costs for
+// SpeedDrift.
+type Event struct {
+	Time  float64 `json:"time"`
+	Kind  Kind    `json:"kind"`
+	Slave int     `json:"slave,omitempty"`
+	C     float64 `json:"c,omitempty"`
+	P     float64 `json:"p,omitempty"`
+}
+
+// String renders the event compactly, e.g. "t=3.2 fail P2".
+func (e Event) String() string {
+	switch e.Kind {
+	case SlaveJoin:
+		return fmt.Sprintf("t=%g join c=%g p=%g", e.Time, e.C, e.P)
+	case SpeedDrift:
+		return fmt.Sprintf("t=%g drift P%d c=%g p=%g", e.Time, e.Slave+1, e.C, e.P)
+	default:
+		return fmt.Sprintf("t=%g %v P%d", e.Time, e.Kind, e.Slave+1)
+	}
+}
+
+// FailAt builds a SlaveFail event.
+func FailAt(t float64, slave int) Event { return Event{Time: t, Kind: SlaveFail, Slave: slave} }
+
+// RecoverAt builds a SlaveRecover event.
+func RecoverAt(t float64, slave int) Event { return Event{Time: t, Kind: SlaveRecover, Slave: slave} }
+
+// JoinAt builds a SlaveJoin event with the new slave's costs.
+func JoinAt(t, c, p float64) Event { return Event{Time: t, Kind: SlaveJoin, C: c, P: p} }
+
+// LeaveAt builds a SlaveLeave event.
+func LeaveAt(t float64, slave int) Event { return Event{Time: t, Kind: SlaveLeave, Slave: slave} }
+
+// DriftAt builds a SpeedDrift event with the slave's new actual costs.
+func DriftAt(t float64, slave int, c, p float64) Event {
+	return Event{Time: t, Kind: SpeedDrift, Slave: slave, C: c, P: p}
+}
+
+// Scenario is a named, deterministic event timeline. Events need not be
+// pre-sorted; ties are applied in script order.
+type Scenario struct {
+	Name   string  `json:"name"`
+	Events []Event `json:"events"`
+}
+
+// Static is the empty scenario: Run degenerates to the static simulation.
+var Static = Scenario{Name: "static"}
+
+// Timeline returns the events sorted by time, ties in script order.
+func (s Scenario) Timeline() []Event {
+	evs := append([]Event(nil), s.Events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time < evs[j].Time })
+	return evs
+}
+
+// Kinds returns the distinct event kinds in the scenario, in first-use
+// order.
+func (s Scenario) Kinds() []Kind {
+	seen := map[Kind]bool{}
+	var out []Kind
+	for _, e := range s.Events {
+		if !seen[e.Kind] {
+			seen[e.Kind] = true
+			out = append(out, e.Kind)
+		}
+	}
+	return out
+}
+
+// Validate replays the timeline against a platform of m initial slaves
+// and returns the first inconsistency: negative times, out-of-range
+// targets, failing a slave that is already down, recovering one that is
+// alive or departed, drifting a dead slave, or joining with non-positive
+// costs. A valid scenario is exactly one Run can apply without panicking.
+func (s Scenario) Validate(m int) error {
+	if m <= 0 {
+		return fmt.Errorf("scenario %q: platform has no slaves", s.Name)
+	}
+	alive := make([]bool, m)
+	departed := make([]bool, m)
+	for j := range alive {
+		alive[j] = true
+	}
+	for i, e := range s.Timeline() {
+		if e.Time < 0 {
+			return fmt.Errorf("scenario %q: event %d (%v) at negative time", s.Name, i, e)
+		}
+		switch e.Kind {
+		case SlaveJoin:
+			if e.C <= 0 || e.P <= 0 {
+				return fmt.Errorf("scenario %q: event %d (%v) joins with non-positive costs", s.Name, i, e)
+			}
+			alive = append(alive, true)
+			departed = append(departed, false)
+			continue
+		case SpeedDrift:
+			if e.C <= 0 || e.P <= 0 {
+				return fmt.Errorf("scenario %q: event %d (%v) drifts to non-positive costs", s.Name, i, e)
+			}
+		}
+		if e.Slave < 0 || e.Slave >= len(alive) {
+			return fmt.Errorf("scenario %q: event %d (%v) targets unknown slave (m=%d at that point)",
+				s.Name, i, e, len(alive))
+		}
+		switch e.Kind {
+		case SlaveFail, SlaveLeave:
+			if !alive[e.Slave] {
+				return fmt.Errorf("scenario %q: event %d (%v) targets a slave that is already down", s.Name, i, e)
+			}
+			alive[e.Slave] = false
+			if e.Kind == SlaveLeave {
+				departed[e.Slave] = true
+			}
+		case SlaveRecover:
+			if departed[e.Slave] {
+				return fmt.Errorf("scenario %q: event %d (%v) recovers a departed slave", s.Name, i, e)
+			}
+			if alive[e.Slave] {
+				return fmt.Errorf("scenario %q: event %d (%v) recovers a slave that is alive", s.Name, i, e)
+			}
+			alive[e.Slave] = true
+		case SpeedDrift:
+			if !alive[e.Slave] {
+				return fmt.Errorf("scenario %q: event %d (%v) drifts a dead slave", s.Name, i, e)
+			}
+		}
+	}
+	return nil
+}

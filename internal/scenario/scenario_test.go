@@ -1,0 +1,183 @@
+package scenario
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestStaticScenarioMatchesSimulate(t *testing.T) {
+	pl := core.NewPlatform([]float64{0.5, 0.5}, []float64{2, 3})
+	tasks := core.Bag(12)
+	want, err := sim.Simulate(pl, sched.NewLS(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(pl, sched.FailSafe(sched.NewLS()), tasks, Static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Lost != 0 || out.Redispatched != 0 || out.EventsApplied != 0 {
+		t.Fatalf("static outcome has dynamics: %+v", out)
+	}
+	if got := out.Schedule.Makespan(); got != want.Makespan() {
+		t.Fatalf("makespan %v, want static %v", got, want.Makespan())
+	}
+	if got := out.Schedule.SumFlow(); got != want.SumFlow() {
+		t.Fatalf("sum-flow %v, want static %v", got, want.SumFlow())
+	}
+}
+
+func TestFailRecoverRoundTrip(t *testing.T) {
+	pl := core.NewPlatform([]float64{0.5, 0.5}, []float64{2, 2})
+	tasks := core.Bag(10)
+	sc := Scenario{Name: "blip", Events: []Event{FailAt(3, 0), RecoverAt(6, 0)}}
+	static, err := sim.Simulate(pl, sched.NewLS(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(pl, sched.FailSafe(sched.NewLS()), tasks, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.EventsApplied != 2 {
+		t.Fatalf("applied %d events, want 2", out.EventsApplied)
+	}
+	if out.Lost == 0 || out.Lost != out.Redispatched {
+		t.Fatalf("lost %d, redispatched %d: the failure must destroy and re-release work", out.Lost, out.Redispatched)
+	}
+	if len(out.Attempts) != len(tasks)+out.Redispatched {
+		t.Fatalf("%d attempts for %d tasks + %d re-dispatches", len(out.Attempts), len(tasks), out.Redispatched)
+	}
+	if got := len(out.Schedule.Records); got != len(tasks) {
+		t.Fatalf("%d final records, want one per original task", got)
+	}
+	for _, r := range out.Schedule.Records {
+		if r.Complete == 0 {
+			t.Fatalf("task %d never completed: %+v", r.Task, r)
+		}
+	}
+	if got, want := out.Schedule.Makespan(), static.Makespan(); got < want {
+		t.Fatalf("makespan %v under failures beats static %v", got, want)
+	}
+}
+
+func TestJoinAndLeave(t *testing.T) {
+	pl := core.NewPlatform([]float64{0.5, 0.5}, []float64{4, 4})
+	tasks := core.Bag(12)
+	sc := Scenario{Name: "crowd", Events: []Event{
+		JoinAt(2, 0.5, 1), // a fast helper appears...
+		LeaveAt(10, 2),    // ...and leaves with its queue
+	}}
+	out, err := Run(pl, sched.FailSafe(sched.NewLS()), tasks, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FinalM != 3 {
+		t.Fatalf("final m %d, want 3", out.FinalM)
+	}
+	used := false
+	for _, a := range out.Attempts {
+		if a.Record.Slave == 2 {
+			used = true
+		}
+	}
+	if !used {
+		t.Fatal("the joined fast slave was never used")
+	}
+}
+
+func TestUnawareSchedulerHitsDeadSlaveError(t *testing.T) {
+	// RR's top-priority slave dies; unwrapped RR keeps dispatching to it.
+	pl := core.NewPlatform([]float64{0.1, 0.5}, []float64{1, 3})
+	sc := Scenario{Name: "death", Events: []Event{FailAt(2, 0)}}
+	_, err := Run(pl, sched.NewRR(), core.Bag(20), sc)
+	var dead *sim.DeadSlaveError
+	if !errors.As(err, &dead) {
+		t.Fatalf("error %v, want *sim.DeadSlaveError", err)
+	}
+	if dead.Slave != 0 || dead.Time < 2 {
+		t.Fatalf("error fields %+v", dead)
+	}
+}
+
+func TestSpeedObliviousTracksDrift(t *testing.T) {
+	// Both slaves advertise p=1; slave 0 actually degrades 10× early on.
+	pl := core.NewPlatform([]float64{0.1, 0.1}, []float64{1, 1})
+	tasks := core.Bag(40)
+	sc := Scenario{Name: "degrade", Events: []Event{DriftAt(0.5, 0, 0.1, 10)}}
+	ls, err := Run(pl, sched.FailSafe(sched.NewLS()), tasks, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, err := Run(pl, sched.NewSpeedOblivious(), tasks, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onSlow int
+	for _, r := range so.Schedule.Records {
+		if r.Slave == 0 {
+			onSlow++
+		}
+	}
+	if onSlow > len(tasks)/2 {
+		t.Fatalf("SO-LS kept %d of %d tasks on the degraded slave", onSlow, len(tasks))
+	}
+	if so.Schedule.Makespan() >= ls.Schedule.Makespan() {
+		t.Fatalf("SO-LS makespan %v not better than nominal-cost LS %v under drift",
+			so.Schedule.Makespan(), ls.Schedule.Makespan())
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	pl := core.NewPlatform([]float64{0.3, 0.6, 0.2}, []float64{2, 3, 5})
+	tasks := core.Bag(30)
+	sc := Scenario{Name: "churn", Events: []Event{
+		FailAt(4, 1), JoinAt(5, 0.4, 2), RecoverAt(9, 1), DriftAt(11, 0, 0.3, 4), LeaveAt(15, 3),
+	}}
+	a, err := Run(pl, sched.FailSafe(sched.NewSLJFWC(30)), tasks, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(pl, sched.FailSafe(sched.NewSLJFWC(30)), tasks, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical scenario runs diverged")
+	}
+}
+
+func TestValidateRejectsInconsistentTimelines(t *testing.T) {
+	cases := []struct {
+		name   string
+		events []Event
+		want   string
+	}{
+		{"negative-time", []Event{FailAt(-1, 0)}, "negative time"},
+		{"unknown-slave", []Event{FailAt(1, 5)}, "unknown slave"},
+		{"double-fail", []Event{FailAt(1, 0), FailAt(2, 0)}, "already down"},
+		{"recover-alive", []Event{RecoverAt(1, 0)}, "is alive"},
+		{"recover-departed", []Event{LeaveAt(1, 0), RecoverAt(2, 0)}, "departed"},
+		{"drift-dead", []Event{FailAt(1, 0), DriftAt(2, 0, 1, 1)}, "dead"},
+		{"bad-join", []Event{JoinAt(1, 0, 1)}, "non-positive"},
+		{"bad-drift", []Event{DriftAt(1, 0, 1, -2)}, "non-positive"},
+	}
+	for _, tc := range cases {
+		sc := Scenario{Name: tc.name, Events: tc.events}
+		err := sc.Validate(2)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+	// Joined slaves become valid targets after their join.
+	ok := Scenario{Name: "join-target", Events: []Event{JoinAt(1, 1, 1), FailAt(2, 2)}}
+	if err := ok.Validate(2); err != nil {
+		t.Errorf("join-target: %v", err)
+	}
+}

@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestFailSafeReroutesAwayFromDeadSlave(t *testing.T) {
+	// SRPT's fastest slave dies mid-run; a dead slave looks permanently
+	// free to SRPT, so unwrapped it would dispatch there forever.
+	pl := core.NewPlatform([]float64{0.5, 0.5}, []float64{1, 4})
+	e := sim.New(pl, FailSafe(NewSRPT()), core.Bag(6))
+	e.AdvanceTo(2)
+	e.FailSlave(0)
+	e.Kick()
+	s, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range s.Records {
+		if r.Lost {
+			continue
+		}
+		if r.SendStart > 2 && r.Slave == 0 {
+			t.Fatalf("task %d sent to the dead slave at %v", r.Task, r.SendStart)
+		}
+	}
+}
+
+func TestFailSafeIdlesWhenAllSlavesDown(t *testing.T) {
+	pl := core.NewPlatform([]float64{1}, []float64{1})
+	e := sim.New(pl, FailSafe(NewLS()), core.Bag(2))
+	e.AdvanceTo(0.5)
+	e.FailSlave(0)
+	e.Kick()
+	if err := e.Err(); err != nil {
+		t.Fatalf("FailSafe dispatched with every slave down: %v", err)
+	}
+	e.AdvanceTo(5)
+	e.RecoverSlave(0)
+	e.Kick()
+	s, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Records[1].SendStart; got != 5 {
+		t.Fatalf("task 1 sent at %v, want 5 (first chance after recovery)", got)
+	}
+}
+
+func TestFailSafeReplansOnJoin(t *testing.T) {
+	// SRPT indexes its Reset-time cost table by slave; without the
+	// wrapper's re-plan a joined slave would be out of range.
+	pl := core.NewPlatform([]float64{0.5}, []float64{4})
+	e := sim.New(pl, FailSafe(NewSRPT()), core.Bag(4))
+	e.AdvanceTo(1)
+	e.AddSlave(0.5, 1) // much faster than the original slave
+	s, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := false
+	for _, r := range s.Records {
+		if r.Slave == 1 {
+			used = true
+		}
+	}
+	if !used {
+		t.Fatal("SRPT never used the joined faster slave")
+	}
+}
+
+func TestFailSafeIsTransparentOnStaticRuns(t *testing.T) {
+	pl := core.NewPlatform([]float64{0.3, 0.7}, []float64{2, 5})
+	tasks := core.Bag(25)
+	for _, name := range Names() {
+		plain, err := sim.Simulate(pl, New(name), tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrapped, err := sim.Simulate(pl, FailSafe(New(name)), tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Makespan() != wrapped.Makespan() || plain.SumFlow() != wrapped.SumFlow() {
+			t.Fatalf("%s: FailSafe changed a static run: %v/%v vs %v/%v",
+				name, plain.Makespan(), plain.SumFlow(), wrapped.Makespan(), wrapped.SumFlow())
+		}
+	}
+}
+
+func TestSpeedObliviousExploresThenCommits(t *testing.T) {
+	// Identical advertised costs; SO-LS must work on a static engine too
+	// (observations present, no dynamics) and spread load sensibly.
+	pl := core.NewPlatform([]float64{0.1, 0.1}, []float64{1, 8})
+	s, err := sim.Simulate(pl, NewSpeedOblivious(), core.Bag(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := 0, 0
+	for _, r := range s.Records {
+		if r.Slave == 0 {
+			fast++
+		} else {
+			slow++
+		}
+	}
+	if fast <= slow {
+		t.Fatalf("SO-LS put %d tasks on the fast slave, %d on the 8× slower one", fast, slow)
+	}
+}

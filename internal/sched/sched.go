@@ -37,6 +37,11 @@ func New(name string) sim.Scheduler {
 		return NewSLJF(DefaultPlanHorizon)
 	case "SLJFWC":
 		return NewSLJFWC(DefaultPlanHorizon)
+	case "SO-LS":
+		// Beyond the paper: the speed-oblivious list scheduler (see
+		// oblivious.go). Not in Names(): the figure sweeps compare the
+		// paper's seven, but the scenario experiments add it.
+		return NewSpeedOblivious()
 	default:
 		panic(fmt.Sprintf("sched: unknown scheduler %q", name))
 	}

@@ -1,0 +1,274 @@
+package sim
+
+// Dynamic-platform support: the hooks internal/scenario uses to script
+// slave failures, recoveries, joins, departures and speed drift on top of
+// the one-port engine. A static simulation never calls anything in this
+// file and is bit-for-bit unaffected by it.
+//
+// Semantics, in one place:
+//
+//   - FailSlave(j) destroys everything slave j holds — the in-flight send
+//     to it (the port is released immediately; the master notices the dead
+//     link), its queued tasks and the task it is computing. The destroyed
+//     attempts are marked Lost in their records and returned so the caller
+//     can re-release clones to the master (the scenario engine's
+//     re-dispatch policy). A dead slave accepts no sends: a scheduler that
+//     targets one halts the run with a typed DeadSlaveError.
+//   - RecoverSlave(j) brings a failed slave back, empty-queued.
+//   - LeaveSlave(j) is FailSlave plus permanence: a departed slave can
+//     never recover.
+//   - AddSlave(c, p) appends a new slave, visible to the scheduler through
+//     View.M() from the next decision on.
+//   - DriftCosts(j, c, p) changes the slave's ACTUAL costs only: the
+//     nominal costs the View advertises stay at their advertised values,
+//     which is exactly the information asymmetry the speed-oblivious
+//     scheduling literature studies. Schedulers can learn the truth from
+//     the observation feed (ObservedComm/ObservedComp).
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// DeadSlaveError reports a scheduler decision that dispatched a task to a
+// slave that had failed (or departed) before the send started. It is a
+// validation error, not a panic: under dynamic platforms a scheduler that
+// ignores failure notifications can reach this state without a bug in the
+// engine, and sweeps need to surface which scheduler did so at what time.
+type DeadSlaveError struct {
+	Scheduler string
+	Task      core.TaskID
+	Slave     int
+	Time      float64
+	Departed  bool // true if the slave left for good rather than failed
+}
+
+// Error implements error.
+func (e *DeadSlaveError) Error() string {
+	state := "failed"
+	if e.Departed {
+		state = "departed"
+	}
+	return fmt.Sprintf("sim: scheduler %s sent task %d to %s slave %d at t=%v",
+		e.Scheduler, e.Task, state, e.Slave, e.Time)
+}
+
+// DynamicView is the optional extension of View that dynamic-platform
+// engines provide: slave liveness and the master's observation feed (the
+// actual durations of completed sends and computations, smoothed). The
+// static message-passing substrate (internal/mpiexp) does not implement
+// it; use the IsAlive/ObservedComm/ObservedComp helpers to degrade
+// gracefully.
+type DynamicView interface {
+	View
+	// Alive reports whether slave j currently accepts sends.
+	Alive(j int) bool
+	// ObservedComm returns a recency-weighted average of the actual send
+	// durations to slave j, and whether any send has completed yet.
+	ObservedComm(j int) (float64, bool)
+	// ObservedComp returns a recency-weighted average of the actual
+	// computation durations on slave j, and whether any task has finished.
+	ObservedComp(j int) (float64, bool)
+}
+
+// IsAlive reports slave liveness through any View: views without dynamics
+// have no failures, so every slave is alive.
+func IsAlive(v View, j int) bool {
+	if dv, ok := v.(DynamicView); ok {
+		return dv.Alive(j)
+	}
+	return true
+}
+
+// ObservedComm reads the observation feed through any View; views without
+// dynamics report no observations.
+func ObservedComm(v View, j int) (float64, bool) {
+	if dv, ok := v.(DynamicView); ok {
+		return dv.ObservedComm(j)
+	}
+	return 0, false
+}
+
+// ObservedComp is ObservedComm for computation durations.
+func ObservedComp(v View, j int) (float64, bool) {
+	if dv, ok := v.(DynamicView); ok {
+		return dv.ObservedComp(j)
+	}
+	return 0, false
+}
+
+// ewma is a recency-weighted duration average. Smoothing at 1/2 tracks
+// speed drift within a couple of completions while damping the per-task
+// size perturbation.
+type ewma struct {
+	mean float64
+	seen bool
+}
+
+func (o *ewma) observe(x float64) {
+	if !o.seen {
+		o.mean, o.seen = x, true
+		return
+	}
+	o.mean = (o.mean + x) / 2
+}
+
+// checkSlave panics on out-of-range slave indices: dynamics callers are
+// trusted scenario code, so a bad index is a programming error.
+func (e *Engine) checkSlave(j int) {
+	if j < 0 || j >= e.pl.M() {
+		panic(fmt.Sprintf("sim: dynamics on unknown slave %d (m=%d)", j, e.pl.M()))
+	}
+}
+
+// SlaveAlive reports whether slave j currently accepts sends.
+func (e *Engine) SlaveAlive(j int) bool {
+	e.checkSlave(j)
+	return e.alive[j]
+}
+
+// Err returns the halting validation error, if the scheduler committed
+// one (currently: dispatching to a dead slave). Once set, the engine
+// processes no further events; Run returns it.
+func (e *Engine) Err() error { return e.halt }
+
+// Task returns the task with the given ID (including injected ones).
+func (e *Engine) Task(id core.TaskID) core.Task { return e.tasks[id] }
+
+// Record returns the execution record of the task so far.
+func (e *Engine) Record(id core.TaskID) core.Record { return e.records[id] }
+
+// Lost reports whether a slave failure destroyed the task's attempt.
+func (e *Engine) Lost(id core.TaskID) bool { return e.lost[id] }
+
+// FailSlave kills slave j at the current time. Its in-flight send is
+// aborted (freeing the master's port immediately), its queue and the task
+// it is computing are destroyed, and the master's bookkeeping for it is
+// cleared. The destroyed attempts are marked Lost and returned in task-ID
+// order; re-releasing them (or not) is the caller's policy.
+func (e *Engine) FailSlave(j int) []core.TaskID {
+	e.checkSlave(j)
+	if !e.alive[j] {
+		panic(fmt.Sprintf("sim: failing slave %d which is already down", j))
+	}
+	e.alive[j] = false
+
+	// Cancel the slave's scheduled events: the in-flight send (at most one
+	// under the one-port model) and the completion of the task it computes.
+	canceledSend := false
+	kept := e.events[:0]
+	for _, ev := range e.events {
+		if (ev.kind == evSendComplete || ev.kind == evComputeComplete) && ev.dest == j {
+			if ev.kind == evSendComplete {
+				canceledSend = true
+			}
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	e.events = kept
+	e.events.reinit()
+	if canceledSend && !e.unboundedPort {
+		e.portFree = e.now // the master stops transmitting into a dead link
+	}
+
+	var lost []core.TaskID
+	for idx := range e.tasks {
+		if e.sent[idx] && !e.done[idx] && !e.lost[idx] && e.records[idx].Slave == j {
+			e.lost[idx] = true
+			e.lostCount++
+			e.records[idx].Lost = true
+			lost = append(lost, core.TaskID(idx))
+		}
+	}
+
+	s := &e.slaves[j]
+	s.queue = nil
+	s.computing = -1
+	s.busyUntil = e.now
+	e.model.Fail(j, e.now)
+	return lost
+}
+
+// LeaveSlave is a permanent departure: FailSlave plus the guarantee that
+// the slave never recovers (RecoverSlave panics on it).
+func (e *Engine) LeaveSlave(j int) []core.TaskID {
+	lost := e.FailSlave(j)
+	e.departed[j] = true
+	return lost
+}
+
+// RecoverSlave brings a failed slave back at the current time, with an
+// empty queue. Call Kick afterwards to give the scheduler an immediate
+// decision opportunity.
+func (e *Engine) RecoverSlave(j int) {
+	e.checkSlave(j)
+	if e.departed[j] {
+		panic(fmt.Sprintf("sim: recovering slave %d which departed for good", j))
+	}
+	if e.alive[j] {
+		panic(fmt.Sprintf("sim: recovering slave %d which is alive", j))
+	}
+	e.alive[j] = true
+	e.model.Sync(j, e.now)
+}
+
+// AddSlave appends a new slave with the given nominal (= initial actual)
+// costs and returns its index. The scheduler sees the platform grow
+// through View.M() on its next decision.
+func (e *Engine) AddSlave(c, p float64) int {
+	if c <= 0 || p <= 0 {
+		panic(fmt.Sprintf("sim: joining slave has non-positive costs c=%v p=%v", c, p))
+	}
+	e.pl.C = append(e.pl.C, c)
+	e.pl.P = append(e.pl.P, p)
+	e.actual.C = append(e.actual.C, c)
+	e.actual.P = append(e.actual.P, p)
+	e.slaves = append(e.slaves, slaveState{computing: -1, busyUntil: e.now})
+	e.alive = append(e.alive, true)
+	e.departed = append(e.departed, false)
+	e.obsComm = append(e.obsComm, ewma{})
+	e.obsComp = append(e.obsComp, ewma{})
+	e.model.AddSlave(e.now)
+	return e.pl.M() - 1
+}
+
+// DriftCosts changes slave j's actual per-task costs from now on. The
+// nominal costs the View advertises are untouched: the master keeps
+// planning with stale values unless the scheduler learns from the
+// observation feed. Tasks already in flight or computing keep the
+// durations they started with.
+func (e *Engine) DriftCosts(j int, c, p float64) {
+	e.checkSlave(j)
+	if c <= 0 || p <= 0 {
+		panic(fmt.Sprintf("sim: drifting slave %d to non-positive costs c=%v p=%v", j, c, p))
+	}
+	e.actual.C[j] = c
+	e.actual.P[j] = p
+}
+
+// Kick gives the scheduler an immediate decision opportunity at the
+// current time (if the port is free and work is pending). Dynamics events
+// such as a recovery change the world without queueing a simulation
+// event, so callers use Kick to wake the scheduler afterwards.
+func (e *Engine) Kick() {
+	if e.halt == nil {
+		e.consult()
+	}
+}
+
+// Alive implements DynamicView.
+func (v *engineView) Alive(j int) bool { return v.e.alive[j] }
+
+// ObservedComm implements DynamicView.
+func (v *engineView) ObservedComm(j int) (float64, bool) {
+	o := v.e.obsComm[j]
+	return o.mean, o.seen
+}
+
+// ObservedComp implements DynamicView.
+func (v *engineView) ObservedComp(j int) (float64, bool) {
+	o := v.e.obsComp[j]
+	return o.mean, o.seen
+}

@@ -119,10 +119,14 @@ func WithUnboundedPort() Option {
 	return func(e *Engine) { e.unboundedPort = true }
 }
 
-// Engine simulates one scheduler on one platform.
+// Engine simulates one scheduler on one platform. The platform may change
+// mid-run through the dynamics hooks in dynamics.go (slave failures,
+// recoveries, joins, departures and speed drift); a static run never
+// touches them and behaves exactly as before.
 type Engine struct {
-	pl    core.Platform
-	sched Scheduler
+	pl     core.Platform // nominal costs: what the master (and View) believes
+	actual core.Platform // ground-truth costs: what sends and computations take
+	sched  Scheduler
 
 	unboundedPort bool
 
@@ -138,6 +142,16 @@ type Engine struct {
 	slaves   []slaveState
 	model    *Ledger
 
+	// Dynamic-platform state (dynamics.go). halt is the typed error that
+	// stops the simulation when the scheduler targets a dead slave.
+	alive     []bool
+	departed  []bool
+	lost      []bool // per task: true once a failure destroyed the attempt
+	lostCount int
+	obsComm   []ewma // observed send durations per slave
+	obsComp   []ewma // observed computation durations per slave
+	halt      error
+
 	completed int
 	view      engineView
 }
@@ -147,17 +161,24 @@ type Engine struct {
 // the run; more tasks may be injected later via InjectTask.
 func New(pl core.Platform, sched Scheduler, tasks []core.Task, opts ...Option) *Engine {
 	inst := core.NewInstance(pl, tasks)
+	m := inst.Platform.M()
 	e := &Engine{
-		pl:     inst.Platform,
-		sched:  sched,
-		slaves: make([]slaveState, inst.Platform.M()),
-		model:  NewLedger(inst.Platform.M()),
+		pl:       inst.Platform.Clone(),
+		actual:   inst.Platform.Clone(),
+		sched:    sched,
+		slaves:   make([]slaveState, m),
+		model:    NewLedger(m),
+		alive:    make([]bool, m),
+		departed: make([]bool, m),
+		obsComm:  make([]ewma, m),
+		obsComp:  make([]ewma, m),
 	}
 	for _, opt := range opts {
 		opt(e)
 	}
 	for j := range e.slaves {
 		e.slaves[j].computing = -1
+		e.alive[j] = true
 	}
 	sched.Reset(e.pl.Clone())
 	for _, task := range inst.Tasks {
@@ -174,6 +195,7 @@ func (e *Engine) addTask(task core.Task) int {
 	e.records = append(e.records, core.Record{Task: task.ID, Slave: -1, Release: task.Release})
 	e.sent = append(e.sent, false)
 	e.done = append(e.done, false)
+	e.lost = append(e.lost, false)
 	e.push(event{time: task.Release, kind: evRelease, task: idx})
 	return idx
 }
@@ -228,6 +250,7 @@ func (e *Engine) processEvent(ev event) {
 	case evSendComplete:
 		j := ev.dest
 		e.records[ev.task].Arrive = e.now
+		e.obsComm[j].observe(e.now - e.records[ev.task].SendStart)
 		e.model.Arrived(j, ev.task, e.now)
 		s := &e.slaves[j]
 		if s.computing < 0 {
@@ -244,6 +267,7 @@ func (e *Engine) processEvent(ev event) {
 		e.records[ev.task].Complete = e.now
 		e.done[ev.task] = true
 		e.completed++
+		e.obsComp[j].observe(e.now - e.records[ev.task].Start)
 		e.model.Completed(j, ev.task, e.now)
 		s.computing = -1
 		if len(s.queue) > 0 {
@@ -258,7 +282,7 @@ func (e *Engine) processEvent(ev event) {
 
 func (e *Engine) startCompute(j, task int) {
 	s := &e.slaves[j]
-	dur := e.pl.P[j] * e.tasks[task].EffComp()
+	dur := e.actual.P[j] * e.tasks[task].EffComp()
 	s.computing = task
 	s.busyUntil = e.now + dur
 	e.records[task].Start = e.now
@@ -266,14 +290,17 @@ func (e *Engine) startCompute(j, task int) {
 }
 
 // consult gives the scheduler a chance to act. Called only when the port
-// is free. Returns after the scheduler sends (port busy again), waits, or
-// idles.
+// is free. Returns after the scheduler sends (port busy again), waits,
+// idles, or commits a halting violation (dead-slave dispatch).
 func (e *Engine) consult() {
-	for e.portFree <= e.now && len(e.pending) > 0 {
+	for e.halt == nil && e.portFree <= e.now && len(e.pending) > 0 {
 		act := e.sched.Decide(&e.view)
 		switch act.Kind {
 		case ActSend:
 			e.startSend(act.Task, act.Slave)
+			if e.halt != nil {
+				return
+			}
 			if e.unboundedPort {
 				continue // the port never blocks: keep consulting
 			}
@@ -314,9 +341,16 @@ func (e *Engine) startSend(task core.TaskID, j int) {
 	if pos < 0 {
 		panic(fmt.Sprintf("sim: scheduler %s sent unreleased task %d at %v", e.sched.Name(), task, e.now))
 	}
+	if !e.alive[j] {
+		// A dead or departed target is an observable runtime condition, not
+		// a programming error: surface it as a typed validation error and
+		// halt the simulation instead of panicking or silently dropping.
+		e.halt = &DeadSlaveError{Scheduler: e.sched.Name(), Task: task, Slave: j, Time: e.now, Departed: e.departed[j]}
+		return
+	}
 	e.pending = append(e.pending[:pos], e.pending[pos+1:]...)
 	e.sent[idx] = true
-	dur := e.pl.C[j] * e.tasks[idx].EffComm()
+	dur := e.actual.C[j] * e.tasks[idx].EffComm()
 	e.records[idx].Slave = j
 	e.records[idx].SendStart = e.now
 	arrive := e.now + dur
@@ -332,6 +366,9 @@ func (e *Engine) startSend(task core.TaskID, j int) {
 // step drains every event at the next event time, then consults the
 // scheduler. It reports whether an event was processed.
 func (e *Engine) step() bool {
+	if e.halt != nil {
+		return false
+	}
 	ev, ok := e.events.peek()
 	if !ok {
 		return false
@@ -354,7 +391,7 @@ func (e *Engine) AdvanceTo(t float64) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: cannot advance backwards from %v to %v", e.now, t))
 	}
-	for {
+	for e.halt == nil {
 		ev, ok := e.events.peek()
 		if !ok || ev.time > t {
 			break
@@ -365,13 +402,19 @@ func (e *Engine) AdvanceTo(t float64) {
 }
 
 // Run drives the simulation to completion and returns the full schedule.
-// It fails if the scheduler permanently idles while work is pending.
+// It fails if the scheduler permanently idles while work is pending, or
+// with the typed DeadSlaveError if it dispatched to a dead slave. Tasks
+// destroyed by slave failures (dynamics.go) are exempt from the
+// completion requirement — their re-released clones are not.
 func (e *Engine) Run() (core.Schedule, error) {
 	for e.step() {
 	}
-	if e.completed != len(e.tasks) {
+	if e.halt != nil {
+		return core.Schedule{}, e.halt
+	}
+	if e.completed != len(e.tasks)-e.lostCount {
 		return core.Schedule{}, fmt.Errorf("sim: scheduler %s completed %d of %d tasks (idle deadlock at t=%v with %d pending)",
-			e.sched.Name(), e.completed, len(e.tasks), e.now, len(e.pending))
+			e.sched.Name(), e.completed, len(e.tasks)-e.lostCount, e.now, len(e.pending))
 	}
 	return e.Snapshot(), nil
 }

@@ -50,6 +50,10 @@ func (h *eventHeap) push(e event) { heap.Push(h, e) }
 
 func (h *eventHeap) pop() event { return heap.Pop(h).(event) }
 
+// reinit restores the heap invariant after in-place filtering (used when
+// a slave failure cancels its scheduled events).
+func (h *eventHeap) reinit() { heap.Init(h) }
+
 func (h eventHeap) peek() (event, bool) {
 	if len(h) == 0 {
 		return event{}, false

@@ -56,6 +56,29 @@ func (l *Ledger) Completed(j, task int, at float64) {
 	}
 }
 
+// Fail clears slave j's backlog after a failure notification at the given
+// time: every outstanding unit is gone with the slave.
+func (l *Ledger) Fail(j int, at float64) {
+	l.units[j] = nil
+	if at > l.lastSync[j] {
+		l.lastSync[j] = at
+	}
+}
+
+// Sync records that slave j was known idle at the given time (e.g. it
+// just recovered with an empty queue).
+func (l *Ledger) Sync(j int, at float64) {
+	if at > l.lastSync[j] {
+		l.lastSync[j] = at
+	}
+}
+
+// AddSlave extends the bookkeeping for a slave joining at the given time.
+func (l *Ledger) AddSlave(at float64) {
+	l.units = append(l.units, nil)
+	l.lastSync = append(l.lastSync, at)
+}
+
 // Outstanding returns the number of assigned, unfinished tasks on slave j.
 func (l *Ledger) Outstanding(j int) int { return len(l.units[j]) }
 

@@ -1,0 +1,67 @@
+package workload
+
+// Edge cases of the Bursty and Periodic arrival patterns, and the empty
+// workload, pinned so pattern refactors can't bend the corner behavior.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateZeroTasksIsEmpty(t *testing.T) {
+	for _, p := range []Pattern{BagAtZero, Poisson, UniformSpread, Bursty, Periodic} {
+		if got := Generate(rand.New(rand.NewSource(1)), Config{N: 0, Pattern: p}); len(got) != 0 {
+			t.Fatalf("%v: N=0 produced %d tasks", p, len(got))
+		}
+	}
+}
+
+func TestBurstySingleBurst(t *testing.T) {
+	// BurstSize ≥ N: every release lands in the first burst, at time 0 —
+	// no gap is ever drawn.
+	tasks := Generate(rand.New(rand.NewSource(3)), Config{N: 7, Pattern: Bursty, BurstSize: 10, GapMean: 5})
+	for _, task := range tasks {
+		if task.Release != 0 {
+			t.Fatalf("single-burst workload released task at %v, want 0", task.Release)
+		}
+	}
+}
+
+func TestBurstySingleTask(t *testing.T) {
+	tasks := Generate(rand.New(rand.NewSource(4)), Config{N: 1, Pattern: Bursty, BurstSize: 1})
+	if len(tasks) != 1 || tasks[0].Release != 0 {
+		t.Fatalf("N=1 bursty workload: %+v", tasks)
+	}
+}
+
+func TestBurstyGapsOnlyBetweenBursts(t *testing.T) {
+	tasks := Generate(rand.New(rand.NewSource(5)), Config{N: 9, Pattern: Bursty, BurstSize: 3, GapMean: 2})
+	for i := 1; i < len(tasks); i++ {
+		same := i%3 != 0
+		if same && tasks[i].Release != tasks[i-1].Release {
+			t.Fatalf("tasks %d and %d in one burst released at %v vs %v",
+				i-1, i, tasks[i-1].Release, tasks[i].Release)
+		}
+		if !same && tasks[i].Release < tasks[i-1].Release {
+			t.Fatalf("burst boundary went backwards: %v then %v", tasks[i-1].Release, tasks[i].Release)
+		}
+	}
+}
+
+func TestPeriodicPeriodLongerThanWorkload(t *testing.T) {
+	// A tiny rate makes the period (100s) dwarf any plausible horizon;
+	// the stream must still be exactly i/rate, never truncated.
+	tasks := Generate(rand.New(rand.NewSource(6)), Config{N: 3, Pattern: Periodic, Rate: 0.01})
+	for i, task := range tasks {
+		if want := float64(i) / 0.01; task.Release != want {
+			t.Fatalf("task %d released at %v, want %v", i, task.Release, want)
+		}
+	}
+}
+
+func TestPeriodicSingleTaskAndDefaultRate(t *testing.T) {
+	tasks := Generate(rand.New(rand.NewSource(7)), Config{N: 1, Pattern: Periodic, Rate: -1})
+	if len(tasks) != 1 || tasks[0].Release != 0 {
+		t.Fatalf("N=1 periodic workload: %+v", tasks)
+	}
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/scenario"
+)
+
+// regen draws the same generator twice from the same runner-derived
+// stream and requires identical timelines: the determinism contract the
+// sweep engine (DESIGN.md §5) relies on.
+func regen(t *testing.T, name string, gen func(rng *rand.Rand) scenario.Scenario) scenario.Scenario {
+	t.Helper()
+	a := gen(runner.RNG(42, "scenario-test/"+name))
+	b := gen(runner.RNG(42, "scenario-test/"+name))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s: same (seed, key) produced different scenarios", name)
+	}
+	c := gen(runner.RNG(43, "scenario-test/"+name))
+	if reflect.DeepEqual(a.Events, c.Events) && len(a.Events) > 0 {
+		t.Fatalf("%s: different root seeds produced the identical timeline", name)
+	}
+	return a
+}
+
+func TestFailureScenarioDeterministicAndValid(t *testing.T) {
+	sc := regen(t, "failures", func(rng *rand.Rand) scenario.Scenario {
+		return FailureScenario(rng, 5, 50, 2, 3)
+	})
+	if err := sc.Validate(5); err != nil {
+		t.Fatal(err)
+	}
+	fails, recovers := 0, 0
+	for _, e := range sc.Events {
+		switch e.Kind {
+		case scenario.SlaveFail:
+			fails++
+			if e.Time >= 50 {
+				t.Fatalf("failure at %v outside the horizon", e.Time)
+			}
+		case scenario.SlaveRecover:
+			recovers++
+		default:
+			t.Fatalf("unexpected %v event in a failure scenario", e.Kind)
+		}
+	}
+	if fails == 0 || fails != recovers {
+		t.Fatalf("%d failures, %d recoveries: every failure must pair with a recovery", fails, recovers)
+	}
+}
+
+func TestDriftScenarioDeterministicAndBounded(t *testing.T) {
+	pl := core.NewPlatform([]float64{0.2, 0.8}, []float64{2, 6})
+	sc := regen(t, "drift", func(rng *rand.Rand) scenario.Scenario {
+		return DriftScenario(rng, pl, 40, 4, 0.25)
+	})
+	if err := sc.Validate(pl.M()); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Events) != 4*pl.M() {
+		t.Fatalf("%d events, want steps × m = %d", len(sc.Events), 4*pl.M())
+	}
+	maxFactor := 1.25 * 1.25
+	for _, e := range sc.Events {
+		if e.Kind != scenario.SpeedDrift {
+			t.Fatalf("unexpected %v event in a drift scenario", e.Kind)
+		}
+		if e.C < pl.C[e.Slave]/maxFactor-1e-12 || e.C > pl.C[e.Slave]*maxFactor+1e-12 {
+			t.Fatalf("slave %d comm drifted to %v, outside ±%.2fx of %v", e.Slave, e.C, maxFactor, pl.C[e.Slave])
+		}
+		if e.P < pl.P[e.Slave]/maxFactor-1e-12 || e.P > pl.P[e.Slave]*maxFactor+1e-12 {
+			t.Fatalf("slave %d comp drifted to %v, outside ±%.2fx of %v", e.Slave, e.P, maxFactor, pl.P[e.Slave])
+		}
+	}
+}
+
+func TestFlashCrowdScenarioShape(t *testing.T) {
+	sc := regen(t, "flash-crowd", func(rng *rand.Rand) scenario.Scenario {
+		return FlashCrowdScenario(rng, 3, 4, 10, 30, core.GenConfig{})
+	})
+	if err := sc.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	joins, leaves := 0, 0
+	for _, e := range sc.Events {
+		switch e.Kind {
+		case scenario.SlaveJoin:
+			joins++
+			if e.Time != 10 {
+				t.Fatalf("join at %v, want 10", e.Time)
+			}
+		case scenario.SlaveLeave:
+			leaves++
+			if e.Time != 30 || e.Slave < 3 || e.Slave >= 7 {
+				t.Fatalf("leave %+v must target a joined slave at t=30", e)
+			}
+		default:
+			t.Fatalf("unexpected %v event in a flash crowd", e.Kind)
+		}
+	}
+	if joins != 4 || leaves != 4 {
+		t.Fatalf("%d joins, %d leaves, want 4 each", joins, leaves)
+	}
+}

@@ -73,10 +73,14 @@ type Config struct {
 }
 
 // Generate draws a workload. All randomness comes from rng, so a seed
-// fully determines the stream.
+// fully determines the stream. N = 0 yields the empty workload (a sweep
+// cell with nothing to release is legitimate); a negative N panics.
 func Generate(rng *rand.Rand, cfg Config) []core.Task {
-	if cfg.N <= 0 {
-		panic(fmt.Sprintf("workload: non-positive task count %d", cfg.N))
+	if cfg.N < 0 {
+		panic(fmt.Sprintf("workload: negative task count %d", cfg.N))
+	}
+	if cfg.N == 0 {
+		return nil
 	}
 	releases := make([]float64, cfg.N)
 	switch cfg.Pattern {

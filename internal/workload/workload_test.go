@@ -149,10 +149,10 @@ func TestGenerateDeterministic(t *testing.T) {
 func TestGeneratePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("N=0 accepted")
+			t.Fatal("negative N accepted")
 		}
 	}()
-	Generate(rand.New(rand.NewSource(1)), Config{N: 0})
+	Generate(rand.New(rand.NewSource(1)), Config{N: -1})
 }
 
 func TestMeanLoad(t *testing.T) {

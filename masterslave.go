@@ -26,6 +26,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/lowerbound"
 	"repro/internal/optimal"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -145,6 +146,67 @@ func OfflineMakespan(pl Platform, n int) float64 { return sched.OfflineMakespan(
 // schedule of n identical tasks released at time 0.
 func OfflineLowerBound(pl Platform, n int) float64 { return sched.OfflineLowerBound(pl, n) }
 
+// Dynamic-platform scenarios (internal/scenario): a Scenario scripts
+// slaves failing, recovering, joining, departing and drifting in speed
+// mid-run; work destroyed by a failure is re-released to the master and
+// objectives are measured against original release dates.
+type (
+	// Scenario is a deterministic timeline of platform events.
+	Scenario = scenario.Scenario
+	// ScenarioEvent is one platform mutation at a fixed time.
+	ScenarioEvent = scenario.Event
+	// ScenarioOutcome is the result of a scenario run: the final schedule
+	// over original tasks plus the full re-dispatch trace.
+	ScenarioOutcome = scenario.Outcome
+)
+
+// StaticScenario is the empty timeline: RunScenario degenerates to Run.
+var StaticScenario = scenario.Static
+
+// FailAt scripts a slave failure: its queued and in-flight work is
+// destroyed and re-released to the master.
+func FailAt(t float64, slave int) ScenarioEvent { return scenario.FailAt(t, slave) }
+
+// RecoverAt scripts a failed slave coming back, empty-queued.
+func RecoverAt(t float64, slave int) ScenarioEvent { return scenario.RecoverAt(t, slave) }
+
+// JoinAt scripts a new slave appearing with the given costs.
+func JoinAt(t, c, p float64) ScenarioEvent { return scenario.JoinAt(t, c, p) }
+
+// LeaveAt scripts a slave departing for good (its work is re-released).
+func LeaveAt(t float64, slave int) ScenarioEvent { return scenario.LeaveAt(t, slave) }
+
+// DriftAt scripts a change of a slave's actual costs; schedulers keep
+// seeing the originally advertised ones (speed-oblivious regime).
+func DriftAt(t float64, slave int, c, p float64) ScenarioEvent {
+	return scenario.DriftAt(t, slave, c, p)
+}
+
+// RunScenario simulates the named heuristic through a dynamic-platform
+// scenario. The heuristic is wrapped fail-safe: dispatches to dead slaves
+// re-route to the best live slave and membership changes trigger a
+// re-plan, so all seven paper algorithms survive churn. Use
+// RunScenarioScheduler with an unwrapped scheduler to observe the typed
+// sim.DeadSlaveError instead.
+func RunScenario(algorithm string, pl Platform, tasks []Task, sc Scenario) (ScenarioOutcome, error) {
+	return scenario.Run(pl, sched.FailSafe(sched.New(algorithm)), tasks, sc)
+}
+
+// RunScenarioScheduler is RunScenario for a caller-constructed Scheduler,
+// applied as given (no fail-safe wrapping).
+func RunScenarioScheduler(s Scheduler, pl Platform, tasks []Task, sc Scenario) (ScenarioOutcome, error) {
+	return scenario.Run(pl, s, tasks, sc)
+}
+
+// NewFailSafe wraps a scheduler with the dynamic-platform policy used by
+// RunScenario: re-route around dead slaves, re-plan on joins.
+func NewFailSafe(s Scheduler) Scheduler { return sched.FailSafe(s) }
+
+// NewSpeedOblivious returns the speed-oblivious list scheduler (beyond
+// the paper): it ignores advertised costs and learns each slave's real
+// speed online from observed completions, tracking drift.
+func NewSpeedOblivious() Scheduler { return sched.NewSpeedOblivious() }
+
 // ExperimentConfig scales the figure experiments; the zero value is the
 // paper's setup (10 platforms × 5 slaves × 1000 tasks).
 type ExperimentConfig = experiment.Config
@@ -162,3 +224,10 @@ func Figure2(cfg ExperimentConfig) experiment.Figure2Result {
 // Table1 regenerates the paper's Table 1, confirming every bound against
 // the scheduler registry.
 func Table1() []experiment.Table1Row { return experiment.Table1() }
+
+// ScenarioStudy sweeps the heuristics over dynamic-platform scenarios
+// (failures, drift, flash crowds) at two intensities on two platform
+// classes; see experiment.ScenarioStudy.
+func ScenarioStudy(cfg ExperimentConfig) experiment.ScenarioStudyResult {
+	return experiment.ScenarioStudy(cfg)
+}

@@ -1,0 +1,77 @@
+package masterslave
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestRunScenarioRoundTrip is the facade-level acceptance test: a
+// scripted fail/recover timeline runs through RunScenario, loses and
+// re-dispatches work, and still completes every original task with
+// failure-time objectives no better than the static run.
+func TestRunScenarioRoundTrip(t *testing.T) {
+	pl := NewPlatform([]float64{0.5, 0.5}, []float64{2, 2})
+	tasks := Bag(10)
+	sc := Scenario{Name: "blip", Events: []ScenarioEvent{FailAt(3, 0), RecoverAt(6, 0)}}
+
+	static, err := Run("LS", pl, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunScenario("LS", pl, tasks, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.EventsApplied != 2 || out.Lost == 0 || out.Lost != out.Redispatched {
+		t.Fatalf("events %d, lost %d, redispatched %d", out.EventsApplied, out.Lost, out.Redispatched)
+	}
+	if got := len(out.Schedule.Records); got != len(tasks) {
+		t.Fatalf("%d final records for %d tasks", got, len(tasks))
+	}
+	for _, r := range out.Schedule.Records {
+		if r.Complete == 0 {
+			t.Fatalf("task %d never completed", r.Task)
+		}
+	}
+	if out.Schedule.Makespan() < static.Makespan() {
+		t.Fatalf("makespan %v under failures beats static %v", out.Schedule.Makespan(), static.Makespan())
+	}
+
+	// The empty scenario must reproduce the static run exactly.
+	same, err := RunScenario("LS", pl, tasks, StaticScenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Schedule.Makespan() != static.Makespan() || same.Schedule.SumFlow() != static.SumFlow() {
+		t.Fatal("static scenario diverged from Run")
+	}
+}
+
+func TestRunScenarioAllAlgorithmsSurviveChurn(t *testing.T) {
+	pl := NewPlatform([]float64{0.3, 0.5, 0.2}, []float64{2, 3, 4})
+	tasks := Bag(20)
+	sc := Scenario{Name: "churn", Events: []ScenarioEvent{
+		FailAt(2, 0), JoinAt(3, 0.4, 1.5), RecoverAt(7, 0), DriftAt(9, 1, 0.5, 4), LeaveAt(12, 3),
+	}}
+	for _, algo := range Algorithms() {
+		out, err := RunScenario(algo, pl, tasks, sc)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if out.FinalM != 4 {
+			t.Fatalf("%s: final m %d, want 4", algo, out.FinalM)
+		}
+	}
+}
+
+func TestRunScenarioSchedulerSurfacesDeadSlaveError(t *testing.T) {
+	pl := NewPlatform([]float64{0.1, 0.5}, []float64{1, 3})
+	sc := Scenario{Name: "death", Events: []ScenarioEvent{FailAt(2, 0)}}
+	_, err := RunScenarioScheduler(NewScheduler("RR"), pl, Bag(20), sc)
+	var dead *sim.DeadSlaveError
+	if !errors.As(err, &dead) {
+		t.Fatalf("error %v, want *sim.DeadSlaveError from the unwrapped scheduler", err)
+	}
+}
