@@ -50,7 +50,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("msched: ")
 
-	algo := flag.String("algo", "LS", "algorithm: "+strings.Join(sched.Names(), ", ")+", SO-LS")
+	algo := flag.String("algo", "LS", "algorithm: "+strings.Join(sched.ExtendedNames(), ", "))
 	class := flag.String("class", "heterogeneous", "random platform class: homogeneous, comm-homogeneous, comp-homogeneous, heterogeneous")
 	m := flag.Int("m", 5, "number of slaves for random platforms")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -66,12 +66,12 @@ func main() {
 	opt := flag.Bool("opt", false, "also compute the exact offline optimum (small instances only)")
 	repeat := flag.Int("repeat", 1, "number of independently seeded replicates (>1 switches to the sweep mode)")
 	parallel := flag.Int("parallel", 0, "worker-pool size for -repeat; 0 = GOMAXPROCS (results are identical for every value)")
-	jsonOut := flag.String("json", "", "with -repeat: write the machine-readable replicate record to this file")
+	jsonOut := flag.String("json", "", "write the machine-readable record (single run: trace report; -repeat: replicate sweep) to this file")
 	scenarioKind := flag.String("scenario", "", "dynamic-platform scenario: "+strings.Join(experiment.ScenarioKinds, ", ")+" (empty = static platform)")
 	intensity := flag.Float64("intensity", 1, "scenario event density (1 ≈ one failure per slave / ±40% drift / platform-sized crowd)")
 	flag.Parse()
 
-	if err := validateAlgo(*algo); err != nil {
+	if err := sched.Validate(*algo); err != nil {
 		log.Fatal(err)
 	}
 	if err := validateScenarioKind(*scenarioKind); err != nil {
@@ -86,6 +86,9 @@ func main() {
 		}
 		if *releases == "" && *n <= 0 {
 			log.Fatal("-scenario needs a non-empty workload")
+		}
+		if *jsonOut != "" && *repeat <= 1 {
+			log.Fatal("-json for scenarios is the replicate record; add -repeat")
 		}
 	}
 	if *repeat > 1 {
@@ -146,16 +149,34 @@ func main() {
 		fmt.Println()
 		fmt.Print(textplot.Gantt(s, 100))
 	}
+	if *jsonOut != "" {
+		// The single-run record embeds the trace.Report wire encoding —
+		// the same one schedd's GET /stats serves.
+		report := trace.Analyze(s)
+		rec := singleRunRecord{
+			Algorithm: scheduler.Name(),
+			Platform:  map[string]any{"c": pl.C, "p": pl.P, "class": pl.Classify().String()},
+			Tasks:     len(tasks),
+			Arrival:   *arrival,
+			Seed:      *seed,
+			Trace:     &report,
+		}
+		if err := runner.WriteJSON(*jsonOut, rec); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote the run record to %s\n", *jsonOut)
+	}
 }
 
-// validateAlgo accepts the paper registry plus the speed-oblivious
-// extension (which sched.Validate deliberately keeps out of the figure
-// sweeps' registry).
-func validateAlgo(name string) error {
-	if name == "SO-LS" {
-		return nil
-	}
-	return sched.Validate(name)
+// singleRunRecord is the machine-readable single-run output of msched:
+// instance parameters plus the shared trace.Report encoding.
+type singleRunRecord struct {
+	Algorithm string         `json:"algorithm"`
+	Platform  map[string]any `json:"platform"`
+	Tasks     int            `json:"tasks"`
+	Arrival   string         `json:"arrival"`
+	Seed      int64          `json:"seed"`
+	Trace     *trace.Report  `json:"trace"`
 }
 
 // validateScenarioKind rejects unknown -scenario values up front.
@@ -223,7 +244,7 @@ func runReplicates(repeat, parallel int, jsonOut, algo, cFlag, pFlag, class stri
 	// Validate every static argument once, before fanning out: otherwise
 	// runner.Map reports the same bad -class or -arrival once per
 	// replicate.
-	if err := validateAlgo(algo); err != nil {
+	if err := sched.Validate(algo); err != nil {
 		return err
 	}
 	probe := runner.RNG(seed, "msched/validate")

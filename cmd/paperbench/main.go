@@ -19,19 +19,25 @@
 //
 // With -bench-json the command instead times the repository's headline
 // sweeps (the Figure-1 serial and parallel benchmarks and the scenario
-// study) via testing.Benchmark and writes a machine-readable perf
-// artifact (ns/op per benchmark), so CI can track the performance
-// trajectory across PRs:
+// study) via testing.Benchmark, then load-tests the schedd streaming
+// service (a real HTTP daemon over the live runtime, one run per serving
+// policy, measuring sustained jobs/sec and p50/p95/p99 wall latency),
+// and writes the machine-readable perf artifact, so CI can track the
+// performance trajectory across PRs:
 //
-//	paperbench -bench-json BENCH_PR2.json -platforms 4 -tasks 300
+//	paperbench -bench-json BENCH_PR3.json -platforms 4 -tasks 300
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -39,6 +45,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/runner"
 	"repro/internal/sched"
+	"repro/internal/schedd"
 )
 
 func main() {
@@ -236,6 +243,22 @@ type BenchEntry struct {
 	NsPerOp    float64 `json:"ns_per_op"`
 }
 
+// LiveEntry is one schedd load-generation run in the perf artifact: a
+// real HTTP daemon (internal/schedd over the goroutine runtime) under a
+// concurrent submission burst, reporting sustained completion throughput
+// and wall-clock latency percentiles.
+type LiveEntry struct {
+	Policy       string  `json:"policy"`
+	Jobs         int     `json:"jobs"`
+	Producers    int     `json:"producers"`
+	ClockScale   float64 `json:"clock_scale"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	JobsPerSec   float64 `json:"jobs_per_sec"`
+	P50LatencyMs float64 `json:"p50_latency_ms"`
+	P95LatencyMs float64 `json:"p95_latency_ms"`
+	P99LatencyMs float64 `json:"p99_latency_ms"`
+}
+
 // BenchArtifact is the machine-readable perf record CI uploads
 // (BENCH_PR2.json): wall-clock costs of the headline sweeps at the
 // configured scale, plus enough environment to compare runs honestly.
@@ -251,6 +274,9 @@ type BenchArtifact struct {
 	Tasks      int          `json:"tasks"`
 	M          int          `json:"m"`
 	Benchmarks []BenchEntry `json:"benchmarks"`
+	// Live holds the schedd service load benchmarks (jobs/sec and latency
+	// percentiles per serving policy).
+	Live []LiveEntry `json:"live"`
 }
 
 // writeBenchArtifact times the Figure-1 sweep on a one-worker pool and a
@@ -292,11 +318,103 @@ func writeBenchArtifact(path string, cfg experiment.Config) error {
 		})
 		log.Printf("bench %s: %d iterations, %.0f ns/op", bench.name, res.N, float64(res.NsPerOp()))
 	}
+	for _, policy := range []string{"LS", "SRPT", "SO-LS"} {
+		entry, err := liveLoadBench(policy)
+		if err != nil {
+			return fmt.Errorf("live load bench %s: %w", policy, err)
+		}
+		art.Live = append(art.Live, entry)
+		log.Printf("live %s: %d jobs in %.2fs wall → %.0f jobs/s, p95 %.2f ms, p99 %.2f ms",
+			entry.Policy, entry.Jobs, entry.WallSeconds, entry.JobsPerSec, entry.P95LatencyMs, entry.P99LatencyMs)
+	}
 	if err := runner.WriteJSON(path, art); err != nil {
 		return err
 	}
 	log.Printf("wrote perf artifact to %s", path)
 	return nil
+}
+
+// liveLoadBench is the schedd load generator: it stands up the real
+// HTTP service (internal/schedd on the goroutine runtime, scaled clock)
+// on a loopback listener, slams it with concurrent batched submissions,
+// drains, and reports sustained throughput plus wall latency
+// percentiles from the service's own stats endpoint data.
+func liveLoadBench(policy string) (LiveEntry, error) {
+	const (
+		producers  = 4
+		batches    = 5
+		perBatch   = 25
+		clockScale = 2000
+	)
+	jobs := producers * batches * perBatch
+	srv, err := schedd.New(schedd.Config{
+		// The paper's five-slave heterogeneous testbed shape, in paper
+		// seconds; the scaled clock compresses it to milliseconds.
+		Platform:   core.NewPlatform([]float64{0.1, 0.25, 0.5, 0.75, 1}, []float64{0.5, 2, 4, 6, 8}),
+		Policy:     policy,
+		ClockScale: clockScale,
+	})
+	if err != nil {
+		return LiveEntry{}, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, producers)
+	body := fmt.Sprintf(`{"count":%d}`, perBatch)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					errs <- fmt.Errorf("POST /jobs: %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return LiveEntry{}, err
+		}
+	}
+	if err := srv.Drain(); err != nil {
+		return LiveEntry{}, err
+	}
+	wall := time.Since(start).Seconds()
+
+	// The service's own stats path (the GET /stats data) is the single
+	// source of latency numbers.
+	svc := srv.Stats()
+	if svc.Jobs.Completed != jobs {
+		return LiveEntry{}, fmt.Errorf("completed %d of %d jobs", svc.Jobs.Completed, jobs)
+	}
+	if svc.LatencySeconds == nil {
+		return LiveEntry{}, fmt.Errorf("no latency stats after %d jobs", jobs)
+	}
+	return LiveEntry{
+		Policy:       policy,
+		Jobs:         jobs,
+		Producers:    producers,
+		ClockScale:   clockScale,
+		WallSeconds:  wall,
+		JobsPerSec:   float64(jobs) / wall,
+		P50LatencyMs: svc.LatencySeconds.P50 * 1000,
+		P95LatencyMs: svc.LatencySeconds.P95 * 1000,
+		P99LatencyMs: svc.LatencySeconds.P99 * 1000,
+	}, nil
 }
 
 // validateSchedulers rejects unknown names up front, so a typo yields a

@@ -1,0 +1,152 @@
+// Command schedd is the streaming scheduling daemon: it serves a
+// master–slave platform over HTTP/JSON with any registered scheduling
+// policy (the paper's seven heuristics or the speed-oblivious SO-LS) as
+// the serving discipline, backed by the concurrent live runtime of
+// internal/live.
+//
+// Endpoints:
+//
+//	POST /jobs        {"count":8,"comm_scale":1,"comp_scale":1} → {"ids":[...]}
+//	GET  /jobs/{id}   one job's lifecycle and latency
+//	GET  /stats       counts, throughput, p50/p95/p99 latency, trace report
+//	GET  /healthz     liveness
+//
+// The platform comes from -slaves "c:p,c:p,..." (explicit per-slave
+// costs) or from -class/-m/-seed (a random platform drawn exactly like
+// the experiment harness does). -clock-scale compresses model time: at
+// 1000, a platform calibrated in paper seconds serves jobs a thousand
+// times faster than nominal.
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: new submissions get
+// 503, every accepted job completes, the slaves shut down, and only then
+// does the process exit.
+//
+// Usage:
+//
+//	schedd -addr :8080 -policy LS -slaves 0.5:2,1:4,2:5 -clock-scale 100
+//	schedd -policy SO-LS -class heterogeneous -m 5 -seed 7
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/schedd"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("schedd: ")
+
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	policy := flag.String("policy", "LS", "serving policy: "+strings.Join(sched.ExtendedNames(), ", "))
+	slaves := flag.String("slaves", "", "explicit platform as comma-separated c:p pairs, e.g. 0.5:2,1:4,2:5 (overrides -class)")
+	class := flag.String("class", "heterogeneous", "random platform class: homogeneous, comm-homogeneous, comp-homogeneous, heterogeneous")
+	m := flag.Int("m", 5, "number of slaves for random platforms")
+	seed := flag.Int64("seed", 1, "random seed for -class platforms")
+	clockScale := flag.Float64("clock-scale", 1, "model seconds per wall second (speedup of the serving clock)")
+	maxBatch := flag.Int("max-batch", 10000, "largest count accepted by one POST /jobs")
+	flag.Parse()
+
+	if err := sched.Validate(*policy); err != nil {
+		log.Fatal(err)
+	}
+	if *clockScale <= 0 {
+		log.Fatalf("-clock-scale %v must be positive", *clockScale)
+	}
+	pl, err := buildPlatform(*slaves, *class, *m, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := schedd.New(schedd.Config{
+		Platform:   pl,
+		Policy:     *policy,
+		ClockScale: *clockScale,
+		MaxBatch:   *maxBatch,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpServer := &http.Server{Handler: srv.Handler()}
+	log.Printf("serving %s on http://%s (platform %v, clock-scale %g)",
+		*policy, ln.Addr(), pl, *clockScale)
+
+	done := make(chan error, 1)
+	go func() { done <- httpServer.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("received %v: draining", s)
+	case err := <-done:
+		log.Fatalf("http server: %v", err)
+	}
+
+	// Graceful drain: finish every accepted job, then stop the listener.
+	if err := srv.Drain(); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	counts := srv.Tracker().CountsSnapshot()
+	log.Printf("drained: %d jobs submitted, %d completed", counts.Submitted, counts.Completed)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Printf("bye")
+}
+
+// buildPlatform parses -slaves "c:p,c:p,..." or draws a random platform
+// of the requested class, seeded like the experiment harness.
+func buildPlatform(slaves, class string, m int, seed int64) (core.Platform, error) {
+	if slaves != "" {
+		var c, p []float64
+		for _, pair := range strings.Split(slaves, ",") {
+			parts := strings.SplitN(strings.TrimSpace(pair), ":", 2)
+			if len(parts) != 2 {
+				return core.Platform{}, fmt.Errorf("-slaves entry %q is not c:p", pair)
+			}
+			cv, err := strconv.ParseFloat(parts[0], 64)
+			if err != nil {
+				return core.Platform{}, fmt.Errorf("-slaves entry %q: %w", pair, err)
+			}
+			pv, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				return core.Platform{}, fmt.Errorf("-slaves entry %q: %w", pair, err)
+			}
+			if cv <= 0 || pv <= 0 {
+				return core.Platform{}, fmt.Errorf("-slaves entry %q: costs must be positive", pair)
+			}
+			c = append(c, cv)
+			p = append(p, pv)
+		}
+		return core.NewPlatform(c, p), nil
+	}
+	for _, cl := range core.Classes {
+		if cl.String() == class {
+			return core.Random(rand.New(rand.NewSource(seed)), cl, core.GenConfig{M: m}), nil
+		}
+	}
+	return core.Platform{}, fmt.Errorf("unknown class %q", class)
+}

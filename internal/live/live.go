@@ -1,0 +1,271 @@
+// Package live is the concurrent master–slave runtime: it executes the
+// unmodified sim.Scheduler implementations against goroutine-backed
+// slaves instead of the discrete-event simulator. The master is a single
+// actor that serializes all scheduling state (the paper's one-port
+// communication model falls out of the master blocking for each
+// transfer); slaves are workers that "execute" a task by sleeping its
+// communication-plus-computation cost on a pluggable clock; jobs stream
+// in at any moment from concurrent producers.
+//
+// Two substrates implement the same World contract:
+//
+//   - NewRealTime(speedup) runs on the wall clock (optionally scaled), with
+//     one goroutine per actor. This is what the schedd daemon serves from.
+//   - NewVirtual() runs on the deterministic virtual-time kernel of
+//     internal/vclock. Under it, a live run reproduces the discrete-event
+//     engine's dispatch decisions and schedule bit for bit — the
+//     conformance suite in this package pins that property for every
+//     paper heuristic and platform class, so the simulator and the
+//     runtime can never drift apart.
+//
+// The master keeps its scheduler-facing bookkeeping in a sim.Driver, the
+// same exported master-side surface the message-passing emulation uses,
+// and produces an event log plus a core.Schedule, so trace.Analyze, the
+// validity checks and the paper's objectives all apply to live runs.
+package live
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// JobSpec describes one submitted job. The zero value is a nominal task
+// (scales of 1, matching core.Task semantics).
+type JobSpec struct {
+	// ID is assigned by the runtime at submission; caller-set values are
+	// ignored.
+	ID int
+	// CommScale and CompScale perturb the job's actual costs (Figure-2
+	// style); zero means 1.
+	CommScale float64
+	CompScale float64
+}
+
+// Config describes one live runtime.
+type Config struct {
+	// Platform gives the per-task costs of each slave. Required.
+	Platform core.Platform
+	// Scheduler is the serving policy — any sim.Scheduler. Required.
+	Scheduler sim.Scheduler
+	// World selects the substrate; nil means real time at speedup 1.
+	World World
+	// Sources are in-world job producers, spawned after the slaves and
+	// before the master. A virtual world can only receive jobs from
+	// Sources (external Submit would be nondeterministic); a real world
+	// may freely mix Sources and Runtime.Submit.
+	Sources []func(src *Source)
+	// Observer, if set, receives every runtime event from inside the
+	// master actor, in order. It must be fast and must not call back into
+	// the Runtime.
+	Observer func(Event)
+}
+
+// Result is the outcome of a completed (drained) run.
+type Result struct {
+	// Schedule is the executed schedule: one record per admitted job, on
+	// the instance the run actually served. Under the virtual clock it is
+	// bit-identical to the engine's; under a wall clock the recorded
+	// times are measurements.
+	Schedule core.Schedule
+	// Events is the full event log in master order.
+	Events []Event
+}
+
+// Runtime is a running live master–slave system.
+type Runtime struct {
+	cfg   Config
+	world World
+	prog  *program
+
+	mu       sync.Mutex
+	nextID   int
+	draining bool
+	started  bool
+	waited   bool
+	waitErr  error
+}
+
+// New assembles a runtime: m slave actors (node IDs 0..m-1), then the
+// configured sources, then the master (spawned last so that, under the
+// virtual clock, every same-instant completion and submission is
+// delivered before the master decides — the engine's drain-then-consult
+// ordering).
+func New(cfg Config) (*Runtime, error) {
+	if err := cfg.Platform.Validate(); err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("live: config needs a scheduler")
+	}
+	if cfg.World == nil {
+		cfg.World = NewRealTime(1)
+	}
+	rt := &Runtime{cfg: cfg, world: cfg.World}
+	m := cfg.Platform.M()
+	prog := newProgram(cfg)
+	rt.prog = prog
+	for j := 0; j < m; j++ {
+		j := j
+		prog.slaveID[j] = rt.world.Spawn(fmt.Sprintf("slave-%d", j), func(n Node) {
+			prog.runSlave(j, n)
+		})
+	}
+	for i, src := range cfg.Sources {
+		src := src
+		rt.world.Spawn(fmt.Sprintf("source-%d", i), func(n Node) {
+			src(&Source{rt: rt, n: n})
+		})
+	}
+	prog.masterID = rt.world.Spawn("master", prog.runMaster)
+	return rt, nil
+}
+
+// Start launches the actors. On a virtual world execution is cooperative
+// and actually happens inside Wait.
+func (rt *Runtime) Start() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.started {
+		return
+	}
+	rt.started = true
+	rt.world.Start()
+}
+
+// Submit injects one job from outside the world and returns its ID. Jobs
+// are admitted in submission order. Only real worlds accept external
+// submissions; virtual worlds panic (use a Source).
+func (rt *Runtime) Submit(spec JobSpec) int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.draining {
+		panic("live: Submit after Drain")
+	}
+	spec.ID = rt.nextID
+	rt.nextID++
+	rt.world.Post(rt.prog.masterID, Msg{Kind: msgSubmit, Task: spec.ID, Job: spec})
+	return spec.ID
+}
+
+// Drain tells the master no more jobs are coming: it finishes everything
+// outstanding, shuts the slaves down and exits. External counterpart of
+// Source.Drain.
+func (rt *Runtime) Drain() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.draining {
+		return
+	}
+	rt.draining = true
+	rt.world.Post(rt.prog.masterID, Msg{Kind: msgDrain})
+}
+
+// submitFrom is the Source-side submission path: the ID counter is
+// shared with external Submit, the message is posted by the source actor
+// itself (never blocking, delivered at the current instant). The lock is
+// held across the post — exactly like Submit — so concurrent submitters
+// cannot deliver jobs to the master out of ID order. Submitting after
+// any source or external caller has drained panics (surfaced as the
+// world error): the master may already have exited, and a silently
+// dropped job would corrupt the run's accounting.
+func (rt *Runtime) submitFrom(n Node, spec JobSpec) int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.draining {
+		panic("live: Submit after Drain")
+	}
+	spec.ID = rt.nextID
+	rt.nextID++
+	n.Post(rt.prog.masterID, Msg{Kind: msgSubmit, Task: spec.ID, Job: spec})
+	return spec.ID
+}
+
+// Wait blocks until the run completes (drained, or failed). It returns
+// the substrate error, if any.
+func (rt *Runtime) Wait() error {
+	rt.Start()
+	rt.mu.Lock()
+	if rt.waited {
+		defer rt.mu.Unlock()
+		return rt.waitErr
+	}
+	rt.mu.Unlock()
+	err := rt.world.Wait()
+	rt.mu.Lock()
+	rt.waited = true
+	rt.waitErr = err
+	rt.mu.Unlock()
+	return err
+}
+
+// Result assembles the schedule and event log. Call it only after Wait
+// has returned: the master actor owns this state while running.
+func (rt *Runtime) Result() Result {
+	if rt.prog.drv == nil {
+		return Result{Events: rt.prog.events()}
+	}
+	return Result{Schedule: rt.prog.drv.Schedule(), Events: rt.prog.events()}
+}
+
+// Run is the one-call convenience wrapper: build, start, wait, collect.
+// The workload must come from cfg.Sources.
+func Run(cfg Config) (Result, error) {
+	rt, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	rt.Start()
+	if err := rt.Wait(); err != nil {
+		return Result{}, err
+	}
+	if rt.prog.drv == nil || rt.prog.drv.Done() != rt.prog.drv.Admitted() {
+		return Result{}, fmt.Errorf("live: run ended before every admitted job completed")
+	}
+	return rt.Result(), nil
+}
+
+// Source is an in-world job producer's handle: a clock plus the
+// submission surface. Sources run as actors between the slaves and the
+// master, so their submissions are deterministic under the virtual clock.
+type Source struct {
+	rt *Runtime
+	n  Node
+}
+
+// Now returns the current time.
+func (s *Source) Now() float64 { return s.n.Now() }
+
+// Sleep blocks the source for d time units.
+func (s *Source) Sleep(d float64) { s.n.Sleep(d) }
+
+// SleepUntil blocks the source until the clock reaches t exactly (no
+// accumulation error: the deadline is absolute). Times at or before now
+// return immediately.
+func (s *Source) SleepUntil(t float64) {
+	// Sources receive no mail except a real-world abort, so a
+	// deadline-bounded receive is an absolute-deadline sleep.
+	for {
+		m, ok := s.n.RecvDeadline(t)
+		if !ok {
+			return
+		}
+		if m.Kind == msgAbort {
+			return
+		}
+	}
+}
+
+// Submit submits one job at the current instant and returns its ID.
+func (s *Source) Submit(spec JobSpec) int { return s.rt.submitFrom(s.n, spec) }
+
+// Drain tells the master no more jobs are coming (from any source or
+// external submitter).
+func (s *Source) Drain() {
+	s.rt.mu.Lock()
+	s.rt.draining = true
+	s.rt.mu.Unlock()
+	s.n.Post(s.rt.prog.masterID, Msg{Kind: msgDrain})
+}

@@ -1,0 +1,194 @@
+package live
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Job states as reported by the Tracker.
+const (
+	StateQueued  = "queued"  // admitted, waiting for the port
+	StateSent    = "sent"    // transmitting or queued/computing at the slave
+	StateDone    = "done"    // completed
+	StateUnknown = "unknown" // never seen
+)
+
+// JobInfo is one job's lifecycle as observed so far. Times are in model
+// seconds; Slave is -1 until dispatch.
+type JobInfo struct {
+	ID        int     `json:"id"`
+	State     string  `json:"state"`
+	Slave     int     `json:"slave"`
+	Submitted float64 `json:"submitted"`
+	SendStart float64 `json:"send_start,omitempty"`
+	Arrive    float64 `json:"arrive,omitempty"`
+	Start     float64 `json:"start,omitempty"`
+	Complete  float64 `json:"complete,omitempty"`
+}
+
+// Latency returns the job's response time (submit → complete) in model
+// seconds, or 0 if it has not completed.
+func (j JobInfo) Latency() float64 {
+	if j.State != StateDone {
+		return 0
+	}
+	return j.Complete - j.Submitted
+}
+
+// Counts summarizes the tracked population.
+type Counts struct {
+	Submitted  int `json:"submitted"`
+	Dispatched int `json:"dispatched"`
+	Completed  int `json:"completed"`
+}
+
+// Tracker is a thread-safe job-state store fed by the runtime's event
+// stream: wire its Observe method as Config.Observer and query it from
+// any goroutine while the runtime serves. This is what schedd's
+// GET /jobs/{id} and GET /stats read from.
+//
+// Retention is unbounded by design: one JobInfo and one latency sample
+// per submitted job are kept for the life of the tracker (as is the
+// master's own per-task bookkeeping), because the analysis surfaces —
+// per-job lookup, full-population percentiles, the trace report —
+// are defined over the whole history. That bounds a single runtime's
+// service life by memory (~100 bytes/job: a million jobs ≈ 100 MB);
+// an indefinitely running deployment should drain and restart its
+// runtime at epoch boundaries. See DESIGN.md §9.
+type Tracker struct {
+	mu           sync.RWMutex
+	jobs         []JobInfo
+	counts       Counts
+	latencies    []float64
+	firstSubmit  float64
+	lastComplete float64
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker { return &Tracker{} }
+
+// Observe applies one runtime event. It is the Config.Observer hook.
+func (tr *Tracker) Observe(ev Event) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for len(tr.jobs) <= ev.Task {
+		tr.jobs = append(tr.jobs, JobInfo{ID: len(tr.jobs), State: StateUnknown, Slave: -1})
+	}
+	j := &tr.jobs[ev.Task]
+	switch ev.Kind {
+	case EvSubmitted:
+		j.State = StateQueued
+		j.Submitted = ev.T
+		if tr.counts.Submitted == 0 || ev.T < tr.firstSubmit {
+			tr.firstSubmit = ev.T
+		}
+		tr.counts.Submitted++
+	case EvSent:
+		j.State = StateSent
+		j.Slave = ev.Slave
+		j.SendStart = ev.T
+		tr.counts.Dispatched++
+	case EvArrived:
+		j.Arrive = ev.T
+	case EvStarted:
+		j.Start = ev.T
+	case EvCompleted:
+		j.State = StateDone
+		j.Complete = ev.T
+		tr.counts.Completed++
+		tr.latencies = append(tr.latencies, j.Complete-j.Submitted)
+		if ev.T > tr.lastComplete {
+			tr.lastComplete = ev.T
+		}
+	}
+}
+
+// Snapshot is one internally consistent view of the tracked population:
+// counts, latencies, the completion window and the completed records all
+// describe the same instant.
+type Snapshot struct {
+	Counts    Counts
+	Latencies []float64 // completed-job response times, completion order
+	// First and Last bound the model-time window from first submission to
+	// last completion; meaningful when Counts.Completed > 0.
+	First, Last float64
+	// Records are the completed jobs' schedule records in job-ID order.
+	Records []core.Record
+}
+
+// Stats takes one consistent snapshot under a single lock acquisition —
+// what reporting surfaces (schedd's GET /stats) should use, so counts,
+// throughput windows and trace records never disagree mid-run.
+func (tr *Tracker) Stats() Snapshot {
+	tr.mu.RLock()
+	defer tr.mu.RUnlock()
+	return Snapshot{
+		Counts:    tr.counts,
+		Latencies: append([]float64(nil), tr.latencies...),
+		First:     tr.firstSubmit,
+		Last:      tr.lastComplete,
+		Records:   tr.completedRecordsLocked(),
+	}
+}
+
+// Job returns one job's info.
+func (tr *Tracker) Job(id int) (JobInfo, bool) {
+	tr.mu.RLock()
+	defer tr.mu.RUnlock()
+	if id < 0 || id >= len(tr.jobs) || tr.jobs[id].State == StateUnknown {
+		return JobInfo{}, false
+	}
+	return tr.jobs[id], true
+}
+
+// CountsSnapshot returns the current population counters.
+func (tr *Tracker) CountsSnapshot() Counts {
+	tr.mu.RLock()
+	defer tr.mu.RUnlock()
+	return tr.counts
+}
+
+// Latencies returns a copy of all completed-job response times (model
+// seconds), in completion order.
+func (tr *Tracker) Latencies() []float64 {
+	tr.mu.RLock()
+	defer tr.mu.RUnlock()
+	return append([]float64(nil), tr.latencies...)
+}
+
+// Span returns the model-time window [first submission, last completion]
+// observed so far, and whether any job completed.
+func (tr *Tracker) Span() (first, last float64, ok bool) {
+	tr.mu.RLock()
+	defer tr.mu.RUnlock()
+	return tr.firstSubmit, tr.lastComplete, tr.counts.Completed > 0
+}
+
+// CompletedRecords assembles core.Records for every completed job, in
+// job-ID order — the partial-schedule input trace.Analyze and the
+// objectives accept mid-run.
+func (tr *Tracker) CompletedRecords() []core.Record {
+	tr.mu.RLock()
+	defer tr.mu.RUnlock()
+	return tr.completedRecordsLocked()
+}
+
+func (tr *Tracker) completedRecordsLocked() []core.Record {
+	out := make([]core.Record, 0, tr.counts.Completed)
+	for _, j := range tr.jobs {
+		if j.State != StateDone {
+			continue
+		}
+		out = append(out, core.Record{
+			Task:      core.TaskID(j.ID),
+			Slave:     j.Slave,
+			Release:   j.Submitted,
+			SendStart: j.SendStart,
+			Arrive:    j.Arrive,
+			Start:     j.Start,
+			Complete:  j.Complete,
+		})
+	}
+	return out
+}

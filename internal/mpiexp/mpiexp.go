@@ -97,15 +97,11 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	ms := &master{
-		cfg:     cfg,
-		pl:      pl,
-		tasks:   inst.Tasks,
-		records: make([]core.Record, n),
-		ledger:  sim.NewLedger(m),
+		cfg:   cfg,
+		pl:    pl,
+		tasks: inst.Tasks,
 	}
-	for i, task := range inst.Tasks {
-		ms.records[i] = core.Record{Task: task.ID, Slave: -1, Release: task.Release}
-	}
+	ms.drv = sim.NewDriver(pl, func() float64 { return ms.r.Now() })
 	world.Rank(0, "master", ms.run)
 	for j := 0; j < m; j++ {
 		j := j
@@ -116,23 +112,23 @@ func Run(cfg Config) (Result, error) {
 	if err := world.Run(); err != nil {
 		return Result{}, fmt.Errorf("mpiexp: %w", err)
 	}
-	s := core.Schedule{Instance: inst, Records: ms.records}
+	s := ms.drv.Schedule()
 	if err := core.ValidateSchedule(s); err != nil {
 		return Result{}, fmt.Errorf("mpiexp: emulation produced an infeasible schedule: %w", err)
 	}
 	return Result{Schedule: s, Checksum: ms.checksum}, nil
 }
 
-// master is the rank-0 program: the scheduling policy's event loop.
+// master is the rank-0 program: the scheduling policy's event loop. All
+// of its scheduler-facing bookkeeping lives in a sim.Driver — the same
+// master-side state the live runtime (internal/live) uses — so the two
+// substrates cannot drift apart.
 type master struct {
 	cfg      Config
 	pl       core.Platform
 	tasks    []core.Task
-	records  []core.Record
-	ledger   *sim.Ledger
-	pending  []int
+	drv      *sim.Driver
 	released int
-	done     int
 	checksum float64
 	r        *mpi.Rank
 }
@@ -140,16 +136,16 @@ type master struct {
 func (ms *master) run(r *mpi.Rank) {
 	ms.r = r
 	ms.cfg.Scheduler.Reset(ms.pl.Clone())
-	view := &mpiView{ms: ms}
+	view := ms.drv.View()
 	n := len(ms.tasks)
-	for ms.done < n {
+	for ms.drv.Done() < n {
 		now := r.Now()
 		ms.admitReleases(now)
 		ms.drainAcks(now)
-		if ms.done >= n {
+		if ms.drv.Done() >= n {
 			break // the drain just consumed the final completion
 		}
-		if len(ms.pending) == 0 {
+		if ms.drv.PendingCount() == 0 {
 			ms.blockUntil(ms.nextReleaseAfter(now))
 			continue
 		}
@@ -177,7 +173,7 @@ func (ms *master) run(r *mpi.Rank) {
 // admitReleases moves tasks released by now into the pending queue.
 func (ms *master) admitReleases(now float64) {
 	for ms.released < len(ms.tasks) && ms.tasks[ms.released].Release <= now {
-		ms.pending = append(ms.pending, ms.released)
+		ms.drv.Admit(ms.tasks[ms.released])
 		ms.released++
 	}
 }
@@ -195,11 +191,8 @@ func (ms *master) drainAcks(now float64) {
 
 func (ms *master) handleAck(msg mpi.Message) {
 	ack := msg.Payload.(ackMsg)
-	ms.ledger.Completed(ack.slave, ack.task, ack.complete)
-	ms.records[ack.task].Start = ack.start
-	ms.records[ack.task].Complete = ack.complete
+	ms.drv.MarkCompleted(core.TaskID(ack.task), ack.slave, ack.start, ack.complete)
 	ms.checksum += ack.checksum
-	ms.done++
 }
 
 // blockUntil waits for a completion notification or the deadline.
@@ -223,19 +216,7 @@ func (ms *master) nextReleaseAfter(now float64) float64 {
 // occupancy.
 func (ms *master) dispatch(task core.TaskID, j int) {
 	idx := int(task)
-	pos := -1
-	for i, p := range ms.pending {
-		if p == idx {
-			pos = i
-			break
-		}
-	}
-	if pos < 0 {
-		panic(fmt.Sprintf("mpiexp: scheduler %s sent unknown or unreleased task %d", ms.cfg.Scheduler.Name(), task))
-	}
-	ms.pending = append(ms.pending[:pos], ms.pending[pos+1:]...)
-	now := ms.r.Now()
-	ms.ledger.Assign(j, idx, now+ms.pl.C[j])
+	ms.drv.MarkSent(ms.cfg.Scheduler.Name(), task, j)
 	msg := taskMsg{
 		task:    idx,
 		compDur: ms.pl.P[j] * ms.tasks[idx].EffComp(),
@@ -246,12 +227,8 @@ func (ms *master) dispatch(task core.TaskID, j int) {
 		msg.matrix = &mat
 	}
 	size := linalg.Bytes(ms.cfg.MatrixSize) * ms.tasks[idx].EffComm()
-	ms.records[idx].Slave = j
-	ms.records[idx].SendStart = now
 	ms.r.Send(j+1, tagTask, size, msg)
-	arrive := ms.r.Now()
-	ms.records[idx].Arrive = arrive
-	ms.ledger.Arrived(j, idx, arrive)
+	ms.drv.MarkArrived(task, j, ms.r.Now())
 }
 
 // slaveLoop is the slave program: receive, compute, acknowledge.
@@ -308,40 +285,3 @@ func (s *splitMix) next() uint64 {
 func (s *splitMix) float() float64 {
 	return float64(s.next()>>11) / (1 << 53)
 }
-
-// mpiView adapts the master's state to sim.View, so any scheduler written
-// for the discrete-event engine drives the emulated cluster unchanged.
-type mpiView struct {
-	ms *master
-}
-
-func (v *mpiView) Now() float64       { return v.ms.r.Now() }
-func (v *mpiView) M() int             { return v.ms.pl.M() }
-func (v *mpiView) Comm(j int) float64 { return v.ms.pl.C[j] }
-func (v *mpiView) Comp(j int) float64 { return v.ms.pl.P[j] }
-
-func (v *mpiView) PendingCount() int { return len(v.ms.pending) }
-
-func (v *mpiView) PendingAt(i int) core.TaskID { return core.TaskID(v.ms.pending[i]) }
-
-func (v *mpiView) FirstPending() (core.TaskID, bool) {
-	if len(v.ms.pending) == 0 {
-		return 0, false
-	}
-	return core.TaskID(v.ms.pending[0]), true
-}
-
-func (v *mpiView) Release(task core.TaskID) float64 { return v.ms.tasks[task].Release }
-
-func (v *mpiView) Outstanding(j int) int { return v.ms.ledger.Outstanding(j) }
-
-func (v *mpiView) ReadyEstimate(j int) float64 { return v.ms.ledger.Ready(j, v.ms.pl.P[j]) }
-
-func (v *mpiView) PredictFinish(j int) float64 {
-	arrive := v.ms.r.Now() + v.ms.pl.C[j]
-	return math.Max(arrive, v.ReadyEstimate(j)) + v.ms.pl.P[j]
-}
-
-func (v *mpiView) ReleasedCount() int { return v.ms.released }
-
-func (v *mpiView) CompletedCount() int { return v.ms.done }

@@ -53,16 +53,24 @@ func Names() []string {
 	return []string{"SRPT", "LS", "RR", "RRC", "RRP", "SLJF", "SLJFWC"}
 }
 
-// Validate reports whether name is a registered paper algorithm, with a
-// descriptive error for CLI and config surfaces (New panics instead,
-// being reserved for trusted experiment code).
+// ExtendedNames lists every scheduler New constructs: the seven paper
+// algorithms plus the beyond-the-paper extensions (currently SO-LS).
+// Figure sweeps default to Names; CLI surfaces, the scenario experiments
+// and the schedd serving policies draw from this set.
+func ExtendedNames() []string {
+	return append(Names(), "SO-LS")
+}
+
+// Validate reports whether name is a registered algorithm (paper set or
+// extension), with a descriptive error for CLI and config surfaces (New
+// panics instead, being reserved for trusted experiment code).
 func Validate(name string) error {
-	for _, n := range Names() {
+	for _, n := range ExtendedNames() {
 		if n == name {
 			return nil
 		}
 	}
-	return fmt.Errorf("unknown scheduler %q; valid: %s", name, strings.Join(Names(), ", "))
+	return fmt.Errorf("unknown scheduler %q; valid: %s", name, strings.Join(ExtendedNames(), ", "))
 }
 
 // All instantiates the seven paper algorithms in presentation order.

@@ -419,3 +419,31 @@ func TestFastestHelper(t *testing.T) {
 		t.Fatal("fastest must pick lowest index among ties")
 	}
 }
+
+func TestExtendedRegistry(t *testing.T) {
+	names := ExtendedNames()
+	if len(names) != len(Names())+1 {
+		t.Fatalf("ExtendedNames() = %v", names)
+	}
+	for i, n := range Names() {
+		if names[i] != n {
+			t.Fatalf("ExtendedNames()[%d] = %q, want the paper order first", i, names[i])
+		}
+	}
+	if names[len(names)-1] != "SO-LS" {
+		t.Fatalf("ExtendedNames() = %v, want SO-LS last", names)
+	}
+	// Every extended name must round-trip through New and Validate: this
+	// is the contract the CLI and schedd flag validation relies on.
+	for _, n := range names {
+		if err := Validate(n); err != nil {
+			t.Fatalf("Validate(%q): %v", n, err)
+		}
+		if got := New(n).Name(); got != n {
+			t.Fatalf("New(%q).Name() = %q", n, got)
+		}
+	}
+	if err := Validate("FCFS"); err == nil {
+		t.Fatal("Validate accepted an unknown scheduler")
+	}
+}

@@ -1,0 +1,299 @@
+// Package schedd is the streaming scheduling service: an HTTP/JSON front
+// end over the live master–slave runtime (internal/live). Any registered
+// scheduling policy — the seven paper heuristics or SO-LS — serves a
+// configured heterogeneous platform; jobs are submitted over POST /jobs
+// at any moment, tracked via GET /jobs/{id}, and the service reports
+// latency percentiles, throughput and the full trace analysis of
+// completed work on GET /stats. The daemon command (cmd/schedd) and the
+// load generator in cmd/paperbench both sit on this package.
+package schedd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Config describes one service instance.
+type Config struct {
+	// Platform gives the served platform's per-task costs. Required.
+	Platform core.Platform
+	// Policy names the serving policy; any sched.ExtendedNames entry.
+	Policy string
+	// ClockScale is the speedup of the serving clock (model seconds per
+	// wall second); non-positive means 1. A platform calibrated in paper
+	// seconds can be served thousands of times faster than nominal.
+	ClockScale float64
+	// MaxBatch caps the count accepted by one POST /jobs (default 10000).
+	MaxBatch int
+}
+
+// Server is a running service: a live runtime plus its HTTP surface.
+type Server struct {
+	cfg     Config
+	rt      *live.Runtime
+	tracker *live.Tracker
+	mux     *http.ServeMux
+	started time.Time
+
+	// mu serializes submissions against drain: a submission holds the
+	// read side, so Drain cannot slip between the draining check and the
+	// runtime submit.
+	mu       sync.RWMutex
+	draining bool
+}
+
+// New validates the configuration and starts the runtime (goroutine
+// slaves on the scaled wall clock). The returned server is serving
+// immediately; wire Handler into an http.Server and call Drain on
+// shutdown.
+func New(cfg Config) (*Server, error) {
+	if err := sched.Validate(cfg.Policy); err != nil {
+		return nil, fmt.Errorf("schedd: %w", err)
+	}
+	if err := cfg.Platform.Validate(); err != nil {
+		return nil, fmt.Errorf("schedd: %w", err)
+	}
+	if cfg.ClockScale <= 0 {
+		cfg.ClockScale = 1
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 10000
+	}
+	tracker := live.NewTracker()
+	rt, err := live.New(live.Config{
+		Platform:  cfg.Platform,
+		Scheduler: sched.New(cfg.Policy),
+		World:     live.NewRealTime(cfg.ClockScale),
+		Observer:  tracker.Observe,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("schedd: %w", err)
+	}
+	s := &Server{cfg: cfg, rt: rt, tracker: tracker, started: time.Now()}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	rt.Start()
+	return s, nil
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Policy returns the serving policy's name.
+func (s *Server) Policy() string { return s.cfg.Policy }
+
+// Tracker exposes the job-state store (read-only use).
+func (s *Server) Tracker() *live.Tracker { return s.tracker }
+
+// Drain gracefully shuts the runtime down: new submissions are rejected
+// with 503, every outstanding job completes, the slaves exit. It blocks
+// until the runtime has fully drained and returns its error, if any.
+func (s *Server) Drain() error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		s.rt.Drain()
+	}
+	return s.rt.Wait()
+}
+
+// isDraining reports whether the server has begun shutting down.
+func (s *Server) isDraining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}
+
+// SubmitRequest is the POST /jobs body. An empty body submits one
+// nominal job.
+type SubmitRequest struct {
+	// Count is the number of jobs to submit (default 1).
+	Count int `json:"count"`
+	// CommScale and CompScale perturb the jobs' actual costs (0 means 1).
+	CommScale float64 `json:"comm_scale"`
+	CompScale float64 `json:"comp_scale"`
+}
+
+// SubmitResponse echoes the assigned job IDs.
+type SubmitResponse struct {
+	IDs []int `json:"ids"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		httpError(w, http.StatusServiceUnavailable, "draining: no new jobs accepted")
+		return
+	}
+	req := SubmitRequest{Count: 1}
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+	}
+	if req.Count == 0 {
+		req.Count = 1
+	}
+	if req.Count < 0 || req.Count > s.cfg.MaxBatch {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("count %d outside [1, %d]", req.Count, s.cfg.MaxBatch))
+		return
+	}
+	if req.CommScale < 0 || req.CompScale < 0 {
+		httpError(w, http.StatusBadRequest, "scales must be non-negative")
+		return
+	}
+	ids := make([]int, req.Count)
+	for i := range ids {
+		ids[i] = s.rt.Submit(live.JobSpec{CommScale: req.CommScale, CompScale: req.CompScale})
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{IDs: ids})
+}
+
+// JobResponse is the GET /jobs/{id} body: the tracked lifecycle plus the
+// wall-clock latency for completed jobs.
+type JobResponse struct {
+	live.JobInfo
+	// LatencySeconds is the wall-clock response time (submit → complete),
+	// only present once done.
+	LatencySeconds float64 `json:"latency_seconds,omitempty"`
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad job id")
+		return
+	}
+	info, ok := s.tracker.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown job %d", id))
+		return
+	}
+	resp := JobResponse{JobInfo: info}
+	if info.State == live.StateDone {
+		resp.LatencySeconds = info.Latency() / s.cfg.ClockScale
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// LatencyStats summarizes completed-job response times in wall seconds.
+type LatencyStats struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+}
+
+// StatsResponse is the GET /stats body. Trace is the shared trace.Report
+// encoding over completed jobs, in model time.
+type StatsResponse struct {
+	Policy        string      `json:"policy"`
+	Slaves        int         `json:"slaves"`
+	ClockScale    float64     `json:"clock_scale"`
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Draining      bool        `json:"draining"`
+	Jobs          live.Counts `json:"jobs"`
+	// ThroughputJobsPerSec is completions per wall second over the
+	// window from first submission to last completion.
+	ThroughputJobsPerSec float64       `json:"throughput_jobs_per_sec"`
+	LatencySeconds       *LatencyStats `json:"latency_seconds,omitempty"`
+	Trace                *trace.Report `json:"trace,omitempty"`
+}
+
+// Stats assembles the current service statistics from one consistent
+// tracker snapshot (also used by the load generator without going
+// through HTTP decoding).
+func (s *Server) Stats() StatsResponse {
+	snap := s.tracker.Stats()
+	resp := StatsResponse{
+		Policy:        s.cfg.Policy,
+		Slaves:        s.cfg.Platform.M(),
+		ClockScale:    s.cfg.ClockScale,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Draining:      s.isDraining(),
+		Jobs:          snap.Counts,
+	}
+	if len(snap.Latencies) > 0 {
+		wall := make([]float64, len(snap.Latencies))
+		for i, l := range snap.Latencies {
+			wall[i] = l / s.cfg.ClockScale
+		}
+		sum := stats.Summarize(wall)
+		resp.LatencySeconds = &LatencyStats{Mean: sum.Mean, P50: sum.P50, P95: sum.P95, P99: sum.P99}
+	}
+	if snap.Counts.Completed > 0 && snap.Last > snap.First {
+		wallWindow := (snap.Last - snap.First) / s.cfg.ClockScale
+		resp.ThroughputJobsPerSec = float64(snap.Counts.Completed) / wallWindow
+	}
+	if recs := snap.Records; len(recs) > 0 {
+		// Rebase model time to the first submission: a daemon may idle for
+		// a long while before its first job, and an un-rebased makespan
+		// (hence every utilization figure) would be dominated by that
+		// offset rather than by the served work.
+		if snap.First > 0 {
+			for i := range recs {
+				recs[i].Release -= snap.First
+				recs[i].SendStart -= snap.First
+				recs[i].Arrive -= snap.First
+				recs[i].Start -= snap.First
+				recs[i].Complete -= snap.First
+			}
+		}
+		report := trace.Analyze(core.Schedule{
+			Instance: core.Instance{Platform: s.cfg.Platform.Clone()},
+			Records:  recs,
+		})
+		resp.Trace = &report
+	}
+	return resp
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	OK            bool    `json:"ok"`
+	Policy        string  `json:"policy"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		OK:            true,
+		Policy:        s.cfg.Policy,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Draining:      s.isDraining(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

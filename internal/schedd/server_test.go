@@ -1,0 +1,221 @@
+package schedd
+
+// End-to-end service tests over real HTTP (httptest): submit a burst,
+// poll until completion, check per-job lifecycle, stats shape and the
+// drain protocol.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/live"
+)
+
+func testServer(t *testing.T, policy string) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(Config{
+		Platform:   core.NewPlatform([]float64{0.5, 1, 2}, []float64{2, 4, 5}),
+		Policy:     policy,
+		ClockScale: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, body, out any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func waitCompleted(t *testing.T, ts *httptest.Server, want int) StatsResponse {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		var stats StatsResponse
+		if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+			t.Fatalf("GET /stats: %d", code)
+		}
+		if stats.Jobs.Completed >= want {
+			return stats
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %d completions", want)
+	return StatsResponse{}
+}
+
+func TestServiceEndToEnd(t *testing.T) {
+	s, ts := testServer(t, "LS")
+
+	// Health first.
+	var health HealthResponse
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || !health.OK {
+		t.Fatalf("healthz: %d %+v", code, health)
+	}
+	if health.Policy != "LS" {
+		t.Fatalf("policy %q", health.Policy)
+	}
+
+	// Submit a burst: 3 batches of 8.
+	const batches, per = 3, 8
+	seen := map[int]bool{}
+	for b := 0; b < batches; b++ {
+		var resp SubmitResponse
+		if code := postJSON(t, ts.URL+"/jobs", SubmitRequest{Count: per}, &resp); code != http.StatusAccepted {
+			t.Fatalf("POST /jobs: %d", code)
+		}
+		if len(resp.IDs) != per {
+			t.Fatalf("batch %d: got %d ids", b, len(resp.IDs))
+		}
+		for _, id := range resp.IDs {
+			if seen[id] {
+				t.Fatalf("duplicate id %d", id)
+			}
+			seen[id] = true
+		}
+	}
+
+	stats := waitCompleted(t, ts, batches*per)
+	if stats.Jobs.Submitted != batches*per || stats.Jobs.Completed != batches*per {
+		t.Fatalf("stats jobs %+v", stats.Jobs)
+	}
+	if stats.LatencySeconds == nil || stats.LatencySeconds.P95 <= 0 ||
+		stats.LatencySeconds.P99 < stats.LatencySeconds.P95 || stats.LatencySeconds.P50 <= 0 {
+		t.Fatalf("latency stats %+v", stats.LatencySeconds)
+	}
+	if stats.ThroughputJobsPerSec <= 0 {
+		t.Fatalf("throughput %v", stats.ThroughputJobsPerSec)
+	}
+	if stats.Trace == nil || stats.Trace.Makespan <= 0 || len(stats.Trace.Slaves) != 3 {
+		t.Fatalf("trace %+v", stats.Trace)
+	}
+
+	// Every job's lifecycle is visible and monotone.
+	for id := range seen {
+		var job JobResponse
+		if code := getJSON(t, ts.URL+fmt.Sprintf("/jobs/%d", id), &job); code != http.StatusOK {
+			t.Fatalf("GET /jobs/%d: %d", id, code)
+		}
+		if job.State != live.StateDone {
+			t.Fatalf("job %d state %q", id, job.State)
+		}
+		if job.LatencySeconds <= 0 {
+			t.Fatalf("job %d latency %v", id, job.LatencySeconds)
+		}
+		if job.SendStart < job.Submitted || job.Complete < job.Start {
+			t.Fatalf("job %d non-monotone %+v", id, job)
+		}
+	}
+
+	// Unknown and malformed ids.
+	if code := getJSON(t, ts.URL+"/jobs/99999", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job: %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/jobs/xyz", nil); code != http.StatusBadRequest {
+		t.Fatalf("malformed job id: %d", code)
+	}
+
+	// Drain: clean shutdown, then submissions are refused.
+	if err := s.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if code := postJSON(t, ts.URL+"/jobs", SubmitRequest{Count: 1}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while drained: %d", code)
+	}
+	var after HealthResponse
+	if code := getJSON(t, ts.URL+"/healthz", &after); code != http.StatusOK || !after.Draining {
+		t.Fatalf("healthz after drain: %d %+v", code, after)
+	}
+}
+
+func TestServiceDrainCompletesOutstanding(t *testing.T) {
+	s, ts := testServer(t, "SO-LS")
+	var resp SubmitResponse
+	if code := postJSON(t, ts.URL+"/jobs", SubmitRequest{Count: 20}, &resp); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d", code)
+	}
+	// Drain immediately: every accepted job must still complete.
+	if err := s.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	counts := s.Tracker().CountsSnapshot()
+	if counts.Completed != 20 {
+		t.Fatalf("drained with %d of 20 complete", counts.Completed)
+	}
+}
+
+func TestServiceRejectsBadRequests(t *testing.T) {
+	_, ts := testServer(t, "SRPT")
+	if code := postJSON(t, ts.URL+"/jobs", SubmitRequest{Count: -1}, nil); code != http.StatusBadRequest {
+		t.Fatalf("negative count: %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/jobs", SubmitRequest{Count: 1, CommScale: -2}, nil); code != http.StatusBadRequest {
+		t.Fatalf("negative scale: %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: %d", resp.StatusCode)
+	}
+}
+
+func TestServiceConfigValidation(t *testing.T) {
+	pl := core.NewPlatform([]float64{1}, []float64{1})
+	if _, err := New(Config{Platform: pl, Policy: "FCFS"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := New(Config{Policy: "LS"}); err == nil {
+		t.Fatal("empty platform accepted")
+	}
+	// Every extended policy (the paper seven + SO-LS) must be servable:
+	// this is the flag-validation contract of cmd/schedd.
+	srv, err := New(Config{Platform: pl, Policy: "SO-LS", ClockScale: 4000})
+	if err != nil {
+		t.Fatalf("SO-LS rejected: %v", err)
+	}
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+package sim
+
+// Driver is the master-side half of the one-port model, factored out of
+// the discrete-event engine so that every concrete master — the
+// message-passing emulation in internal/mpiexp and the concurrent live
+// runtime in internal/live — drives a Scheduler through identical
+// bookkeeping: the admitted task list, the pending (released, unsent)
+// queue, the dispatch Ledger, per-task schedule records, and the
+// observation feed of actual send/computation durations.
+//
+// The Driver implements exactly the state a real master can know. It is
+// told about admissions, dispatch decisions, arrivals and completions by
+// the substrate that owns ground truth (virtual-time kernel, goroutine
+// workers, or a physical cluster) and exposes the scheduler-visible
+// projection of that state as a DynamicView, so the same unmodified
+// Scheduler implementations run on every substrate and — on deterministic
+// substrates — reproduce the engine's decisions bit for bit.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Driver is master-side bookkeeping for one run. It is not safe for
+// concurrent use: all mutation must come from the single master loop.
+type Driver struct {
+	pl      core.Platform
+	now     func() float64
+	tasks   []core.Task
+	records []core.Record
+	pending []int // released, unsent task indices, FIFO
+	sent    []bool
+	done    []bool
+	ledger  *Ledger
+	obsComm []ewma
+	obsComp []ewma
+
+	completed int
+	view      driverView
+}
+
+// NewDriver creates bookkeeping for a master serving the given platform.
+// The now function supplies the substrate's current time; the View and
+// validation messages use it.
+func NewDriver(pl core.Platform, now func() float64) *Driver {
+	m := pl.M()
+	d := &Driver{
+		pl:      pl.Clone(),
+		now:     now,
+		ledger:  NewLedger(m),
+		obsComm: make([]ewma, m),
+		obsComp: make([]ewma, m),
+	}
+	d.view.d = d
+	return d
+}
+
+// Admit registers a task the master just learned about and appends it to
+// the pending queue. Task IDs are assigned densely in admission order
+// (the Release field is kept as given: for streaming masters it is the
+// moment the submission arrived). The assigned ID is returned.
+func (d *Driver) Admit(task core.Task) core.TaskID {
+	idx := len(d.tasks)
+	task.ID = core.TaskID(idx)
+	d.tasks = append(d.tasks, task)
+	d.records = append(d.records, core.Record{Task: task.ID, Slave: -1, Release: task.Release})
+	d.sent = append(d.sent, false)
+	d.done = append(d.done, false)
+	d.pending = append(d.pending, idx)
+	return task.ID
+}
+
+// MarkSent validates and records a dispatch decision made at the current
+// time: the task leaves the pending queue, its send start is stamped, and
+// the ledger predicts its arrival with the nominal link cost. Like the
+// engine, scheduler protocol violations (unknown task, unknown slave,
+// re-send, unreleased task) are programming errors and panic.
+func (d *Driver) MarkSent(scheduler string, task core.TaskID, j int) {
+	idx := int(task)
+	if idx < 0 || idx >= len(d.tasks) {
+		panic(fmt.Sprintf("sim: scheduler %s sent unknown task %d", scheduler, task))
+	}
+	if j < 0 || j >= d.pl.M() {
+		panic(fmt.Sprintf("sim: scheduler %s used unknown slave %d", scheduler, j))
+	}
+	if d.sent[idx] {
+		panic(fmt.Sprintf("sim: scheduler %s re-sent task %d", scheduler, task))
+	}
+	pos := -1
+	for i, p := range d.pending {
+		if p == idx {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		panic(fmt.Sprintf("sim: scheduler %s sent unreleased task %d at %v", scheduler, task, d.now()))
+	}
+	d.pending = append(d.pending[:pos], d.pending[pos+1:]...)
+	d.sent[idx] = true
+	now := d.now()
+	d.records[idx].Slave = j
+	d.records[idx].SendStart = now
+	d.ledger.Assign(j, idx, now+d.pl.C[j])
+}
+
+// MarkArrived records the observed send completion: the master
+// experiences its own port, so the actual transfer duration feeds the
+// observation stream and corrects the ledger's arrival prediction.
+func (d *Driver) MarkArrived(task core.TaskID, j int, at float64) {
+	idx := int(task)
+	d.records[idx].Arrive = at
+	d.obsComm[j].observe(at - d.records[idx].SendStart)
+	d.ledger.Arrived(j, idx, at)
+}
+
+// MarkCompleted records a completion notification carrying the slave's
+// reported computation window. The actual computation duration feeds the
+// observation stream, mirroring the engine's evComputeComplete handling.
+func (d *Driver) MarkCompleted(task core.TaskID, j int, start, complete float64) {
+	idx := int(task)
+	d.records[idx].Start = start
+	d.records[idx].Complete = complete
+	d.done[idx] = true
+	d.completed++
+	d.obsComp[j].observe(complete - start)
+	d.ledger.Completed(j, idx, complete)
+}
+
+// Admitted returns the number of tasks admitted so far.
+func (d *Driver) Admitted() int { return len(d.tasks) }
+
+// Done returns the number of completed tasks.
+func (d *Driver) Done() int { return d.completed }
+
+// PendingCount returns the number of released, unsent tasks.
+func (d *Driver) PendingCount() int { return len(d.pending) }
+
+// Task returns an admitted task by ID.
+func (d *Driver) Task(id core.TaskID) core.Task { return d.tasks[id] }
+
+// Platform returns the nominal platform the master believes in.
+func (d *Driver) Platform() core.Platform { return d.pl }
+
+// View returns the scheduler-visible projection of the master's state.
+// It implements DynamicView: on a static platform every slave is alive,
+// and the observation feed carries the actual durations the master
+// measured, exactly as the engine's view does.
+func (d *Driver) View() View { return &d.view }
+
+// Schedule assembles the schedule recorded so far. On a completed run it
+// is a full, validatable core.Schedule; mid-run, records of unfinished
+// tasks have zero fields (like Engine.Snapshot).
+func (d *Driver) Schedule() core.Schedule {
+	inst := core.Instance{Platform: d.pl.Clone(), Tasks: append([]core.Task(nil), d.tasks...)}
+	return core.Schedule{Instance: inst, Records: append([]core.Record(nil), d.records...)}
+}
+
+// driverView is the Driver-backed DynamicView. Its float expressions
+// mirror engineView operation for operation: bit-identical inputs must
+// yield bit-identical scheduler decisions.
+type driverView struct {
+	d *Driver
+}
+
+// Now returns the current time.
+func (v *driverView) Now() float64 { return v.d.now() }
+
+// M returns the number of slaves.
+func (v *driverView) M() int { return v.d.pl.M() }
+
+// Comm returns the nominal communication time c_j.
+func (v *driverView) Comm(j int) float64 { return v.d.pl.C[j] }
+
+// Comp returns the nominal computation time p_j.
+func (v *driverView) Comp(j int) float64 { return v.d.pl.P[j] }
+
+// PendingCount returns the number of released, unsent tasks.
+func (v *driverView) PendingCount() int { return len(v.d.pending) }
+
+// PendingAt returns the i-th pending task in release (FIFO) order.
+func (v *driverView) PendingAt(i int) core.TaskID { return core.TaskID(v.d.pending[i]) }
+
+// FirstPending returns the oldest pending task.
+func (v *driverView) FirstPending() (core.TaskID, bool) {
+	if len(v.d.pending) == 0 {
+		return 0, false
+	}
+	return core.TaskID(v.d.pending[0]), true
+}
+
+// Release returns the release time of a task.
+func (v *driverView) Release(task core.TaskID) float64 { return v.d.tasks[task].Release }
+
+// Outstanding returns the number of tasks assigned to slave j and not yet
+// completed (in flight, queued, or computing).
+func (v *driverView) Outstanding(j int) int { return v.d.ledger.Outstanding(j) }
+
+// ReadyEstimate returns the master's nominal-cost estimate of when slave
+// j will drain its outstanding backlog.
+func (v *driverView) ReadyEstimate(j int) float64 { return v.d.ledger.Ready(j, v.d.pl.P[j]) }
+
+// PredictFinish estimates the completion time of a task sent to slave j
+// right now, under nominal costs.
+func (v *driverView) PredictFinish(j int) float64 {
+	arrive := v.d.now() + v.d.pl.C[j]
+	start := math.Max(arrive, v.ReadyEstimate(j))
+	return start + v.d.pl.P[j]
+}
+
+// ReleasedCount returns how many tasks have been released so far: a
+// master admits a task the moment it is released (or submitted), so this
+// is the admission count.
+func (v *driverView) ReleasedCount() int { return len(v.d.tasks) }
+
+// CompletedCount returns how many tasks have finished.
+func (v *driverView) CompletedCount() int { return v.d.completed }
+
+// Alive implements DynamicView: Driver-backed masters run static
+// platforms, where every slave accepts sends.
+func (v *driverView) Alive(int) bool { return true }
+
+// ObservedComm implements DynamicView.
+func (v *driverView) ObservedComm(j int) (float64, bool) {
+	o := v.d.obsComm[j]
+	return o.mean, o.seen
+}
+
+// ObservedComp implements DynamicView.
+func (v *driverView) ObservedComp(j int) (float64, bool) {
+	o := v.d.obsComp[j]
+	return o.mean, o.seen
+}

@@ -1,0 +1,107 @@
+package sim
+
+// Direct unit coverage for the exported master-side Driver; the heavier
+// contracts (decision-for-decision agreement with the engine) are pinned
+// by the mpiexp cross-validation and the live conformance suite.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func driverAt(now *float64) *Driver {
+	return NewDriver(core.NewPlatform([]float64{1, 2}, []float64{3, 5}), func() float64 { return *now })
+}
+
+func TestDriverLifecycle(t *testing.T) {
+	now := 0.0
+	d := driverAt(&now)
+	if d.Admitted() != 0 || d.PendingCount() != 0 || d.Done() != 0 {
+		t.Fatal("fresh driver not empty")
+	}
+	id := d.Admit(core.Task{Release: 0})
+	if id != 0 || d.Admitted() != 1 || d.PendingCount() != 1 {
+		t.Fatalf("admit: id=%d admitted=%d pending=%d", id, d.Admitted(), d.PendingCount())
+	}
+	v := d.View()
+	if got, ok := v.FirstPending(); !ok || got != 0 {
+		t.Fatalf("FirstPending %v %v", got, ok)
+	}
+	if v.ReleasedCount() != 1 || v.Outstanding(0) != 0 {
+		t.Fatal("view counts wrong")
+	}
+	// Dispatch at t=0: ledger predicts arrival with the nominal cost.
+	d.MarkSent("test", 0, 0)
+	if d.PendingCount() != 0 || v.Outstanding(0) != 1 {
+		t.Fatal("dispatch bookkeeping wrong")
+	}
+	if got := v.ReadyEstimate(0); got != 4 { // predicted arrive 1 + p 3
+		t.Fatalf("ReadyEstimate %v", got)
+	}
+	// Actual arrival later than predicted: the observation feed and the
+	// ledger both switch to the measurement.
+	now = 1.5
+	d.MarkArrived(0, 0, 1.5)
+	if obs, ok := v.(DynamicView).ObservedComm(0); !ok || obs != 1.5 {
+		t.Fatalf("ObservedComm %v %v", obs, ok)
+	}
+	if got := v.ReadyEstimate(0); got != 4.5 {
+		t.Fatalf("ReadyEstimate after arrival %v", got)
+	}
+	now = 5.0
+	d.MarkCompleted(0, 0, 1.5, 5.0)
+	if d.Done() != 1 || v.Outstanding(0) != 0 || v.CompletedCount() != 1 {
+		t.Fatal("completion bookkeeping wrong")
+	}
+	if obs, ok := v.(DynamicView).ObservedComp(0); !ok || obs != 3.5 {
+		t.Fatalf("ObservedComp %v %v", obs, ok)
+	}
+	s := d.Schedule()
+	if len(s.Records) != 1 {
+		t.Fatalf("%d records", len(s.Records))
+	}
+	want := core.Record{Task: 0, Slave: 0, Release: 0, SendStart: 0, Arrive: 1.5, Start: 1.5, Complete: 5}
+	if s.Records[0] != want {
+		t.Fatalf("record %+v, want %+v", s.Records[0], want)
+	}
+	if err := core.ValidateSchedule(core.Schedule{
+		Instance: core.Instance{Platform: core.NewPlatform([]float64{1.5}, []float64{3.5}), Tasks: s.Instance.Tasks},
+		Records:  s.Records,
+	}); err != nil {
+		t.Fatalf("records do not validate against their measured costs: %v", err)
+	}
+}
+
+func TestDriverAlive(t *testing.T) {
+	now := 0.0
+	d := driverAt(&now)
+	dv := d.View().(DynamicView)
+	for j := 0; j < 2; j++ {
+		if !dv.Alive(j) {
+			t.Fatalf("slave %d dead on a static platform", j)
+		}
+	}
+}
+
+func TestDriverProtocolViolationsPanic(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(d *Driver)
+	}{
+		{"unknown task", func(d *Driver) { d.MarkSent("t", 9, 0) }},
+		{"unknown slave", func(d *Driver) { d.Admit(core.Task{}); d.MarkSent("t", 0, 7) }},
+		{"re-send", func(d *Driver) { d.Admit(core.Task{}); d.MarkSent("t", 0, 0); d.MarkSent("t", 0, 0) }},
+	}
+	for _, c := range cases {
+		func() {
+			now := 0.0
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s accepted", c.name)
+				}
+			}()
+			c.run(driverAt(&now))
+		}()
+	}
+}

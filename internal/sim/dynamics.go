@@ -54,12 +54,12 @@ func (e *DeadSlaveError) Error() string {
 		e.Scheduler, e.Task, state, e.Slave, e.Time)
 }
 
-// DynamicView is the optional extension of View that dynamic-platform
-// engines provide: slave liveness and the master's observation feed (the
-// actual durations of completed sends and computations, smoothed). The
-// static message-passing substrate (internal/mpiexp) does not implement
+// DynamicView is the optional extension of View that engines with
+// liveness or an observation feed provide: slave liveness plus the actual
+// durations of completed sends and computations, smoothed. The engine and
+// every Driver-backed master (internal/mpiexp, internal/live) implement
 // it; use the IsAlive/ObservedComm/ObservedComp helpers to degrade
-// gracefully.
+// gracefully on views that do not.
 type DynamicView interface {
 	View
 	// Alive reports whether slave j currently accepts sends.

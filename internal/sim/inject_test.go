@@ -1,0 +1,198 @@
+package sim
+
+// Interleaving coverage for the incremental-execution surface the
+// adversaries and the streaming facades rely on: InjectTask at the
+// current instant, between consults, and after the last event must
+// preserve event ordering and produce deterministic, valid schedules
+// identical to an equivalent up-front run.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// lsLike is a minimal earliest-finish scheduler, local to the test so the
+// package does not import internal/sched (which depends on sim).
+type lsLike struct{}
+
+func (lsLike) Name() string        { return "test-ls" }
+func (lsLike) Reset(core.Platform) {}
+func (s lsLike) Decide(v View) Action {
+	task, ok := v.FirstPending()
+	if !ok {
+		return Idle()
+	}
+	best := 0
+	for j := 1; j < v.M(); j++ {
+		if v.PredictFinish(j) < v.PredictFinish(best) {
+			best = j
+		}
+	}
+	return Send(task, best)
+}
+
+func testInjectPlatform() core.Platform {
+	return core.NewPlatform([]float64{1, 1}, []float64{2, 5})
+}
+
+// runUpfront simulates the same releases given at construction time.
+func runUpfront(t *testing.T, releases []float64) core.Schedule {
+	t.Helper()
+	s, err := Simulate(testInjectPlatform(), lsLike{}, core.ReleasesAt(releases...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestInjectAtCurrentInstant injects a task released exactly at the
+// engine's current time and checks the run matches the up-front one.
+func TestInjectAtCurrentInstant(t *testing.T) {
+	e := New(testInjectPlatform(), lsLike{}, core.ReleasesAt(0, 1))
+	e.AdvanceTo(1) // clock is now exactly 1
+	if got := e.Now(); got != 1 {
+		t.Fatalf("now = %v", got)
+	}
+	id := e.InjectTask(core.Task{Release: 1})
+	if id != 2 {
+		t.Fatalf("injected task got ID %d", id)
+	}
+	s, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.ValidateSchedule(s); err != nil {
+		t.Fatal(err)
+	}
+	want := runUpfront(t, []float64{0, 1, 1})
+	for i := range want.Records {
+		if s.Records[i] != want.Records[i] {
+			t.Fatalf("task %d: incremental %+v, up-front %+v", i, s.Records[i], want.Records[i])
+		}
+	}
+}
+
+// TestInjectBetweenConsults advances into the middle of the run (between
+// scheduler consults), injects, and compares against the up-front run.
+func TestInjectBetweenConsults(t *testing.T) {
+	e := New(testInjectPlatform(), lsLike{}, core.ReleasesAt(0, 0, 0))
+	e.AdvanceTo(2.5) // mid-run: first sends done, computations in flight
+	id := e.InjectTask(core.Task{Release: 4})
+	if id != 3 {
+		t.Fatalf("injected task got ID %d", id)
+	}
+	s, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.ValidateSchedule(s); err != nil {
+		t.Fatal(err)
+	}
+	want := runUpfront(t, []float64{0, 0, 0, 4})
+	for i := range want.Records {
+		if s.Records[i] != want.Records[i] {
+			t.Fatalf("task %d: incremental %+v, up-front %+v", i, s.Records[i], want.Records[i])
+		}
+	}
+}
+
+// TestInjectAfterLastEvent drains the whole instance, then injects more
+// work: the engine must pick it up and the combined schedule must match
+// an up-front run with the same releases.
+func TestInjectAfterLastEvent(t *testing.T) {
+	e := New(testInjectPlatform(), lsLike{}, core.ReleasesAt(0))
+	e.AdvanceTo(100) // far past the last event; the instance is fully done
+	if e.Completed(0) != true {
+		t.Fatal("first task should have completed")
+	}
+	id := e.InjectTask(core.Task{Release: 100})
+	if id != 1 {
+		t.Fatalf("injected task got ID %d", id)
+	}
+	s, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.ValidateSchedule(s); err != nil {
+		t.Fatal(err)
+	}
+	want := runUpfront(t, []float64{0, 100})
+	for i := range want.Records {
+		if s.Records[i] != want.Records[i] {
+			t.Fatalf("task %d: incremental %+v, up-front %+v", i, s.Records[i], want.Records[i])
+		}
+	}
+}
+
+// TestInjectBeforeNowPanics pins the guard: releases must not precede
+// the clock.
+func TestInjectBeforeNowPanics(t *testing.T) {
+	e := New(testInjectPlatform(), lsLike{}, core.ReleasesAt(0))
+	e.AdvanceTo(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("past-release injection accepted")
+		}
+	}()
+	e.InjectTask(core.Task{Release: 2})
+}
+
+// TestAdvanceToBackwardsPanics pins the other guard.
+func TestAdvanceToBackwardsPanics(t *testing.T) {
+	e := New(testInjectPlatform(), lsLike{}, core.ReleasesAt(0))
+	e.AdvanceTo(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards advance accepted")
+		}
+	}()
+	e.AdvanceTo(1)
+}
+
+// TestInterleavedAdvanceDeterminism drives the same randomized
+// release/injection script twice with different AdvanceTo step sizes:
+// the final schedules must be identical — incremental execution is pure
+// bookkeeping, never a semantic knob.
+func TestInterleavedAdvanceDeterminism(t *testing.T) {
+	// The releases are fixed up front; only the AdvanceTo step size (the
+	// injection interleaving) varies between the two runs.
+	rng := rand.New(rand.NewSource(7))
+	releases := make([]float64, 12)
+	at := 0.5
+	for i := range releases {
+		releases[i] = at
+		at += rng.Float64() * 2
+	}
+	script := func(step float64) core.Schedule {
+		e := New(testInjectPlatform(), lsLike{}, core.ReleasesAt(0, 0))
+		next := 0
+		for next < len(releases) {
+			// Inject everything due before the clock could pass it, then
+			// advance one step.
+			for next < len(releases) && releases[next] <= e.Now()+step {
+				e.InjectTask(core.Task{Release: releases[next]})
+				next++
+			}
+			e.AdvanceTo(e.Now() + step)
+		}
+		s, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := script(0.25), script(1.75)
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("task %d: step 0.25 %+v, step 1.75 %+v", i, a.Records[i], b.Records[i])
+		}
+	}
+	if err := core.ValidateSchedule(a); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,5 +1,6 @@
 // Package stats provides the small set of descriptive statistics the
-// experiment harness aggregates over repeated random platforms.
+// experiment harness aggregates over repeated random platforms and the
+// live service reports over observed latencies.
 package stats
 
 import (
@@ -15,6 +16,7 @@ type Summary struct {
 	Min, Max       float64
 	Median         float64
 	GeometricMean  float64
+	P50, P95, P99  float64
 	geometricValid bool
 }
 
@@ -55,13 +57,45 @@ func Summarize(xs []float64) Summary {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
-	mid := len(sorted) / 2
-	if len(sorted)%2 == 1 {
-		s.Median = sorted[mid]
-	} else {
-		s.Median = (sorted[mid-1] + sorted[mid]) / 2
-	}
+	// The interpolated 0.5-quantile is exactly the classic odd/even
+	// median, so Median and P50 share one definition.
+	s.Median = percentileSorted(sorted, 0.50)
+	s.P50 = s.Median
+	s.P95 = percentileSorted(sorted, 0.95)
+	s.P99 = percentileSorted(sorted, 0.99)
 	return s
+}
+
+// Percentile returns the p-th quantile of the sample, p in [0, 1], with
+// linear interpolation between order statistics (the common "linear"
+// definition: rank p·(n−1) into the sorted sample). It panics on an
+// empty sample or a p outside [0, 1]. Percentile(xs, 0.5) equals the
+// interpolated median; p 0 and 1 are the minimum and maximum.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: percentile %v outside [0, 1]", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is Percentile on an already-sorted sample.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 // String renders "mean ± std [min, max]".

@@ -63,3 +63,76 @@ func TestMeanAndString(t *testing.T) {
 		t.Fatal("empty String")
 	}
 }
+
+func TestPercentileInterpolation(t *testing.T) {
+	xs := []float64{10, 20, 30, 40} // ranks 0,1,2,3
+	cases := []struct{ p, want float64 }{
+		{0, 10},
+		{1, 40},
+		{0.5, 25},     // rank 1.5 → halfway between 20 and 30
+		{0.25, 17.5},  // rank 0.75
+		{0.95, 38.5},  // rank 2.85
+		{1.0 / 3, 20}, // rank exactly 1
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Input order must not matter, and the input must not be mutated.
+	shuffled := []float64{40, 10, 30, 20}
+	if got := Percentile(shuffled, 0.5); got != 25 {
+		t.Fatalf("Percentile on shuffled input = %v", got)
+	}
+	if shuffled[0] != 40 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentileSingleElement(t *testing.T) {
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := Percentile([]float64{7}, p); got != 7 {
+			t.Fatalf("Percentile(single, %v) = %v", p, got)
+		}
+	}
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty sample accepted")
+		}
+	}()
+	Percentile(nil, 0.5)
+}
+
+func TestPercentileRangePanics(t *testing.T) {
+	for _, p := range []float64{-0.01, 1.01} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("p=%v accepted", p)
+				}
+			}()
+			Percentile([]float64{1, 2}, p)
+		}()
+	}
+}
+
+func TestSummaryPercentileFields(t *testing.T) {
+	xs := make([]float64, 100) // 1..100
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	s := Summarize(xs)
+	if s.P50 != s.Median {
+		t.Fatalf("P50 %v != median %v", s.P50, s.Median)
+	}
+	if math.Abs(s.P95-95.05) > 1e-12 || math.Abs(s.P99-99.01) > 1e-9 {
+		t.Fatalf("P95=%v P99=%v", s.P95, s.P99)
+	}
+	single := Summarize([]float64{3})
+	if single.P50 != 3 || single.P95 != 3 || single.P99 != 3 {
+		t.Fatalf("single-element percentiles %+v", single)
+	}
+}

@@ -1,0 +1,59 @@
+package trace
+
+// The Report JSON encoding is a wire format: schedd's GET /stats and the
+// CLI -json paths share it, so renaming a field is a breaking change.
+// This golden test pins the exact encoding of a fixed report.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestReportJSONGolden(t *testing.T) {
+	// A fixed two-slave instance with hand-checkable numbers.
+	pl := core.NewPlatform([]float64{1, 1}, []float64{2, 4})
+	s, err := sim.Simulate(pl, sched.New("LS"), core.ReleasesAt(0, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(Analyze(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LS keeps all three tasks on the fast slave: the third task finishes
+	// at 7 on either slave, and ties break to the lowest index.
+	const golden = `{"makespan":7,"max_flow":7,"sum_flow":15,` +
+		`"port_busy":0.42857142857142855,"port_idle_with_pending":0,` +
+		`"slaves":[` +
+		`{"slave":0,"tasks":3,"busy_time":6,"utilization":0.8571428571428571,"mean_queue_wait":1,"first_start":1,"last_complete":7},` +
+		`{"slave":1,"tasks":0,"busy_time":0,"utilization":0,"mean_queue_wait":0,"first_start":0,"last_complete":0}],` +
+		`"mean_comm_wait":1,"mean_queue_wait":1,"mean_service":3}`
+	if string(got) != golden {
+		t.Fatalf("Report JSON encoding changed:\n got  %s\n want %s", got, golden)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	pl := core.NewPlatform([]float64{1, 2}, []float64{3, 5})
+	s, err := sim.Simulate(pl, sched.New("SRPT"), core.Bag(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(s)
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Makespan != r.Makespan || back.SumFlow != r.SumFlow ||
+		len(back.Slaves) != len(r.Slaves) || back.Slaves[1] != r.Slaves[1] {
+		t.Fatalf("round trip lost data:\n in  %+v\n out %+v", r, back)
+	}
+}

@@ -14,39 +14,44 @@ import (
 	"repro/internal/core"
 )
 
-// SlaveStats describes one slave's activity over a schedule.
+// SlaveStats describes one slave's activity over a schedule. The JSON
+// field names are a stable wire format shared by schedd's GET /stats and
+// the CLI -json paths (see TestReportJSONGolden).
 type SlaveStats struct {
-	Slave       int
-	Tasks       int
-	BusyTime    float64 // total computation time
-	Utilization float64 // BusyTime / makespan
+	Slave       int     `json:"slave"`
+	Tasks       int     `json:"tasks"`
+	BusyTime    float64 `json:"busy_time"`   // total computation time
+	Utilization float64 `json:"utilization"` // BusyTime / makespan
 	// MeanQueueWait is the average time a task spent queued at the slave
 	// between arrival and computation start.
-	MeanQueueWait float64
+	MeanQueueWait float64 `json:"mean_queue_wait"`
 	// FirstStart and LastComplete bound the slave's active window.
-	FirstStart   float64
-	LastComplete float64
+	FirstStart   float64 `json:"first_start"`
+	LastComplete float64 `json:"last_complete"`
 }
 
-// Report is the full analysis of one schedule.
+// Report is the full analysis of one schedule. Its JSON encoding is the
+// one stable wire format for schedule analyses: schedd's GET /stats and
+// the CLI -json paths both emit it, and a golden test pins the field
+// names.
 type Report struct {
-	Makespan float64
-	MaxFlow  float64
-	SumFlow  float64
+	Makespan float64 `json:"makespan"`
+	MaxFlow  float64 `json:"max_flow"`
+	SumFlow  float64 `json:"sum_flow"`
 	// PortBusy is the fraction of the makespan the master's port spent
 	// transmitting.
-	PortBusy float64
+	PortBusy float64 `json:"port_busy"`
 	// PortIdleWithPending accumulates port idle time while at least one
 	// released task was unsent — zero for work-conserving schedules.
-	PortIdleWithPending float64
-	Slaves              []SlaveStats
+	PortIdleWithPending float64      `json:"port_idle_with_pending"`
+	Slaves              []SlaveStats `json:"slaves"`
 	// MeanCommWait is the average task wait between release and send
 	// start (master-side queueing).
-	MeanCommWait float64
+	MeanCommWait float64 `json:"mean_comm_wait"`
 	// MeanQueueWait is the average slave-side wait (arrival to start).
-	MeanQueueWait float64
+	MeanQueueWait float64 `json:"mean_queue_wait"`
 	// MeanService is the average comm+comp service time actually charged.
-	MeanService float64
+	MeanService float64 `json:"mean_service"`
 }
 
 // Analyze computes a Report. It panics on schedules with missing records

@@ -76,6 +76,15 @@ func (p *Proc) Sleep(d float64) {
 
 // Post schedules a message for delivery into the process dst's mailbox
 // after delay units of virtual time. It never blocks the caller.
+//
+// A message due at the current instant (delay 0) is delivered
+// synchronously: by the time any process runs at time t, the kernel has
+// already flushed every heap message with deliverAt <= t, so appending
+// directly preserves the (deliverAt, seq) delivery order while making the
+// message visible to same-instant polls. The live runtime's master
+// (internal/live) depends on this to drain every completion posted at the
+// current instant before consulting its scheduler, matching the
+// discrete-event engine's drain-then-consult event ordering.
 func (p *Proc) Post(dst int, msg Message, delay float64) {
 	if delay < 0 {
 		panic(fmt.Sprintf("vclock: negative delivery delay %v", delay))
@@ -84,6 +93,14 @@ func (p *Proc) Post(dst int, msg Message, delay float64) {
 	msg.deliverAt = p.c.now + delay
 	msg.seq = p.c.seq
 	p.c.seq++
+	if msg.deliverAt <= p.c.now {
+		d := p.c.procs[dst]
+		d.mailbox = append(d.mailbox, msg)
+		if d.state == receiving {
+			d.state = ready
+		}
+		return
+	}
 	heap.Push(&p.c.mail, msg2dst{msg: msg, dst: dst})
 }
 

@@ -292,3 +292,76 @@ func TestManyProcessesProgress(t *testing.T) {
 		t.Fatalf("clock %v, want 5", c.Now())
 	}
 }
+
+func TestImmediateDeliveryVisibleToSameInstantPoll(t *testing.T) {
+	c := New()
+	var sawAt float64 = -1
+	rx := c.Spawn("rx", func(p *Proc) {
+		// Wake at t=2 alongside tx, then yield once so tx (higher id,
+		// resumed later in the sweep) posts its delay-0 message; the poll
+		// at the same instant must see it.
+		p.Sleep(2)
+		p.Sleep(0)
+		if _, ok := p.RecvDeadline(p.Now()); ok {
+			sawAt = p.Now()
+		}
+	})
+	c.Spawn("tx", func(p *Proc) {
+		p.Sleep(2)
+		p.Post(rx, Message{Tag: 7}, 0)
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sawAt != 2 {
+		t.Fatalf("same-instant poll saw the message at %v, want 2", sawAt)
+	}
+}
+
+func TestImmediateDeliveryWakesReceiver(t *testing.T) {
+	c := New()
+	var gotTag int
+	var gotAt float64
+	rx := c.Spawn("rx", func(p *Proc) {
+		m := p.Recv()
+		gotTag, gotAt = m.Tag, p.Now()
+	})
+	c.Spawn("tx", func(p *Proc) {
+		p.Sleep(1.5)
+		p.Post(rx, Message{Tag: 9}, 0)
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotTag != 9 || gotAt != 1.5 {
+		t.Fatalf("got tag %d at %v, want 9 at 1.5", gotTag, gotAt)
+	}
+}
+
+func TestImmediateDeliveryKeepsHeapOrder(t *testing.T) {
+	// A message posted earlier with a positive delay and one posted at its
+	// delivery instant with delay 0 must be received in (deliverAt, seq)
+	// order: the heap message was flushed when the clock reached t, before
+	// any process ran, so the delay-0 append lands after it.
+	c := New()
+	var tags []int
+	rx := c.Spawn("rx", func(p *Proc) {
+		for i := 0; i < 2; i++ {
+			m := p.Recv()
+			tags = append(tags, m.Tag)
+		}
+	})
+	c.Spawn("early", func(p *Proc) {
+		p.Post(rx, Message{Tag: 1}, 3) // posted at t=0, due t=3: seq 0
+	})
+	c.Spawn("late", func(p *Proc) {
+		p.Sleep(3)
+		p.Post(rx, Message{Tag: 2}, 0) // posted at t=3: seq 1
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tags) != 2 || tags[0] != 1 || tags[1] != 2 {
+		t.Fatalf("delivery order %v, want [1 2]", tags)
+	}
+}

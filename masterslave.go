@@ -24,6 +24,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/live"
 	"repro/internal/lowerbound"
 	"repro/internal/optimal"
 	"repro/internal/scenario"
@@ -97,6 +98,37 @@ func Run(algorithm string, pl Platform, tasks []Task) (Schedule, error) {
 // parameterizations, extensions).
 func RunScheduler(s Scheduler, pl Platform, tasks []Task) (Schedule, error) {
 	return sim.Simulate(pl, s, tasks)
+}
+
+// RunLive executes the workload on the concurrent live runtime
+// (goroutine master and slaves, internal/live) under its deterministic
+// virtual clock, with tasks streamed in at their release times, and
+// returns the validated schedule. The live conformance suite guarantees
+// the result is bit-identical to Run; this facade exists to exercise the
+// serving runtime itself.
+func RunLive(algorithm string, pl Platform, tasks []Task) (Schedule, error) {
+	inst := core.NewInstance(pl, tasks)
+	res, err := live.Run(live.Config{
+		Platform:  pl,
+		Scheduler: sched.New(algorithm),
+		World:     live.NewVirtual(),
+		Sources: []func(*live.Source){func(src *live.Source) {
+			for _, task := range inst.Tasks {
+				if task.Release > src.Now() {
+					src.SleepUntil(task.Release)
+				}
+				src.Submit(live.JobSpec{CommScale: task.CommScale, CompScale: task.CompScale})
+			}
+			src.Drain()
+		}},
+	})
+	if err != nil {
+		return Schedule{}, err
+	}
+	if err := core.ValidateSchedule(res.Schedule); err != nil {
+		return Schedule{}, fmt.Errorf("masterslave: live run produced an infeasible schedule: %w", err)
+	}
+	return res.Schedule, nil
 }
 
 // Optimum returns the exact offline optimum of the objective on the

@@ -107,3 +107,23 @@ func TestFacadeOffline(t *testing.T) {
 		t.Fatalf("offline makespan %v, want 8", mk)
 	}
 }
+
+func TestRunLiveMatchesRun(t *testing.T) {
+	pl := NewPlatform([]float64{1, 1, 2}, []float64{3, 5, 4})
+	tasks := ReleasesAt(0, 0, 1, 2, 2, 4, 7, 7)
+	for _, algo := range Algorithms() {
+		des, err := Run(algo, pl, tasks)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		lv, err := RunLive(algo, pl, tasks)
+		if err != nil {
+			t.Fatalf("%s live: %v", algo, err)
+		}
+		for i := range des.Records {
+			if des.Records[i] != lv.Records[i] {
+				t.Fatalf("%s task %d: simulator %+v, live %+v", algo, i, des.Records[i], lv.Records[i])
+			}
+		}
+	}
+}
