@@ -1,0 +1,173 @@
+// Command benchgate is the CI benchmark-regression gate: it parses two
+// `go test -bench` output files (the baseline from main and the
+// candidate from the PR head), pairs benchmarks by name, and fails —
+// exit status 1 — if any gated metric regressed beyond the threshold.
+//
+// Robustness against machine noise comes from -count: run each side
+// with `go test -bench ... -count=N` and benchgate compares the per-
+// benchmark MINIMUM of each metric, which for ns/op is the standard
+// low-noise estimator (the fastest observed run had the least
+// interference; allocs/op is deterministic and the min is just the
+// value). benchstat remains the human-readable report alongside — this
+// tool only encodes the pass/fail policy, with no dependencies.
+//
+// Usage:
+//
+//	benchgate -old main.txt -new pr.txt -threshold 15
+//	benchgate -old main.txt -new pr.txt -threshold 15 -metrics ns/op,allocs/op -skip ScheddIngest
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Sample holds the per-metric minima observed for one benchmark.
+type Sample map[string]float64
+
+// benchLine matches one benchmark result line:
+//
+//	BenchmarkDispatch-4   3   453377 ns/op   0.84 custom-metric   279784 B/op   112 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// Parse reads `go test -bench` output, returning each benchmark's
+// per-metric minima across repeated -count runs. Lines that are not
+// benchmark results (headers, PASS, custom prints) are ignored.
+func Parse(r *bufio.Scanner) (map[string]Sample, error) {
+	out := map[string]Sample{}
+	for r.Scan() {
+		m := benchLine.FindStringSubmatch(r.Text())
+		if m == nil {
+			continue
+		}
+		name, rest := m[1], m[2]
+		s := out[name]
+		if s == nil {
+			s = Sample{}
+			out[name] = s
+		}
+		fields := strings.Fields(rest)
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad value %q: %v", name, fields[i], err)
+			}
+			unit := fields[i+1]
+			if prev, ok := s[unit]; !ok || v < prev {
+				s[unit] = v
+			}
+		}
+	}
+	return out, r.Err()
+}
+
+func parseFile(path string) (map[string]Sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	return Parse(sc)
+}
+
+// Gate compares new against old for the gated metrics and returns one
+// line per regression beyond thresholdPct. Benchmarks present on only
+// one side are reported as informational (a renamed benchmark must
+// update the gate deliberately, not silently drop out).
+func Gate(old, new map[string]Sample, metrics []string, thresholdPct float64, skip *regexp.Regexp) (regressions, notes []string) {
+	for name, n := range new {
+		if skip != nil && skip.MatchString(name) {
+			continue
+		}
+		o, ok := old[name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("NEW %s (no baseline on main; not gated)", name))
+			continue
+		}
+		for _, metric := range metrics {
+			nv, nok := n[metric]
+			ov, ook := o[metric]
+			if !nok || !ook {
+				continue
+			}
+			if ov == 0 {
+				// A zero baseline is the allocation-free steady state this
+				// gate exists to protect: any growth from it is an infinite
+				// relative regression, so gate on absolute change.
+				if nv > 0 {
+					regressions = append(regressions, fmt.Sprintf(
+						"REGRESSION %s %s: 0 → %.6g (zero baseline: any growth fails)",
+						name, metric, nv))
+				}
+				continue
+			}
+			changePct := (nv/ov - 1) * 100
+			if changePct > thresholdPct {
+				regressions = append(regressions, fmt.Sprintf(
+					"REGRESSION %s %s: %.6g → %.6g (%+.1f%%, threshold +%.0f%%)",
+					name, metric, ov, nv, changePct, thresholdPct))
+			} else if changePct < -thresholdPct {
+				notes = append(notes, fmt.Sprintf("improvement %s %s: %.6g → %.6g (%+.1f%%)",
+					name, metric, ov, nv, changePct))
+			}
+		}
+	}
+	for name := range old {
+		if _, ok := new[name]; !ok && (skip == nil || !skip.MatchString(name)) {
+			notes = append(notes, fmt.Sprintf("MISSING %s (present on main, absent on head)", name))
+		}
+	}
+	return regressions, notes
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+	oldPath := flag.String("old", "", "baseline `go test -bench` output (main)")
+	newPath := flag.String("new", "", "candidate `go test -bench` output (PR head)")
+	threshold := flag.Float64("threshold", 15, "max allowed regression, percent")
+	metricsFlag := flag.String("metrics", "ns/op,allocs/op", "comma-separated gated metrics")
+	skipFlag := flag.String("skip", "", "regexp of benchmark names exempt from the gate")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		log.Fatal("both -old and -new are required")
+	}
+	oldS, err := parseFile(*oldPath)
+	if err != nil {
+		log.Fatalf("parse %s: %v", *oldPath, err)
+	}
+	newS, err := parseFile(*newPath)
+	if err != nil {
+		log.Fatalf("parse %s: %v", *newPath, err)
+	}
+	if len(oldS) == 0 || len(newS) == 0 {
+		log.Fatalf("no benchmark lines parsed (old: %d, new: %d)", len(oldS), len(newS))
+	}
+	var skip *regexp.Regexp
+	if *skipFlag != "" {
+		skip, err = regexp.Compile(*skipFlag)
+		if err != nil {
+			log.Fatalf("bad -skip: %v", err)
+		}
+	}
+	metrics := strings.Split(*metricsFlag, ",")
+	regressions, notes := Gate(oldS, newS, metrics, *threshold, skip)
+	for _, n := range notes {
+		fmt.Println(n)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Println(r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d benchmarks within +%.0f%% on %s\n", len(newS), *threshold, *metricsFlag)
+}

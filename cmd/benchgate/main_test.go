@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bufio"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const oldOut = `
+goos: linux
+BenchmarkDispatch-4   	       5	    453377 ns/op	  279784 B/op	     112 allocs/op
+BenchmarkDispatch-4   	       5	    470000 ns/op	  279784 B/op	     112 allocs/op
+BenchmarkFigure1Serial 	       5	  28581919 ns/op	         0.8408 SLJFWC-makespan	27999377 B/op	  187327 allocs/op
+BenchmarkGone-4       	       5	      1000 ns/op
+PASS
+`
+
+const newOut = `
+BenchmarkDispatch-8   	       5	    600000 ns/op	  279784 B/op	     112 allocs/op
+BenchmarkFigure1Serial 	       5	  11600000 ns/op	         0.8408 SLJFWC-makespan	 7676825 B/op	    3988 allocs/op
+BenchmarkFresh-8      	       5	      2000 ns/op
+BenchmarkNoisy-8      	       5	      9999 ns/op
+`
+
+func parseStr(t *testing.T, s string) map[string]Sample {
+	t.Helper()
+	out, err := Parse(bufio.NewScanner(strings.NewReader(s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestParseMinAcrossCounts(t *testing.T) {
+	got := parseStr(t, oldOut)
+	d, ok := got["BenchmarkDispatch"]
+	if !ok {
+		t.Fatalf("BenchmarkDispatch not parsed (GOMAXPROCS suffix not stripped?): %v", got)
+	}
+	if d["ns/op"] != 453377 {
+		t.Fatalf("min ns/op = %v, want 453377", d["ns/op"])
+	}
+	if d["allocs/op"] != 112 {
+		t.Fatalf("allocs/op = %v, want 112", d["allocs/op"])
+	}
+	// Custom metrics ride along without confusing the pair parser.
+	if got["BenchmarkFigure1Serial"]["SLJFWC-makespan"] != 0.8408 {
+		t.Fatalf("custom metric lost: %v", got["BenchmarkFigure1Serial"])
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	regressions, notes := Gate(parseStr(t, oldOut), parseStr(t, newOut),
+		[]string{"ns/op", "allocs/op"}, 15, nil)
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "BenchmarkDispatch ns/op") {
+		t.Fatalf("regressions = %v, want exactly the Dispatch ns/op one", regressions)
+	}
+	// The 2.4× Figure1Serial improvement and the membership changes are
+	// notes, not failures.
+	var sawImprove, sawNew, sawMissing bool
+	for _, n := range notes {
+		sawImprove = sawImprove || strings.Contains(n, "improvement BenchmarkFigure1Serial")
+		sawNew = sawNew || strings.Contains(n, "NEW BenchmarkFresh")
+		sawMissing = sawMissing || strings.Contains(n, "MISSING BenchmarkGone")
+	}
+	if !sawImprove || !sawNew || !sawMissing {
+		t.Fatalf("notes missing expected entries: %v", notes)
+	}
+}
+
+func TestGateSkip(t *testing.T) {
+	regressions, _ := Gate(parseStr(t, oldOut), parseStr(t, newOut),
+		[]string{"ns/op"}, 15, regexp.MustCompile(`Dispatch`))
+	if len(regressions) != 0 {
+		t.Fatalf("skip pattern did not exempt Dispatch: %v", regressions)
+	}
+}
+
+func TestGateZeroBaseline(t *testing.T) {
+	old := parseStr(t, "BenchmarkQueue 1 100 ns/op 0 allocs/op\n")
+	bad := parseStr(t, "BenchmarkQueue 1 100 ns/op 256 allocs/op\n")
+	regressions, _ := Gate(old, bad, []string{"ns/op", "allocs/op"}, 15, nil)
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "zero baseline") {
+		t.Fatalf("0 → 256 allocs/op not flagged: %v", regressions)
+	}
+	same := parseStr(t, "BenchmarkQueue 1 100 ns/op 0 allocs/op\n")
+	if regressions, _ := Gate(old, same, []string{"ns/op", "allocs/op"}, 15, nil); len(regressions) != 0 {
+		t.Fatalf("0 → 0 flagged: %v", regressions)
+	}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	old := parseStr(t, "BenchmarkX 1 100 ns/op 10 allocs/op\n")
+	new := parseStr(t, "BenchmarkX 1 110 ns/op 10 allocs/op\n")
+	if regressions, _ := Gate(old, new, []string{"ns/op", "allocs/op"}, 15, nil); len(regressions) != 0 {
+		t.Fatalf("+10%% flagged at 15%% threshold: %v", regressions)
+	}
+	if regressions, _ := Gate(old, new, []string{"ns/op"}, 5, nil); len(regressions) != 1 {
+		t.Fatal("+10% not flagged at 5% threshold")
+	}
+}

@@ -30,7 +30,6 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
-	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -43,7 +42,6 @@ import (
 	"repro/internal/stats"
 	"repro/internal/textplot"
 	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -103,11 +101,11 @@ func main() {
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
-	pl, err := buildPlatform(*cFlag, *pFlag, *class, *m, rng)
+	pl, err := experiment.BuildPlatform(*cFlag, *pFlag, *class, *m, rng)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tasks, err := buildTasks(*releases, *n, *arrival, *rate, *perturb, rng)
+	tasks, err := experiment.BuildTasks(*releases, *n, *arrival, *rate, *perturb, rng)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -192,25 +190,12 @@ func validateScenarioKind(kind string) error {
 	return fmt.Errorf("unknown scenario %q; valid: %s", kind, strings.Join(experiment.ScenarioKinds, ", "))
 }
 
-// generateScenario draws the dynamic-platform timeline for one instance:
-// the horizon is the algorithm's own static makespan on the identical
-// instance, so event density is calibrated to the run, and the static
-// schedule doubles as the degradation baseline.
-func generateScenario(kind string, intensity float64, algo string, rng *rand.Rand,
-	pl core.Platform, tasks []core.Task) (scenario.Scenario, core.Schedule, error) {
-	static, err := sim.Simulate(pl, sched.New(algo), tasks)
-	if err != nil {
-		return scenario.Scenario{}, core.Schedule{}, fmt.Errorf("static baseline: %w", err)
-	}
-	return experiment.BuildScenario(kind, rng, pl, static.Makespan(), intensity), static, nil
-}
-
 // runScenario is the single-run -scenario path: one generated timeline,
 // the fail-safe-wrapped algorithm, failure-time metrics and the
 // degradation against the static baseline.
 func runScenario(kind string, intensity float64, algo string, seed int64, arrival string,
 	pl core.Platform, tasks []core.Task) error {
-	sc, static, err := generateScenario(kind, intensity, algo, runner.RNG(seed, "msched/scenario"), pl, tasks)
+	sc, static, err := experiment.GenerateScenario(kind, intensity, algo, runner.RNG(seed, "msched/scenario"), pl, tasks)
 	if err != nil {
 		return err
 	}
@@ -235,91 +220,21 @@ func runScenario(kind string, intensity float64, algo string, seed int64, arriva
 	return nil
 }
 
-// runReplicates is the -repeat path: one shard per replicate, each with
-// its own platform and workload streams derived from the root seed, fanned
-// out over the runner's worker pool.
+// runReplicates is the -repeat path: a thin shell over
+// experiment.Replicates (the sweep itself lives in the library so the
+// differential engine suite can reproduce this command's JSON record
+// byte for byte).
 func runReplicates(repeat, parallel int, jsonOut, algo, cFlag, pFlag, class string,
 	m int, seed int64, releases string, n int, arrival string, rate, perturb float64,
 	scenarioKind string, intensity float64) error {
-	// Validate every static argument once, before fanning out: otherwise
-	// runner.Map reports the same bad -class or -arrival once per
-	// replicate.
-	if err := sched.Validate(algo); err != nil {
-		return err
-	}
-	probe := runner.RNG(seed, "msched/validate")
-	if _, err := buildPlatform(cFlag, pFlag, class, m, probe); err != nil {
-		return err
-	}
-	if _, err := buildTasks(releases, n, arrival, rate, perturb, probe); err != nil {
-		return err
-	}
-	cells, err := runner.Map(parallel, repeat, func(r int) (runner.Cell, error) {
-		key := fmt.Sprintf("msched/replicate=%04d", r)
-		cell := runner.NewCell(seed, key)
-		pl, err := buildPlatform(cFlag, pFlag, class, m, runner.RNG(seed, key+"/platform"))
-		if err != nil {
-			return cell, err
-		}
-		tasks, err := buildTasks(releases, n, arrival, rate, perturb, runner.RNG(seed, key+"/workload"))
-		if err != nil {
-			return cell, err
-		}
-		if scenarioKind != "" {
-			sc, static, err := generateScenario(scenarioKind, intensity, algo,
-				runner.RNG(seed, key+"/scenario"), pl, tasks)
-			if err != nil {
-				return cell, fmt.Errorf("%s: %w", key, err)
-			}
-			out, err := scenario.Run(pl, sched.FailSafe(sched.New(algo)), tasks, sc)
-			if err != nil {
-				return cell, fmt.Errorf("%s: %w", key, err)
-			}
-			cell.Values["makespan"] = out.Schedule.Makespan()
-			cell.Values["max-flow"] = out.Schedule.MaxFlow()
-			cell.Values["sum-flow"] = out.Schedule.SumFlow()
-			cell.Values["makespan-degradation"] = out.Schedule.Makespan() / static.Makespan()
-			cell.Values["lost"] = float64(out.Lost)
-			cell.Values["redispatched"] = float64(out.Redispatched)
-			return cell, nil
-		}
-		s, err := sim.Simulate(pl, sched.New(algo), tasks)
-		if err != nil {
-			return cell, fmt.Errorf("%s: %w", key, err)
-		}
-		cell.Values["makespan"] = s.Makespan()
-		cell.Values["max-flow"] = s.MaxFlow()
-		cell.Values["sum-flow"] = s.SumFlow()
-		return cell, nil
+	res, err := experiment.Replicates(repeat, parallel, experiment.ReplicateOptions{
+		Algo: algo, CFlag: cFlag, PFlag: pFlag, Class: class, M: m, Seed: seed,
+		ReleasesFlag: releases, N: n, Arrival: arrival, Rate: rate, Perturb: perturb,
+		Scenario: scenarioKind, Intensity: intensity,
 	})
 	if err != nil {
 		return err
 	}
-	params := map[string]any{
-		"algo": algo, "m": m, "n": n,
-		"arrival": arrival, "rate": rate, "perturb": perturb,
-	}
-	if scenarioKind != "" {
-		params["scenario"] = scenarioKind
-		params["intensity"] = intensity
-	}
-	// Record the platform the replicates actually used: the explicit
-	// -c/-p vectors (and -releases) override the random class.
-	if cFlag != "" {
-		params["c"], params["p"] = cFlag, pFlag
-	} else {
-		params["class"] = class
-	}
-	if releases != "" {
-		params["releases"] = releases
-	}
-	res := runner.Result{
-		Experiment: "msched/" + algo,
-		Params:     params,
-		RootSeed:   seed,
-		Cells:      cells,
-	}
-	res.Summarize()
 
 	platformDesc := class + " platforms"
 	if cFlag != "" {
@@ -349,70 +264,4 @@ func runReplicates(repeat, parallel int, jsonOut, algo, cFlag, pFlag, class stri
 
 func printSummary(name string, s stats.Summary) {
 	fmt.Printf("%-9s %s (median %.4f)\n", name+":", s, s.Median)
-}
-
-func buildPlatform(cFlag, pFlag, class string, m int, rng *rand.Rand) (core.Platform, error) {
-	if (cFlag == "") != (pFlag == "") {
-		return core.Platform{}, fmt.Errorf("-c and -p must be given together")
-	}
-	if cFlag != "" {
-		c, err := parseFloats(cFlag)
-		if err != nil {
-			return core.Platform{}, fmt.Errorf("-c: %w", err)
-		}
-		p, err := parseFloats(pFlag)
-		if err != nil {
-			return core.Platform{}, fmt.Errorf("-p: %w", err)
-		}
-		if len(c) != len(p) {
-			return core.Platform{}, fmt.Errorf("-c has %d entries, -p has %d", len(c), len(p))
-		}
-		return core.NewPlatform(c, p), nil
-	}
-	for _, cl := range core.Classes {
-		if cl.String() == class {
-			return core.Random(rng, cl, core.GenConfig{M: m}), nil
-		}
-	}
-	return core.Platform{}, fmt.Errorf("unknown class %q", class)
-}
-
-func buildTasks(releases string, n int, arrival string, rate, perturb float64, rng *rand.Rand) ([]core.Task, error) {
-	if releases != "" {
-		times, err := parseFloats(releases)
-		if err != nil {
-			return nil, fmt.Errorf("-releases: %w", err)
-		}
-		return core.ReleasesAt(times...), nil
-	}
-	patterns := map[string]workload.Pattern{
-		"bag":      workload.BagAtZero,
-		"poisson":  workload.Poisson,
-		"uniform":  workload.UniformSpread,
-		"bursty":   workload.Bursty,
-		"periodic": workload.Periodic,
-	}
-	pattern, ok := patterns[arrival]
-	if !ok {
-		return nil, fmt.Errorf("unknown arrival pattern %q", arrival)
-	}
-	return workload.Generate(rng, workload.Config{
-		N: n, Pattern: pattern, Rate: rate, Perturb: perturb,
-	}), nil
-}
-
-func parseFloats(s string) ([]float64, error) {
-	parts := strings.Split(s, ",")
-	out := make([]float64, 0, len(parts))
-	for _, part := range parts {
-		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("empty list")
-	}
-	return out, nil
 }

@@ -236,11 +236,16 @@ func main() {
 	}
 }
 
-// BenchEntry is one timed sweep in the perf artifact.
+// BenchEntry is one timed sweep in the perf artifact. Since PR 4 the
+// allocation columns are recorded too: the committed BENCH_PR4.json is
+// the first point of the perf trajectory, and the hot-path overhaul's
+// headline is as much allocs/op as ns/op.
 type BenchEntry struct {
-	Name       string  `json:"name"`
-	Iterations int     `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
 // LiveEntry is one schedd load-generation run in the perf artifact: a
@@ -307,16 +312,20 @@ func writeBenchArtifact(path string, cfg experiment.Config) error {
 	for _, bench := range benches {
 		fn := bench.fn
 		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				fn()
 			}
 		})
 		art.Benchmarks = append(art.Benchmarks, BenchEntry{
-			Name:       bench.name,
-			Iterations: res.N,
-			NsPerOp:    float64(res.NsPerOp()),
+			Name:        bench.name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
 		})
-		log.Printf("bench %s: %d iterations, %.0f ns/op", bench.name, res.N, float64(res.NsPerOp()))
+		log.Printf("bench %s: %d iterations, %.0f ns/op, %d allocs/op",
+			bench.name, res.N, float64(res.NsPerOp()), res.AllocsPerOp())
 	}
 	for _, policy := range []string{"LS", "SRPT", "SO-LS"} {
 		entry, err := liveLoadBench(policy)

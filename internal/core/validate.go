@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -73,10 +74,17 @@ func validate(s Schedule, onePort bool) error {
 		}
 	}
 
-	// One-port: the master's sends must not overlap.
+	// One-port: the master's sends must not overlap. Every registered
+	// scheduler dispatches the oldest pending task, so engine schedules
+	// arrive here already in send order — check adjacency in place and
+	// fall back to a sorted copy only for out-of-order record lists
+	// (hand-built schedules in tests, adversarial traces).
 	if onePort {
-		byPort := append([]Record(nil), s.Records...)
-		sort.Slice(byPort, func(i, j int) bool { return byPort[i].SendStart < byPort[j].SendStart })
+		byPort := s.Records
+		if !slices.IsSortedFunc(byPort, cmpSendStart) {
+			byPort = append([]Record(nil), s.Records...)
+			slices.SortFunc(byPort, cmpSendStart)
+		}
 		for i := 1; i < len(byPort); i++ {
 			if byPort[i].SendStart < byPort[i-1].Arrive-Eps {
 				return fmt.Errorf("core: one-port violation: send of task %d at %v overlaps send of task %d ending %v",
@@ -85,24 +93,66 @@ func validate(s Schedule, onePort bool) error {
 		}
 	}
 
-	// Per-slave: computations must not overlap and must follow arrival order.
-	perSlave := make(map[int][]Record)
-	for _, r := range s.Records {
-		perSlave[r.Slave] = append(perSlave[r.Slave], r)
+	// Per-slave: computations must not overlap and must follow arrival
+	// order. Grouping is a counting pass over record indices (no record
+	// copies, no comparison sort); within a slave, records in list order
+	// are in compute order for any schedule the engine emits, so the rare
+	// unsorted bucket sorts just its own indices.
+	m := pl.M()
+	offsets := make([]int, m+1)
+	for i := range s.Records {
+		offsets[s.Records[i].Slave+1]++
 	}
-	for j, recs := range perSlave {
-		sort.Slice(recs, func(a, b int) bool { return recs[a].Start < recs[b].Start })
-		for i := 1; i < len(recs); i++ {
-			if recs[i].Start < recs[i-1].Complete-Eps {
-				return fmt.Errorf("core: slave %d computes tasks %d and %d concurrently", j, recs[i-1].Task, recs[i].Task)
+	for j := 0; j < m; j++ {
+		offsets[j+1] += offsets[j]
+	}
+	order := make([]int32, len(s.Records))
+	fill := make([]int, m)
+	copy(fill, offsets[:m])
+	for i := range s.Records {
+		j := s.Records[i].Slave
+		order[fill[j]] = int32(i)
+		fill[j]++
+	}
+	for j := 0; j < m; j++ {
+		bucket := order[offsets[j]:offsets[j+1]]
+		sortedByStart := func(a, b int32) int {
+			switch {
+			case s.Records[a].Start < s.Records[b].Start:
+				return -1
+			case s.Records[a].Start > s.Records[b].Start:
+				return 1
+			default:
+				return 0
 			}
-			if recs[i].Arrive < recs[i-1].Arrive-Eps {
+		}
+		if !slices.IsSortedFunc(bucket, sortedByStart) {
+			slices.SortFunc(bucket, sortedByStart)
+		}
+		for i := 1; i < len(bucket); i++ {
+			cur, prev := &s.Records[bucket[i]], &s.Records[bucket[i-1]]
+			if cur.Start < prev.Complete-Eps {
+				return fmt.Errorf("core: slave %d computes tasks %d and %d concurrently", j, prev.Task, cur.Task)
+			}
+			if cur.Arrive < prev.Arrive-Eps {
 				return fmt.Errorf("core: slave %d executed task %d (arrived %v) before earlier-arrived task %d (%v)",
-					j, recs[i-1].Task, recs[i-1].Arrive, recs[i].Task, recs[i].Arrive)
+					j, prev.Task, prev.Arrive, cur.Task, cur.Arrive)
 			}
 		}
 	}
 	return nil
+}
+
+// cmpSendStart orders records by send start for the one-port check.
+func cmpSendStart(a, b Record) int {
+	switch {
+	case a.SendStart < b.SendStart:
+		return -1
+	case a.SendStart > b.SendStart:
+		return 1
+	default:
+		return 0
+	}
 }
 
 // WorkConserving reports whether the schedule keeps the port busy whenever

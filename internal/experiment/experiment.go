@@ -146,7 +146,7 @@ func Figure1(class core.Class, cfg Config) Figure1Result {
 	names := cfg.Schedulers
 	cells, err := runner.Map(cfg.Workers, cfg.Platforms, func(p int) (runner.Cell, error) {
 		key := fmt.Sprintf("fig1/%v/platform=%03d", class, p)
-		cell := runner.NewCell(cfg.Seed, key)
+		cell := runner.NewCellSized(cfg.Seed, key, len(names)*len(core.Objectives))
 		pl := core.Random(runner.RNG(cfg.Seed, key+"/platform"), class, core.GenConfig{M: cfg.M})
 		tasks := core.Bag(cfg.Tasks)
 		srpt, err := sim.Simulate(pl, schedulerFor("SRPT", cfg.Tasks), tasks)
@@ -248,7 +248,7 @@ func Figure2(cfg Config) Figure2Result {
 	rate := 0.9 * float64(cfg.M) / ((gen.PMin + gen.PMax) / 2)
 	cells, err := runner.Map(cfg.Workers, cfg.Platforms, func(p int) (runner.Cell, error) {
 		key := fmt.Sprintf("fig2/platform=%03d", p)
-		cell := runner.NewCell(cfg.Seed, key)
+		cell := runner.NewCellSized(cfg.Seed, key, len(names)*len(core.Objectives))
 		pl := core.Random(runner.RNG(cfg.Seed, key+"/platform"), core.Heterogeneous, core.GenConfig{M: cfg.M})
 		perturbed := workload.Generate(runner.RNG(cfg.Seed, key+"/workload"), workload.Config{
 			N: cfg.Tasks, Pattern: workload.Poisson, Rate: rate, Perturb: perturb,

@@ -150,6 +150,31 @@ func (rt *Runtime) Submit(spec JobSpec) int {
 	return spec.ID
 }
 
+// SubmitBatch injects count identical jobs under one lock acquisition
+// and returns their consecutive IDs in submission order. A service
+// ingesting batched submissions (schedd's POST /jobs) previously took
+// the runtime lock once per job, serializing concurrent producers on
+// count lock round-trips per request; the batch path makes one batch
+// one critical section while keeping the same per-job admission order.
+func (rt *Runtime) SubmitBatch(spec JobSpec, count int) []int {
+	if count <= 0 {
+		return nil
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.draining {
+		panic("live: Submit after Drain")
+	}
+	ids := make([]int, count)
+	for i := range ids {
+		spec.ID = rt.nextID
+		rt.nextID++
+		rt.world.Post(rt.prog.masterID, Msg{Kind: msgSubmit, Task: spec.ID, Job: spec})
+		ids[i] = spec.ID
+	}
+	return ids
+}
+
 // Drain tells the master no more jobs are coming: it finishes everything
 // outstanding, shuts the slaves down and exits. External counterpart of
 // Source.Drain.

@@ -1,0 +1,135 @@
+// Package perf is the repository's micro-benchmark suite: the stable
+// measurement surface for the CI benchmark-regression gate (see
+// .github/workflows/ci.yml and cmd/benchgate). Each benchmark isolates
+// one layer of the hot path the PR-4 overhaul optimized:
+//
+//   - BenchmarkEventQueue — the allocation-free binary heap alone;
+//   - BenchmarkDispatch — one full engine run (dispatch, mailbox
+//     delivery, ledger bookkeeping, validation excluded);
+//   - BenchmarkSimulateValidated — the same run through Simulate,
+//     including schedule validation (what sweeps actually pay);
+//   - BenchmarkEndToEndSweep — a reduced Figure-1 panel on a one-worker
+//     pool (the sweep engine end to end);
+//   - BenchmarkScheddIngest — the streaming service's admission path:
+//     batched POST /jobs ingest into the live runtime and a full drain.
+//
+// Keep these benchmarks deterministic in their workloads (fixed seeds,
+// fixed scales): the gate compares ns/op and allocs/op across commits,
+// so workload drift would read as a performance change.
+package perf
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/sched"
+	"repro/internal/schedd"
+	"repro/internal/sim"
+	"repro/internal/sim/equeue"
+)
+
+// BenchmarkEventQueue exercises the event heap in isolation with a
+// mixed push/pop stream shaped like a simulation (small live set,
+// frequent same-time ties).
+func BenchmarkEventQueue(b *testing.B) {
+	var h equeue.Heap
+	h.Grow(256)
+	rng := rand.New(rand.NewSource(1))
+	times := make([]float64, 256)
+	for i := range times {
+		times[i] = float64(rng.Intn(64))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			h.Push(equeue.Event{Time: times[(i+j)&255], Kind: int32(j & 3), Task: int32(j)})
+		}
+		for j := 0; j < 32; j++ {
+			h.Pop()
+		}
+		for h.Len() > 0 {
+			h.Pop()
+		}
+	}
+}
+
+// BenchmarkDispatch is one engine run without validation: 1000 tasks
+// under LS on a fixed heterogeneous platform — the per-event cost of
+// the simulator proper.
+func BenchmarkDispatch(b *testing.B) {
+	pl := core.Random(rand.New(rand.NewSource(2)), core.Heterogeneous, core.GenConfig{})
+	tasks := core.Bag(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := sim.New(pl, sched.NewLS(), tasks)
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateValidated is BenchmarkDispatch plus schedule
+// validation — the unit of work every sweep cell repeats.
+func BenchmarkSimulateValidated(b *testing.B) {
+	pl := core.Random(rand.New(rand.NewSource(2)), core.Heterogeneous, core.GenConfig{})
+	tasks := core.Bag(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Simulate(pl, sched.NewLS(), tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndSweep runs a reduced Figure-1 heterogeneous panel on
+// a one-worker pool: engine, planners, validation, objectives and
+// aggregation together, serially (so the number is comparable across
+// machines with different core counts).
+func BenchmarkEndToEndSweep(b *testing.B) {
+	cfg := experiment.Config{Platforms: 3, Tasks: 300, M: 5, Seed: 1, Workers: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiment.Figure1(core.Heterogeneous, cfg)
+	}
+}
+
+// BenchmarkScheddIngest measures the streaming service's admission
+// path: a full server lifecycle ingesting 4 batched POST /jobs
+// requests (200 jobs) through the HTTP handler into the live runtime,
+// then draining. The scaled clock compresses the paper-seconds platform
+// so the benchmark measures ingest and bookkeeping, not sleeping.
+func BenchmarkScheddIngest(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		srv, err := schedd.New(schedd.Config{
+			Platform:   core.NewPlatform([]float64{0.1, 0.25, 0.5, 0.75, 1}, []float64{0.5, 2, 4, 6, 8}),
+			Policy:     "LS",
+			ClockScale: 50000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for batch := 0; batch < 4; batch++ {
+			req := httptest.NewRequest("POST", "/jobs", strings.NewReader(`{"count":50}`))
+			rec := httptest.NewRecorder()
+			srv.Handler().ServeHTTP(rec, req)
+			if rec.Code != 202 {
+				b.Fatalf("POST /jobs: %d %s", rec.Code, rec.Body.String())
+			}
+		}
+		if err := srv.Drain(); err != nil {
+			b.Fatal(err)
+		}
+		if got := srv.Stats().Jobs.Completed; got != 200 {
+			b.Fatalf("completed %d of 200 jobs", got)
+		}
+	}
+}

@@ -26,6 +26,14 @@ func NewCell(root int64, key string) Cell {
 	return Cell{Key: key, Seed: Seed(root, key), Values: map[string]float64{}}
 }
 
+// NewCellSized is NewCell with a capacity hint for the Values map. Sweep
+// cells know their metric count up front (schedulers × objectives), so
+// sizing the map once avoids the incremental rehash-and-regrow every
+// cell of a large sweep otherwise pays.
+func NewCellSized(root int64, key string, values int) Cell {
+	return Cell{Key: key, Seed: Seed(root, key), Values: make(map[string]float64, values)}
+}
+
 // Meta records execution facts that are deliberately OUTSIDE the
 // determinism contract: how many workers ran and how long the wall clock
 // took. Everything in a Result except Meta is bit-identical across worker
@@ -58,7 +66,18 @@ func (r Result) Canonical() Result {
 // Summarize fills Summaries with a stats.Summary per value key, over all
 // cells carrying that key. It returns the receiver for chaining.
 func (r *Result) Summarize() *Result {
-	acc := map[string][]float64{}
+	var acc map[string][]float64
+	if len(r.Cells) > 0 {
+		// Homogeneous sweeps carry the same keys in every cell: size the
+		// accumulator off the first cell and give each key's sample slice
+		// its full capacity up front.
+		acc = make(map[string][]float64, len(r.Cells[0].Values))
+		for k := range r.Cells[0].Values {
+			acc[k] = make([]float64, 0, len(r.Cells))
+		}
+	} else {
+		acc = map[string][]float64{}
+	}
 	for _, c := range r.Cells {
 		for k, v := range c.Values {
 			acc[k] = append(acc[k], v)
@@ -66,7 +85,9 @@ func (r *Result) Summarize() *Result {
 	}
 	r.Summaries = make(map[string]stats.Summary, len(acc))
 	for k, xs := range acc {
-		r.Summaries[k] = stats.Summarize(xs)
+		// The sample slices are owned by this function, so the in-place
+		// variant avoids one copy per key.
+		r.Summaries[k] = stats.SummarizeInPlace(xs)
 	}
 	return r
 }

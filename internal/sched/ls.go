@@ -49,6 +49,11 @@ func (LS) Decide(v sim.View) sim.Action {
 type RandomizedLS struct {
 	Slack float64
 	rng   rng64
+
+	// Scratch buffers reused across decisions (a randomized-study sweep
+	// makes hundreds of thousands of them).
+	finishes   []float64
+	candidates []int
 }
 
 // rng64 is a tiny deterministic xorshift generator so the scheduler's
@@ -89,17 +94,22 @@ func (r *RandomizedLS) Decide(v sim.View) sim.Action {
 	if !ok {
 		return sim.Idle()
 	}
-	finishes := make([]float64, v.M())
+	m := v.M()
+	if cap(r.finishes) < m {
+		r.finishes = make([]float64, m)
+		r.candidates = make([]int, 0, m)
+	}
+	finishes := r.finishes[:m]
 	bestFinish := 0.0
-	for j := 0; j < v.M(); j++ {
+	for j := 0; j < m; j++ {
 		finishes[j] = v.PredictFinish(j)
 		if j == 0 || finishes[j] < bestFinish {
 			bestFinish = finishes[j]
 		}
 	}
 	threshold := bestFinish * (1 + r.Slack)
-	candidates := make([]int, 0, v.M())
-	for j := 0; j < v.M(); j++ {
+	candidates := r.candidates[:0]
+	for j := 0; j < m; j++ {
 		if finishes[j] <= threshold {
 			candidates = append(candidates, j)
 		}

@@ -32,6 +32,14 @@ func planSlots(n int, c float64, p []float64) []int {
 	}
 	m := len(p)
 	assign := make([]int, n)
+	// One scratch vector of e[j]−p[j] values (the latest completion a
+	// task placed on j may have), reused across every probe of the binary
+	// search below (it runs up to 100 of them). Maintaining the
+	// subtraction incrementally — avail[j] starts at M−p[j] and placing
+	// on j subtracts another p[j] — produces bit-identical floats to
+	// recomputing e[j]−p[j] each pass, with one fewer subtraction in the
+	// O(n·m) inner loop.
+	avail := make([]float64, m)
 	feasible := func(M float64, out []int) bool {
 		// Slack tolerance: the backward recursion subtracts the same
 		// quantities the forward evaluation adds, but in a different
@@ -39,16 +47,15 @@ func planSlots(n int, c float64, p []float64) []int {
 		// The dispatch is forward-ASAP anyway, so the tolerance cannot
 		// produce an invalid schedule — only an infinitesimally padded M.
 		tol := 1e-9 * (1 + math.Abs(M))
-		e := make([]float64, m)
-		for j := range e {
-			e[j] = M
+		for j := range avail {
+			avail[j] = M - p[j]
 		}
 		for s := n; s >= 1; s-- {
 			arrival := float64(s) * c
 			best := -1
 			bestSlack := math.Inf(1)
 			for j := 0; j < m; j++ {
-				slack := e[j] - p[j] - arrival
+				slack := avail[j] - arrival
 				if slack >= -tol && slack < bestSlack {
 					best, bestSlack = j, slack
 				}
@@ -56,7 +63,7 @@ func planSlots(n int, c float64, p []float64) []int {
 			if best < 0 {
 				return false
 			}
-			e[best] -= p[best]
+			avail[best] -= p[best]
 			if out != nil {
 				out[s-1] = best
 			}
@@ -112,28 +119,37 @@ func planOnePort(n int, c, p []float64) []int {
 	}
 	m := len(c)
 	assign := make([]int, n)
+	// Scratch vector of e[j]−p[j] values shared by all binary-search
+	// probes; maintained incrementally (see planSlots for why the floats
+	// stay bit-identical).
+	avail := make([]float64, m)
 	feasible := func(M float64, out []int) bool {
 		tol := 1e-9 * (1 + math.Abs(M))
-		e := make([]float64, m)
-		for j := range e {
-			e[j] = M
+		for j := range avail {
+			avail[j] = M - p[j]
 		}
 		b := M
 		for t := n; t >= 1; t-- {
 			best := -1
 			bestStart := math.Inf(-1)
+			bestX := 0.0
 			for j := 0; j < m; j++ {
-				x := math.Min(b, e[j]-p[j])
+				// min(b, e[j]-p[j]) spelled out: the operands are finite and
+				// non-negative-zero here, so the branch is bit-identical to
+				// math.Min without the (non-intrinsified) call.
+				x := avail[j]
+				if b < x {
+					x = b
+				}
 				if start := x - c[j]; start >= -tol && start > bestStart {
-					best, bestStart = j, start
+					best, bestStart, bestX = j, start, x
 				}
 			}
 			if best < 0 {
 				return false
 			}
-			x := math.Min(b, e[best]-p[best])
-			e[best] -= p[best]
-			b = x - c[best]
+			avail[best] -= p[best]
+			b = bestX - c[best]
 			if out != nil {
 				out[t-1] = best
 			}
@@ -164,13 +180,16 @@ func planOnePort(n int, c, p []float64) []int {
 const localSearchLimit = 200
 
 // localSearch improves a plan by single-task reassignment hill climbing on
-// the forward-evaluated makespan.
+// the forward-evaluated makespan. The O(n·m) inner loop re-evaluates the
+// makespan constantly, so it reuses one scratch ready vector instead of
+// allocating per evaluation.
 func localSearch(assign []int, c, p []float64) []int {
 	n, m := len(assign), len(c)
 	if n == 0 || n > localSearchLimit {
 		return assign
 	}
-	best := planMakespan(assign, c, p)
+	ready := make([]float64, m)
+	best := planMakespanInto(assign, c, p, ready)
 	improved := true
 	for pass := 0; pass < 8 && improved; pass++ {
 		improved = false
@@ -181,7 +200,7 @@ func localSearch(assign []int, c, p []float64) []int {
 					continue
 				}
 				assign[i] = j
-				if v := planMakespan(assign, c, p); v < best-1e-12 {
+				if v := planMakespanInto(assign, c, p, ready); v < best-1e-12 {
 					best = v
 					orig = j
 					improved = true
@@ -221,10 +240,19 @@ func planOnePortUniform(n int, c []float64, p float64) ([]int, bool) {
 	// nil if fewer than n tasks fit. Tasks are added one at a time to the
 	// cheapest link whose increment respects every level budget
 	// T_i ≤ M − i·p and the first-arrival cap c_j ≤ M − k_j·p.
+	// Both scratch vectors are shared across the binary-search probes.
+	kBuf := make([]int, m)
+	tBuf := make([]float64, n+2) // t[i] = port time of sends with deadline ≤ M − i·p
 	counts := func(M float64) []int {
 		tol := 1e-9 * (1 + math.Abs(M))
-		k := make([]int, m)
-		t := make([]float64, n+2) // t[i] = port time of sends with deadline ≤ M − i·p
+		k := kBuf
+		for j := range k {
+			k[j] = 0
+		}
+		t := tBuf
+		for i := range t {
+			t[i] = 0
+		}
 		for placed := 0; placed < n; placed++ {
 			found := false
 			for _, j := range order {
@@ -339,8 +367,11 @@ func forwardGreedyAssignment(n int, c, p []float64) []int {
 		best := 0
 		bestFinish := math.Inf(1)
 		for j := 0; j < m; j++ {
-			arrive := port + c[j]
-			finish := math.Max(arrive, ready[j]) + p[j]
+			start := port + c[j]
+			if ready[j] > start {
+				start = ready[j]
+			}
+			finish := start + p[j]
 			if finish < bestFinish {
 				best, bestFinish = j, finish
 			}
@@ -356,12 +387,27 @@ func forwardGreedyAssignment(n int, c, p []float64) []int {
 // all released at time 0 and dispatched ASAP in plan order under true
 // costs. Used by tests and the plan-horizon ablation.
 func planMakespan(assign []int, c, p []float64) float64 {
-	ready := make([]float64, len(c))
+	return planMakespanInto(assign, c, p, make([]float64, len(c)))
+}
+
+// planMakespanInto is planMakespan with a caller-owned ready scratch
+// vector (cleared here), for the hill-climbing loop that evaluates
+// thousands of candidate plans.
+func planMakespanInto(assign []int, c, p []float64, ready []float64) float64 {
+	for j := range ready {
+		ready[j] = 0
+	}
 	port := 0.0
 	makespan := 0.0
 	for _, j := range assign {
 		arrive := port + c[j]
-		finish := math.Max(arrive, ready[j]) + p[j]
+		// max(arrive, ready[j]) spelled out; operands are finite, so this
+		// is bit-identical to math.Max without the call overhead.
+		start := arrive
+		if ready[j] > start {
+			start = ready[j]
+		}
+		finish := start + p[j]
 		port = arrive
 		ready[j] = finish
 		if finish > makespan {

@@ -159,10 +159,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "scales must be non-negative")
 		return
 	}
-	ids := make([]int, req.Count)
-	for i := range ids {
-		ids[i] = s.rt.Submit(live.JobSpec{CommScale: req.CommScale, CompScale: req.CompScale})
-	}
+	// One batched admission per request: a single runtime critical
+	// section regardless of count, so concurrent producers contend once
+	// per batch instead of once per job.
+	ids := s.rt.SubmitBatch(live.JobSpec{CommScale: req.CommScale, CompScale: req.CompScale}, req.Count)
 	writeJSON(w, http.StatusAccepted, SubmitResponse{IDs: ids})
 }
 
@@ -231,11 +231,14 @@ func (s *Server) Stats() StatsResponse {
 		Jobs:          snap.Counts,
 	}
 	if len(snap.Latencies) > 0 {
-		wall := make([]float64, len(snap.Latencies))
-		for i, l := range snap.Latencies {
+		// The snapshot's latency slice is this call's private copy, so it
+		// can be rescaled and sorted in place — no further copies on a
+		// path that serves every /stats request.
+		wall := snap.Latencies
+		for i, l := range wall {
 			wall[i] = l / s.cfg.ClockScale
 		}
-		sum := stats.Summarize(wall)
+		sum := stats.SummarizeInPlace(wall)
 		resp.LatencySeconds = &LatencyStats{Mean: sum.Mean, P50: sum.P50, P95: sum.P95, P99: sum.P99}
 	}
 	if snap.Counts.Completed > 0 && snap.Last > snap.First {

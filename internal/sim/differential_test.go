@@ -1,0 +1,147 @@
+package sim
+
+// Differential tests for the allocation-free hot path: each refactored
+// structure is pinned against a straightforward reference
+// implementation of its pre-refactor behavior. The engine-level
+// counterpart lives in internal/experiment (golden replicate JSON
+// recorded by the pre-refactor binary) and internal/live (the
+// sim-vs-live conformance suite).
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// refReady is the pre-refactor Ready: a full fold over the backlog on
+// every call, no memo.
+func refReady(lastSync float64, units []ledgerUnit, nominalComp float64) float64 {
+	t := lastSync
+	for _, u := range units {
+		if u.arrival > t {
+			t = u.arrival
+		}
+		t += nominalComp
+	}
+	return t
+}
+
+// TestLedgerReadyDifferential drives a random mutation stream through
+// the memoized Ledger and checks every Ready answer — interleaved with
+// the mutations, hitting both memo and recompute paths — against the
+// reference fold, bit for bit.
+func TestLedgerReadyDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		const m = 4
+		l := NewLedger(m)
+		comp := []float64{1.5, 2.25, 0.75, 3}
+		now := 0.0
+		nextTask := 0
+		inFlight := make([][]int, m) // assigned tasks per slave, dispatch order
+		for op := 0; op < 400; op++ {
+			j := rng.Intn(m)
+			now += rng.Float64()
+			switch k := rng.Intn(10); {
+			case k < 4: // assign
+				l.Assign(j, nextTask, now+rng.Float64())
+				inFlight[j] = append(inFlight[j], nextTask)
+				nextTask++
+			case k < 6 && len(inFlight[j]) > 0: // arrival corrects the newest unit
+				task := inFlight[j][len(inFlight[j])-1]
+				l.Arrived(j, task, now)
+			case k < 8 && len(inFlight[j]) > 0: // completion removes the oldest
+				task := inFlight[j][0]
+				inFlight[j] = inFlight[j][1:]
+				l.Completed(j, task, now)
+			case k < 9: // sync
+				l.Sync(j, now)
+			default: // fail clears the backlog
+				l.Fail(j, now)
+				inFlight[j] = inFlight[j][:0]
+			}
+			// Query a random subset of slaves — repeated queries between
+			// mutations exercise the memo path.
+			for q := 0; q < 1+rng.Intn(3); q++ {
+				qj := rng.Intn(m)
+				got := l.Ready(qj, comp[qj])
+				want := refReady(l.lastSync[qj], l.units[qj], comp[qj])
+				if got != want {
+					t.Fatalf("trial %d op %d: Ready(%d) = %v, reference fold = %v", trial, op, qj, got, want)
+				}
+				if again := l.Ready(qj, comp[qj]); again != got {
+					t.Fatalf("trial %d op %d: memoized Ready(%d) = %v after %v", trial, op, qj, again, got)
+				}
+			}
+		}
+	}
+}
+
+// TestTaskFIFODifferential pins the head-indexed queue against a plain
+// slice driven by the pre-refactor splice operations.
+func TestTaskFIFODifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		var q taskFIFO
+		var ref []int
+		next := 0
+		for op := 0; op < 500; op++ {
+			switch k := rng.Intn(4); {
+			case k == 0 || len(ref) == 0: // push
+				q.Push(next)
+				ref = append(ref, next)
+				next++
+			case k == 1: // pop front
+				got := q.PopFront()
+				want := ref[0]
+				ref = ref[1:]
+				if got != want {
+					t.Fatalf("trial %d op %d: PopFront = %d, want %d", trial, op, got, want)
+				}
+			default: // remove at random position (the mid-queue dispatch path)
+				i := rng.Intn(len(ref))
+				if got := q.IndexOf(ref[i]); got != i {
+					t.Fatalf("trial %d op %d: IndexOf(%d) = %d, want %d", trial, op, ref[i], got, i)
+				}
+				q.RemoveAt(i)
+				ref = append(ref[:i], ref[i+1:]...)
+			}
+			if q.Len() != len(ref) {
+				t.Fatalf("trial %d op %d: Len = %d, want %d", trial, op, q.Len(), len(ref))
+			}
+			for i, want := range ref {
+				if got := q.At(i); got != want {
+					t.Fatalf("trial %d op %d: At(%d) = %d, want %d", trial, op, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineSteadyStateAllocs pins the tentpole claim at the engine
+// level: after construction, driving a bag workload to completion
+// allocates only the per-run bookkeeping (snapshot assembly is not
+// measured here), not per-event garbage.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	pl := theorem1Platform()
+	run := func(n int) float64 {
+		tasks := core.Bag(n)
+		return testing.AllocsPerRun(20, func() {
+			e := New(pl, greedyFinish{}, tasks)
+			if _, err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	// Construction allocates a bounded number of slices (engine fields,
+	// ledger, clones, the snapshot), so the per-run count is a constant;
+	// what must NOT happen is allocation growing with the task count.
+	// Before the refactor every event boxed through container/heap, so
+	// doubling the workload added hundreds of allocations.
+	small, large := run(60), run(240)
+	if grown := large - small; grown > 10 {
+		t.Fatalf("engine allocations grew by %.0f when the workload grew 60→240 tasks (want ~0: per-event allocation regression; base %.0f)",
+			grown, small)
+	}
+}

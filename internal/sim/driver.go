@@ -18,7 +18,6 @@ package sim
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/core"
 )
@@ -30,7 +29,7 @@ type Driver struct {
 	now     func() float64
 	tasks   []core.Task
 	records []core.Record
-	pending []int // released, unsent task indices, FIFO
+	pending taskFIFO // released, unsent task indices, FIFO
 	sent    []bool
 	done    []bool
 	ledger  *Ledger
@@ -68,7 +67,7 @@ func (d *Driver) Admit(task core.Task) core.TaskID {
 	d.records = append(d.records, core.Record{Task: task.ID, Slave: -1, Release: task.Release})
 	d.sent = append(d.sent, false)
 	d.done = append(d.done, false)
-	d.pending = append(d.pending, idx)
+	d.pending.Push(idx)
 	return task.ID
 }
 
@@ -88,17 +87,11 @@ func (d *Driver) MarkSent(scheduler string, task core.TaskID, j int) {
 	if d.sent[idx] {
 		panic(fmt.Sprintf("sim: scheduler %s re-sent task %d", scheduler, task))
 	}
-	pos := -1
-	for i, p := range d.pending {
-		if p == idx {
-			pos = i
-			break
-		}
-	}
+	pos := d.pending.IndexOf(idx)
 	if pos < 0 {
 		panic(fmt.Sprintf("sim: scheduler %s sent unreleased task %d at %v", scheduler, task, d.now()))
 	}
-	d.pending = append(d.pending[:pos], d.pending[pos+1:]...)
+	d.pending.RemoveAt(pos)
 	d.sent[idx] = true
 	now := d.now()
 	d.records[idx].Slave = j
@@ -136,7 +129,7 @@ func (d *Driver) Admitted() int { return len(d.tasks) }
 func (d *Driver) Done() int { return d.completed }
 
 // PendingCount returns the number of released, unsent tasks.
-func (d *Driver) PendingCount() int { return len(d.pending) }
+func (d *Driver) PendingCount() int { return d.pending.Len() }
 
 // Task returns an admitted task by ID.
 func (d *Driver) Task(id core.TaskID) core.Task { return d.tasks[id] }
@@ -178,17 +171,15 @@ func (v *driverView) Comm(j int) float64 { return v.d.pl.C[j] }
 func (v *driverView) Comp(j int) float64 { return v.d.pl.P[j] }
 
 // PendingCount returns the number of released, unsent tasks.
-func (v *driverView) PendingCount() int { return len(v.d.pending) }
+func (v *driverView) PendingCount() int { return v.d.pending.Len() }
 
 // PendingAt returns the i-th pending task in release (FIFO) order.
-func (v *driverView) PendingAt(i int) core.TaskID { return core.TaskID(v.d.pending[i]) }
+func (v *driverView) PendingAt(i int) core.TaskID { return core.TaskID(v.d.pending.At(i)) }
 
 // FirstPending returns the oldest pending task.
 func (v *driverView) FirstPending() (core.TaskID, bool) {
-	if len(v.d.pending) == 0 {
-		return 0, false
-	}
-	return core.TaskID(v.d.pending[0]), true
+	t, ok := v.d.pending.Front()
+	return core.TaskID(t), ok
 }
 
 // Release returns the release time of a task.
@@ -203,10 +194,14 @@ func (v *driverView) Outstanding(j int) int { return v.d.ledger.Outstanding(j) }
 func (v *driverView) ReadyEstimate(j int) float64 { return v.d.ledger.Ready(j, v.d.pl.P[j]) }
 
 // PredictFinish estimates the completion time of a task sent to slave j
-// right now, under nominal costs.
+// right now, under nominal costs. The float expression mirrors
+// engineView.PredictFinish operation for operation (bit-identical
+// inputs must yield bit-identical decisions).
 func (v *driverView) PredictFinish(j int) float64 {
-	arrive := v.d.now() + v.d.pl.C[j]
-	start := math.Max(arrive, v.ReadyEstimate(j))
+	start := v.d.now() + v.d.pl.C[j]
+	if ready := v.ReadyEstimate(j); ready > start {
+		start = ready
+	}
 	return start + v.d.pl.P[j]
 }
 

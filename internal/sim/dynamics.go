@@ -157,18 +157,15 @@ func (e *Engine) FailSlave(j int) []core.TaskID {
 	// Cancel the slave's scheduled events: the in-flight send (at most one
 	// under the one-port model) and the completion of the task it computes.
 	canceledSend := false
-	kept := e.events[:0]
-	for _, ev := range e.events {
-		if (ev.kind == evSendComplete || ev.kind == evComputeComplete) && ev.dest == j {
-			if ev.kind == evSendComplete {
+	e.events.Filter(func(ev event) bool {
+		if (ev.Kind == evSendComplete || ev.Kind == evComputeComplete) && int(ev.Dest) == j {
+			if ev.Kind == evSendComplete {
 				canceledSend = true
 			}
-			continue
+			return false
 		}
-		kept = append(kept, ev)
-	}
-	e.events = kept
-	e.events.reinit()
+		return true
+	})
 	if canceledSend && !e.unboundedPort {
 		e.portFree = e.now // the master stops transmitting into a dead link
 	}
@@ -184,7 +181,7 @@ func (e *Engine) FailSlave(j int) []core.TaskID {
 	}
 
 	s := &e.slaves[j]
-	s.queue = nil
+	s.queue.Reset()
 	s.computing = -1
 	s.busyUntil = e.now
 	e.model.Fail(j, e.now)

@@ -12,7 +12,6 @@ package sim
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/core"
 )
@@ -101,8 +100,8 @@ type View interface {
 
 // slaveState is the ground-truth state of one slave.
 type slaveState struct {
-	queue     []int // arrived tasks waiting, FIFO (task indices)
-	computing int   // task index, or -1
+	queue     taskFIFO // arrived tasks waiting, FIFO (task indices)
+	computing int      // task index, or -1
 	busyUntil float64
 }
 
@@ -130,17 +129,27 @@ type Engine struct {
 
 	unboundedPort bool
 
-	now      float64
-	events   eventHeap
-	seq      int
-	tasks    []core.Task
-	records  []core.Record
-	sent     []bool
-	done     []bool
-	pending  []int // released, unsent task indices, FIFO
-	portFree float64
-	slaves   []slaveState
-	model    *Ledger
+	now    float64
+	events eventHeap
+	// The initial workload's release "events" are never queued: tasks are
+	// sorted by release date, so nextRelease streams them from the task
+	// list directly and the heap holds only in-flight events (a handful:
+	// per-slave completions, one send, wakes). That keeps every heap
+	// operation near-constant depth instead of O(log n-tasks). Injected
+	// tasks (the adversaries' path) still queue real release events; the
+	// merge in peekNext keeps the combined order identical to a heap
+	// holding everything.
+	nextRelease int
+	initial     int // tasks[0:initial] are the sorted initial workload
+	tasks       []core.Task
+	records     []core.Record
+	sent        []bool
+	done        []bool
+	pending     taskFIFO // released, unsent task indices, FIFO
+	released    int      // tasks whose release event has been processed
+	portFree    float64
+	slaves      []slaveState
+	model       *Ledger
 
 	// Dynamic-platform state (dynamics.go). halt is the typed error that
 	// stops the simulation when the scheduler targets a dead slave.
@@ -162,6 +171,7 @@ type Engine struct {
 func New(pl core.Platform, sched Scheduler, tasks []core.Task, opts ...Option) *Engine {
 	inst := core.NewInstance(pl, tasks)
 	m := inst.Platform.M()
+	n := len(inst.Tasks)
 	e := &Engine{
 		pl:       inst.Platform.Clone(),
 		actual:   inst.Platform.Clone(),
@@ -172,7 +182,18 @@ func New(pl core.Platform, sched Scheduler, tasks []core.Task, opts ...Option) *
 		departed: make([]bool, m),
 		obsComm:  make([]ewma, m),
 		obsComp:  make([]ewma, m),
+		// Every per-task slice is sized for the initial workload up front;
+		// a run without injection or churn never grows them again.
+		tasks:   make([]core.Task, 0, n),
+		records: make([]core.Record, 0, n),
+		sent:    make([]bool, 0, n),
+		done:    make([]bool, 0, n),
+		lost:    make([]bool, 0, n),
 	}
+	e.pending.grow(n)
+	// Beyond the streamed initial releases, a task queues at most two
+	// coexisting events (send completion, compute completion).
+	e.events.Grow(2*m + 8)
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -181,9 +202,12 @@ func New(pl core.Platform, sched Scheduler, tasks []core.Task, opts ...Option) *
 		e.alive[j] = true
 	}
 	sched.Reset(e.pl.Clone())
+	// The initial workload is sorted by release (NewInstance normalizes),
+	// so it is streamed by nextRelease rather than queued as heap events.
 	for _, task := range inst.Tasks {
 		e.addTask(task)
 	}
+	e.initial = len(e.tasks)
 	e.view = engineView{e: e}
 	return e
 }
@@ -196,7 +220,6 @@ func (e *Engine) addTask(task core.Task) int {
 	e.sent = append(e.sent, false)
 	e.done = append(e.done, false)
 	e.lost = append(e.lost, false)
-	e.push(event{time: task.Release, kind: evRelease, task: idx})
 	return idx
 }
 
@@ -206,13 +229,29 @@ func (e *Engine) InjectTask(task core.Task) core.TaskID {
 	if task.Release < e.now {
 		panic(fmt.Sprintf("sim: injecting task released at %v before now %v", task.Release, e.now))
 	}
-	return core.TaskID(e.addTask(task))
+	idx := e.addTask(task)
+	// Injected tasks release through the heap; ties with streamed initial
+	// releases resolve in favor of the stream (see peekNext), matching
+	// the old all-in-heap insertion order.
+	e.events.Push(event{Time: task.Release, Kind: evRelease, Task: int32(idx)})
+	return core.TaskID(idx)
 }
 
-func (e *Engine) push(ev event) {
-	ev.seq = e.seq
-	e.seq++
-	e.events.push(ev)
+// peekNext returns the next event in the merged order of the queued
+// events and the streamed initial releases. A streamed release wins
+// every tie against a queued event at the same time: releases carry the
+// lowest kind, and within evRelease any queued (injected) release was
+// created after every initial task, so the old all-in-heap order had it
+// later too.
+func (e *Engine) peekNext() (event, bool) {
+	top, ok := e.events.Peek()
+	if e.nextRelease < e.initial {
+		rel := e.tasks[e.nextRelease].Release
+		if !ok || rel <= top.Time {
+			return event{Time: rel, Kind: evRelease, Task: int32(e.nextRelease)}, true
+		}
+	}
+	return top, ok
 }
 
 // Now returns the current simulation time.
@@ -243,37 +282,37 @@ func (e *Engine) Completed(task core.TaskID) bool {
 
 // processEvent applies one event to the ground-truth state.
 func (e *Engine) processEvent(ev event) {
-	e.now = ev.time
-	switch ev.kind {
+	e.now = ev.Time
+	task := int(ev.Task)
+	switch ev.Kind {
 	case evRelease:
-		e.pending = append(e.pending, ev.task)
+		e.pending.Push(task)
+		e.released++
 	case evSendComplete:
-		j := ev.dest
-		e.records[ev.task].Arrive = e.now
-		e.obsComm[j].observe(e.now - e.records[ev.task].SendStart)
-		e.model.Arrived(j, ev.task, e.now)
+		j := int(ev.Dest)
+		e.records[task].Arrive = e.now
+		e.obsComm[j].observe(e.now - e.records[task].SendStart)
+		e.model.Arrived(j, task, e.now)
 		s := &e.slaves[j]
 		if s.computing < 0 {
-			e.startCompute(j, ev.task)
+			e.startCompute(j, task)
 		} else {
-			s.queue = append(s.queue, ev.task)
+			s.queue.Push(task)
 		}
 	case evComputeComplete:
-		j := ev.dest
+		j := int(ev.Dest)
 		s := &e.slaves[j]
-		if s.computing != ev.task {
-			panic(fmt.Sprintf("sim: slave %d completed task %d while computing %d", j, ev.task, s.computing))
+		if s.computing != task {
+			panic(fmt.Sprintf("sim: slave %d completed task %d while computing %d", j, task, s.computing))
 		}
-		e.records[ev.task].Complete = e.now
-		e.done[ev.task] = true
+		e.records[task].Complete = e.now
+		e.done[task] = true
 		e.completed++
-		e.obsComp[j].observe(e.now - e.records[ev.task].Start)
-		e.model.Completed(j, ev.task, e.now)
+		e.obsComp[j].observe(e.now - e.records[task].Start)
+		e.model.Completed(j, task, e.now)
 		s.computing = -1
-		if len(s.queue) > 0 {
-			next := s.queue[0]
-			s.queue = s.queue[1:]
-			e.startCompute(j, next)
+		if s.queue.Len() > 0 {
+			e.startCompute(j, s.queue.PopFront())
 		}
 	case evWake:
 		// No state change; merely triggers a consult.
@@ -286,14 +325,14 @@ func (e *Engine) startCompute(j, task int) {
 	s.computing = task
 	s.busyUntil = e.now + dur
 	e.records[task].Start = e.now
-	e.push(event{time: s.busyUntil, kind: evComputeComplete, task: task, dest: j})
+	e.events.Push(event{Time: s.busyUntil, Kind: evComputeComplete, Task: int32(task), Dest: int32(j)})
 }
 
 // consult gives the scheduler a chance to act. Called only when the port
 // is free. Returns after the scheduler sends (port busy again), waits,
 // idles, or commits a halting violation (dead-slave dispatch).
 func (e *Engine) consult() {
-	for e.halt == nil && e.portFree <= e.now && len(e.pending) > 0 {
+	for e.halt == nil && e.portFree <= e.now && e.pending.Len() > 0 {
 		act := e.sched.Decide(&e.view)
 		switch act.Kind {
 		case ActSend:
@@ -310,7 +349,7 @@ func (e *Engine) consult() {
 				panic(fmt.Sprintf("sim: scheduler %s waits until %v which is not after now %v",
 					e.sched.Name(), act.Until, e.now))
 			}
-			e.push(event{time: act.Until, kind: evWake})
+			e.events.Push(event{Time: act.Until, Kind: evWake})
 			return
 		case ActIdle:
 			return
@@ -331,13 +370,7 @@ func (e *Engine) startSend(task core.TaskID, j int) {
 	if e.sent[idx] {
 		panic(fmt.Sprintf("sim: scheduler %s re-sent task %d", e.sched.Name(), task))
 	}
-	pos := -1
-	for i, p := range e.pending {
-		if p == idx {
-			pos = i
-			break
-		}
-	}
+	pos := e.pending.IndexOf(idx)
 	if pos < 0 {
 		panic(fmt.Sprintf("sim: scheduler %s sent unreleased task %d at %v", e.sched.Name(), task, e.now))
 	}
@@ -348,7 +381,7 @@ func (e *Engine) startSend(task core.TaskID, j int) {
 		e.halt = &DeadSlaveError{Scheduler: e.sched.Name(), Task: task, Slave: j, Time: e.now, Departed: e.departed[j]}
 		return
 	}
-	e.pending = append(e.pending[:pos], e.pending[pos+1:]...)
+	e.pending.RemoveAt(pos)
 	e.sent[idx] = true
 	dur := e.actual.C[j] * e.tasks[idx].EffComm()
 	e.records[idx].Slave = j
@@ -360,7 +393,7 @@ func (e *Engine) startSend(task core.TaskID, j int) {
 	// The master predicts arrival with the nominal link cost; the actual
 	// arrival (evSendComplete) corrects the bookkeeping.
 	e.model.Assign(j, idx, e.now+e.pl.C[j])
-	e.push(event{time: arrive, kind: evSendComplete, task: idx, dest: j})
+	e.events.Push(event{Time: arrive, Kind: evSendComplete, Task: int32(idx), Dest: int32(j)})
 }
 
 // step drains every event at the next event time, then consults the
@@ -369,17 +402,31 @@ func (e *Engine) step() bool {
 	if e.halt != nil {
 		return false
 	}
-	ev, ok := e.events.peek()
-	if !ok {
+	top, hasTop := e.events.Peek()
+	var t float64
+	switch {
+	case e.nextRelease < e.initial:
+		t = e.tasks[e.nextRelease].Release
+		if hasTop && top.Time < t {
+			t = top.Time
+		}
+	case hasTop:
+		t = top.Time
+	default:
 		return false
 	}
-	t := ev.time
-	for {
-		next, ok := e.events.peek()
-		if !ok || next.time != t {
-			break
-		}
-		e.processEvent(e.events.pop())
+	// Streamed initial releases at t precede every queued event at t
+	// (evRelease is the lowest kind and initial tasks predate all queued
+	// events of that kind), so the whole batch drains first, inline.
+	for e.nextRelease < e.initial && e.tasks[e.nextRelease].Release == t {
+		e.now = t
+		e.pending.Push(e.nextRelease)
+		e.released++
+		e.nextRelease++
+	}
+	for hasTop && top.Time == t {
+		e.processEvent(e.events.Pop())
+		top, hasTop = e.events.Peek()
 	}
 	e.consult()
 	return true
@@ -392,8 +439,8 @@ func (e *Engine) AdvanceTo(t float64) {
 		panic(fmt.Sprintf("sim: cannot advance backwards from %v to %v", e.now, t))
 	}
 	for e.halt == nil {
-		ev, ok := e.events.peek()
-		if !ok || ev.time > t {
+		ev, ok := e.peekNext()
+		if !ok || ev.Time > t {
 			break
 		}
 		e.step()
@@ -414,7 +461,7 @@ func (e *Engine) Run() (core.Schedule, error) {
 	}
 	if e.completed != len(e.tasks)-e.lostCount {
 		return core.Schedule{}, fmt.Errorf("sim: scheduler %s completed %d of %d tasks (idle deadlock at t=%v with %d pending)",
-			e.sched.Name(), e.completed, len(e.tasks)-e.lostCount, e.now, len(e.pending))
+			e.sched.Name(), e.completed, len(e.tasks)-e.lostCount, e.now, e.pending.Len())
 	}
 	return e.Snapshot(), nil
 }
@@ -471,17 +518,15 @@ func (v *engineView) Comm(j int) float64 { return v.e.pl.C[j] }
 func (v *engineView) Comp(j int) float64 { return v.e.pl.P[j] }
 
 // PendingCount returns the number of released, unsent tasks.
-func (v *engineView) PendingCount() int { return len(v.e.pending) }
+func (v *engineView) PendingCount() int { return v.e.pending.Len() }
 
 // PendingAt returns the i-th pending task in release (FIFO) order.
-func (v *engineView) PendingAt(i int) core.TaskID { return core.TaskID(v.e.pending[i]) }
+func (v *engineView) PendingAt(i int) core.TaskID { return core.TaskID(v.e.pending.At(i)) }
 
 // FirstPending returns the oldest pending task.
 func (v *engineView) FirstPending() (core.TaskID, bool) {
-	if len(v.e.pending) == 0 {
-		return 0, false
-	}
-	return core.TaskID(v.e.pending[0]), true
+	t, ok := v.e.pending.Front()
+	return core.TaskID(t), ok
 }
 
 // Release returns the release time of a task.
@@ -497,23 +542,23 @@ func (v *engineView) ReadyEstimate(j int) float64 { return v.e.model.Ready(j, v.
 
 // PredictFinish estimates the completion time of a task sent to slave j
 // right now, under nominal costs: the send occupies [now, now+c_j], the
-// computation starts when both the task has arrived and the slave is free.
+// computation starts when both the task has arrived and the slave is
+// free. The max is spelled out (finite operands) — this runs once per
+// slave per list-scheduler decision.
 func (v *engineView) PredictFinish(j int) float64 {
-	arrive := v.e.now + v.e.pl.C[j]
-	start := math.Max(arrive, v.ReadyEstimate(j))
+	start := v.e.now + v.e.pl.C[j]
+	if ready := v.ReadyEstimate(j); ready > start {
+		start = ready
+	}
 	return start + v.e.pl.P[j]
 }
 
-// ReleasedCount returns how many tasks have been released so far.
-func (v *engineView) ReleasedCount() int {
-	n := 0
-	for i := range v.e.tasks {
-		if v.e.tasks[i].Release <= v.e.now {
-			n++
-		}
-	}
-	return n
-}
+// ReleasedCount returns how many tasks have been released so far: the
+// count of processed release events. The engine drains every event at a
+// timestamp before consulting the scheduler, so by the time any View
+// method runs, each task with Release ≤ now has been counted — the
+// incremental counter replaces what used to be an O(n) scan per call.
+func (v *engineView) ReleasedCount() int { return v.e.released }
 
 // CompletedCount returns how many tasks have finished.
 func (v *engineView) CompletedCount() int { return v.e.completed }

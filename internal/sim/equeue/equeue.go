@@ -1,0 +1,155 @@
+// Package equeue is the discrete-event simulator's event queue: an
+// array-indexed binary min-heap over concrete Event values with
+// hand-rolled sift-up/sift-down, so pushes and pops never box events
+// into interfaces the way container/heap does. On the engine's hot path
+// every simulated task costs a handful of queue operations; with
+// container/heap each of those allocated (Push boxes its argument, Pop
+// returns a freshly heap-allocated any), which made the queue the
+// dominant allocation site of the whole repository. This implementation
+// allocates only when the backing array grows, and Grow lets callers
+// preallocate for a known event volume so steady state allocates
+// nothing at all.
+//
+// Ordering is total and deterministic: events compare by (Time, Kind,
+// Seq), where Seq is a unique insertion stamp the heap assigns on Push.
+// A total order makes the pop sequence independent of the heap's
+// internal array layout, which is what lets the engine guarantee
+// bit-identical replays (and lets the differential suite pin this heap
+// against a container/heap reference).
+package equeue
+
+// Event is one scheduled simulation event. Time is the primary key;
+// Kind breaks ties between simultaneous events of different types
+// (lower kinds first, matching the engine's release-before-completion
+// drain order); Seq — assigned by the heap — breaks the remaining ties
+// by insertion order. Task and Dest are payload, not ordering keys.
+type Event struct {
+	Time float64
+	Seq  int64
+	Kind int32
+	Task int32
+	Dest int32
+}
+
+// before is the total event order: (Time, Kind, Seq) lexicographically.
+func (e Event) before(o Event) bool {
+	if e.Time != o.Time {
+		return e.Time < o.Time
+	}
+	if e.Kind != o.Kind {
+		return e.Kind < o.Kind
+	}
+	return e.Seq < o.Seq
+}
+
+// Heap is the event queue. The zero value is ready to use; Grow
+// preallocates. Heap is not safe for concurrent use — the engine is
+// single-threaded by design.
+type Heap struct {
+	items []Event
+	seq   int64
+}
+
+// Len returns the number of queued events.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Grow ensures capacity for at least n queued events without further
+// allocation.
+func (h *Heap) Grow(n int) {
+	if cap(h.items)-len(h.items) >= n {
+		return
+	}
+	items := make([]Event, len(h.items), len(h.items)+n)
+	copy(items, h.items)
+	h.items = items
+}
+
+// Push queues an event, stamping it with the next insertion sequence
+// number (the final ordering tie-break).
+func (h *Heap) Push(ev Event) {
+	ev.Seq = h.seq
+	h.seq++
+	h.items = append(h.items, ev)
+	h.up(len(h.items) - 1)
+}
+
+// Pop removes and returns the minimum event. It panics on an empty heap
+// (an engine bug, not a runtime condition: callers peek first).
+func (h *Heap) Pop() Event {
+	top := h.items[0]
+	n := len(h.items) - 1
+	h.items[0] = h.items[n]
+	h.items[n] = Event{}
+	h.items = h.items[:n]
+	if n > 1 {
+		h.down(0)
+	}
+	return top
+}
+
+// Peek returns the minimum event without removing it.
+func (h *Heap) Peek() (Event, bool) {
+	if len(h.items) == 0 {
+		return Event{}, false
+	}
+	return h.items[0], true
+}
+
+// Filter removes every event for which keep returns false and restores
+// the heap invariant. Seq stamps are preserved, so the relative order of
+// surviving ties is unchanged. Used when a slave failure cancels its
+// scheduled events.
+func (h *Heap) Filter(keep func(Event) bool) {
+	kept := h.items[:0]
+	for _, ev := range h.items {
+		if keep(ev) {
+			kept = append(kept, ev)
+		}
+	}
+	for i := len(kept); i < len(h.items); i++ {
+		h.items[i] = Event{}
+	}
+	h.items = kept
+	// Heapify bottom-up: O(n), same invariant container/heap.Init restores.
+	for i := len(h.items)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+// up sifts the element at index i toward the root.
+func (h *Heap) up(i int) {
+	items := h.items
+	ev := items[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !ev.before(items[parent]) {
+			break
+		}
+		items[i] = items[parent]
+		i = parent
+	}
+	items[i] = ev
+}
+
+// down sifts the element at index i toward the leaves.
+func (h *Heap) down(i int) {
+	items := h.items
+	n := len(items)
+	ev := items[i]
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && items[right].before(items[left]) {
+			least = right
+		}
+		if !items[least].before(ev) {
+			break
+		}
+		items[i] = items[least]
+		i = least
+	}
+	items[i] = ev
+}

@@ -1,0 +1,157 @@
+package equeue
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refHeap is the pre-refactor reference: the same (Time, Kind, Seq)
+// ordering driven through container/heap, exactly as the engine's event
+// queue was implemented before the allocation-free rewrite. The
+// differential tests pin the optimized heap's pop sequence to it.
+type refHeap []Event
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	if h[i].Kind != h[j].Kind {
+		return h[i].Kind < h[j].Kind
+	}
+	return h[i].Seq < h[j].Seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(Event)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// TestDifferentialVsContainerHeap drives random interleaved push/pop
+// streams through the optimized heap and the container/heap reference
+// and requires identical pop sequences — including heavy timestamp and
+// kind ties, which is where an ordering bug would hide.
+func TestDifferentialVsContainerHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var h Heap
+		var ref refHeap
+		seq := int64(0)
+		ops := 500 + rng.Intn(500)
+		for op := 0; op < ops; op++ {
+			if h.Len() == 0 || rng.Float64() < 0.6 {
+				ev := Event{
+					// Few distinct times and kinds: ties everywhere.
+					Time: float64(rng.Intn(8)),
+					Kind: int32(rng.Intn(4)),
+					Task: int32(rng.Intn(1000)),
+					Dest: int32(rng.Intn(8)),
+				}
+				h.Push(ev)
+				withSeq := ev
+				withSeq.Seq = seq
+				seq++
+				heap.Push(&ref, withSeq)
+			} else {
+				got := h.Pop()
+				want := heap.Pop(&ref).(Event)
+				if got != want {
+					t.Fatalf("trial %d op %d: pop mismatch: got %+v want %+v", trial, op, got, want)
+				}
+			}
+		}
+		for h.Len() > 0 {
+			got := h.Pop()
+			want := heap.Pop(&ref).(Event)
+			if got != want {
+				t.Fatalf("trial %d drain: pop mismatch: got %+v want %+v", trial, got, want)
+			}
+		}
+		if ref.Len() != 0 {
+			t.Fatalf("trial %d: reference has %d leftover events", trial, ref.Len())
+		}
+	}
+}
+
+// TestFilterMatchesReference mirrors the engine's failure-time event
+// cancellation: filter a predicate out of both heaps mid-stream, then
+// require the drains to still agree (Filter must preserve Seq stamps
+// and restore the invariant).
+func TestFilterMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		var h Heap
+		var ref refHeap
+		for i := 0; i < 300; i++ {
+			ev := Event{Time: float64(rng.Intn(10)), Kind: int32(rng.Intn(4)), Dest: int32(rng.Intn(5))}
+			h.Push(ev)
+			withSeq := ev
+			withSeq.Seq = int64(i)
+			heap.Push(&ref, withSeq)
+		}
+		dead := int32(rng.Intn(5))
+		keep := func(ev Event) bool { return ev.Dest != dead || ev.Kind == 0 }
+		h.Filter(keep)
+		kept := ref[:0]
+		for _, ev := range ref {
+			if keep(ev) {
+				kept = append(kept, ev)
+			}
+		}
+		ref = kept
+		heap.Init(&ref)
+		for h.Len() > 0 {
+			got := h.Pop()
+			want := heap.Pop(&ref).(Event)
+			if got != want {
+				t.Fatalf("trial %d: post-filter pop mismatch: got %+v want %+v", trial, got, want)
+			}
+		}
+		if ref.Len() != 0 {
+			t.Fatalf("trial %d: reference has %d leftover events", trial, ref.Len())
+		}
+	}
+}
+
+// TestGrowPreallocates pins the zero-allocation steady state: after
+// Grow, a push/pop workload within capacity must not allocate.
+func TestGrowPreallocates(t *testing.T) {
+	var h Heap
+	h.Grow(128)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 100; i++ {
+			h.Push(Event{Time: float64(i % 13), Kind: int32(i % 4)})
+		}
+		for h.Len() > 0 {
+			h.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state push/pop allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkHeapPushPop(b *testing.B) {
+	var h Heap
+	h.Grow(1024)
+	rng := rand.New(rand.NewSource(1))
+	times := make([]float64, 1024)
+	for i := range times {
+		times[i] = rng.Float64() * 100
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 256; j++ {
+			h.Push(Event{Time: times[j&1023], Kind: int32(j & 3)})
+		}
+		for h.Len() > 0 {
+			h.Pop()
+		}
+	}
+}

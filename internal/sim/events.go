@@ -1,62 +1,21 @@
 package sim
 
-import "container/heap"
+import "repro/internal/sim/equeue"
 
-// eventKind orders simultaneous events deterministically.
-type eventKind int
+// event is the engine's scheduled-event record; the queue itself lives
+// in internal/sim/equeue (an array-indexed binary heap with no
+// per-operation allocations — see that package's doc comment). Kinds
+// order simultaneous events deterministically: all releases at a time t
+// are drained before completions at t, completions before send
+// arrivals, and insertion order (the heap's Seq stamp) breaks the rest.
+type event = equeue.Event
 
 const (
-	evRelease eventKind = iota
+	evRelease int32 = iota
 	evComputeComplete
 	evSendComplete
 	evWake
 )
 
-type event struct {
-	time float64
-	kind eventKind
-	seq  int // insertion order, final tie-break
-	task int // task index for release/send/compute events
-	dest int // slave index for send/compute events
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	if h[i].kind != h[j].kind {
-		return h[i].kind < h[j].kind
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
-func (h *eventHeap) push(e event) { heap.Push(h, e) }
-
-func (h *eventHeap) pop() event { return heap.Pop(h).(event) }
-
-// reinit restores the heap invariant after in-place filtering (used when
-// a slave failure cancels its scheduled events).
-func (h *eventHeap) reinit() { heap.Init(h) }
-
-func (h eventHeap) peek() (event, bool) {
-	if len(h) == 0 {
-		return event{}, false
-	}
-	return h[0], true
-}
+// eventHeap aliases the shared queue so the engine reads naturally.
+type eventHeap = equeue.Heap

@@ -20,8 +20,23 @@ type Summary struct {
 	geometricValid bool
 }
 
-// Summarize computes a Summary. It panics on an empty sample.
+// Summarize computes a Summary. It panics on an empty sample. The input
+// is not modified; callers that own their sample and can tolerate it
+// being reordered should use SummarizeInPlace, which skips the copy the
+// percentile computation otherwise needs.
 func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	return SummarizeInPlace(sorted)
+}
+
+// SummarizeInPlace is Summarize for a caller-owned sample: the slice is
+// sorted in place instead of copied. Reporting surfaces that already
+// hold a private snapshot of their sample (schedd's /stats path) use it
+// to avoid one full copy per request.
+func SummarizeInPlace(xs []float64) Summary {
 	if len(xs) == 0 {
 		panic("stats: empty sample")
 	}
@@ -55,8 +70,8 @@ func Summarize(xs []float64) Summary {
 	if len(xs) > 1 {
 		s.Std = math.Sqrt(varSum / float64(len(xs)-1))
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
+	sort.Float64s(xs)
+	sorted := xs
 	// The interpolated 0.5-quantile is exactly the classic odd/even
 	// median, so Median and P50 share one definition.
 	s.Median = percentileSorted(sorted, 0.50)
