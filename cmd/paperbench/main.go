@@ -41,6 +41,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/runner"
@@ -53,7 +54,7 @@ func main() {
 	log.SetPrefix("paperbench: ")
 
 	which := flag.String("experiment", "all",
-		"artifact: table1, fig1a, fig1b, fig1c, fig1d, fig2, scenario, ablation-rr, ablation-horizon, ablation-arrivals, ablation-model, randomized, all")
+		"artifact: table1, fig1a, fig1b, fig1c, fig1d, fig2, scenario, sharding, ablation-rr, ablation-horizon, ablation-arrivals, ablation-model, randomized, all")
 	platforms := flag.Int("platforms", 10, "random platforms per figure (paper: 10)")
 	tasks := flag.Int("tasks", 1000, "tasks per run (paper: 1000)")
 	m := flag.Int("m", 5, "slaves per platform (paper: 5)")
@@ -130,6 +131,21 @@ func main() {
 				return nil
 			}
 			r := experiment.ScenarioStudyOver(selected, cfg)
+			fmt.Println(r.Render())
+			return []runner.Result{r.Raw}
+		}},
+		{"sharding", nil, func() []runner.Result {
+			var selected []core.Class
+			for _, class := range core.Classes {
+				if classes[class] {
+					selected = append(selected, class)
+				}
+			}
+			if len(selected) == 0 {
+				fmt.Println("(skipped: every platform class of this artifact is excluded by -classes)")
+				return nil
+			}
+			r := experiment.ShardingStudyOver(selected, cfg)
 			fmt.Println(r.Render())
 			return []runner.Result{r.Raw}
 		}},
@@ -264,6 +280,26 @@ type LiveEntry struct {
 	P99LatencyMs float64 `json:"p99_latency_ms"`
 }
 
+// ClusterEntry is one sharded-schedd load-generation run: the same HTTP
+// load generator against a k-shard cluster on one fixed port-bound
+// platform, sweeping shard count × placement. The single master's
+// outbound port is the structural bottleneck, so jobs/sec should scale
+// near-linearly in shards — the shards=4 : shards=1 ratio is the
+// headline CI gates on (≥ 2×).
+type ClusterEntry struct {
+	Shards       int     `json:"shards"`
+	Placement    string  `json:"placement"`
+	Partition    string  `json:"partition"`
+	Jobs         int     `json:"jobs"`
+	Producers    int     `json:"producers"`
+	ClockScale   float64 `json:"clock_scale"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	JobsPerSec   float64 `json:"jobs_per_sec"`
+	P50LatencyMs float64 `json:"p50_latency_ms"`
+	P95LatencyMs float64 `json:"p95_latency_ms"`
+	P99LatencyMs float64 `json:"p99_latency_ms"`
+}
+
 // BenchArtifact is the machine-readable perf record CI uploads
 // (BENCH_PR2.json): wall-clock costs of the headline sweeps at the
 // configured scale, plus enough environment to compare runs honestly.
@@ -282,6 +318,9 @@ type BenchArtifact struct {
 	// Live holds the schedd service load benchmarks (jobs/sec and latency
 	// percentiles per serving policy).
 	Live []LiveEntry `json:"live"`
+	// Cluster holds the sharded-serving ingest sweep (jobs/sec per shard
+	// count × placement on one fixed port-bound platform).
+	Cluster []ClusterEntry `json:"cluster"`
 }
 
 // writeBenchArtifact times the Figure-1 sweep on a one-worker pool and a
@@ -336,6 +375,17 @@ func writeBenchArtifact(path string, cfg experiment.Config) error {
 		log.Printf("live %s: %d jobs in %.2fs wall → %.0f jobs/s, p95 %.2f ms, p99 %.2f ms",
 			entry.Policy, entry.Jobs, entry.WallSeconds, entry.JobsPerSec, entry.P95LatencyMs, entry.P99LatencyMs)
 	}
+	for _, shards := range []int{1, 2, 4} {
+		for _, placement := range []string{cluster.PlacementRoundRobin, cluster.PlacementLeastLoaded} {
+			entry, err := clusterLoadBench(shards, placement)
+			if err != nil {
+				return fmt.Errorf("cluster load bench shards=%d %s: %w", shards, placement, err)
+			}
+			art.Cluster = append(art.Cluster, entry)
+			log.Printf("cluster shards=%d %s: %d jobs in %.2fs wall → %.0f jobs/s, p95 %.2f ms",
+				entry.Shards, entry.Placement, entry.Jobs, entry.WallSeconds, entry.JobsPerSec, entry.P95LatencyMs)
+		}
+	}
 	if err := runner.WriteJSON(path, art); err != nil {
 		return err
 	}
@@ -343,28 +393,15 @@ func writeBenchArtifact(path string, cfg experiment.Config) error {
 	return nil
 }
 
-// liveLoadBench is the schedd load generator: it stands up the real
-// HTTP service (internal/schedd on the goroutine runtime, scaled clock)
-// on a loopback listener, slams it with concurrent batched submissions,
-// drains, and reports sustained throughput plus wall latency
-// percentiles from the service's own stats endpoint data.
-func liveLoadBench(policy string) (LiveEntry, error) {
-	const (
-		producers  = 4
-		batches    = 5
-		perBatch   = 25
-		clockScale = 2000
-	)
+// loadBench is the shared HTTP load generator: it stands up the real
+// service on a loopback listener, slams it with concurrent batched
+// submissions, drains, and reports the wall window plus the service's
+// own stats (the GET /stats data, the single source of latency numbers).
+func loadBench(cfg schedd.Config, producers, batches, perBatch int) (wall float64, svc schedd.StatsResponse, err error) {
 	jobs := producers * batches * perBatch
-	srv, err := schedd.New(schedd.Config{
-		// The paper's five-slave heterogeneous testbed shape, in paper
-		// seconds; the scaled clock compresses it to milliseconds.
-		Platform:   core.NewPlatform([]float64{0.1, 0.25, 0.5, 0.75, 1}, []float64{0.5, 2, 4, 6, 8}),
-		Policy:     policy,
-		ClockScale: clockScale,
-	})
+	srv, err := schedd.New(cfg)
 	if err != nil {
-		return LiveEntry{}, err
+		return 0, svc, err
 	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -396,25 +433,87 @@ func liveLoadBench(policy string) (LiveEntry, error) {
 	close(errs)
 	for err := range errs {
 		if err != nil {
-			return LiveEntry{}, err
+			return 0, svc, err
 		}
 	}
 	if err := srv.Drain(); err != nil {
-		return LiveEntry{}, err
+		return 0, svc, err
 	}
-	wall := time.Since(start).Seconds()
+	wall = time.Since(start).Seconds()
 
-	// The service's own stats path (the GET /stats data) is the single
-	// source of latency numbers.
-	svc := srv.Stats()
+	svc = srv.Stats()
 	if svc.Jobs.Completed != jobs {
-		return LiveEntry{}, fmt.Errorf("completed %d of %d jobs", svc.Jobs.Completed, jobs)
+		return wall, svc, fmt.Errorf("completed %d of %d jobs", svc.Jobs.Completed, jobs)
 	}
 	if svc.LatencySeconds == nil {
-		return LiveEntry{}, fmt.Errorf("no latency stats after %d jobs", jobs)
+		return wall, svc, fmt.Errorf("no latency stats after %d jobs", jobs)
 	}
+	return wall, svc, nil
+}
+
+// liveLoadBench is the single-runtime (per-policy) load benchmark.
+func liveLoadBench(policy string) (LiveEntry, error) {
+	const (
+		producers  = 4
+		batches    = 5
+		perBatch   = 25
+		clockScale = 2000
+	)
+	wall, svc, err := loadBench(schedd.Config{
+		// The paper's five-slave heterogeneous testbed shape, in paper
+		// seconds; the scaled clock compresses it to milliseconds.
+		Platform:   core.NewPlatform([]float64{0.1, 0.25, 0.5, 0.75, 1}, []float64{0.5, 2, 4, 6, 8}),
+		Policy:     policy,
+		ClockScale: clockScale,
+	}, producers, batches, perBatch)
+	if err != nil {
+		return LiveEntry{}, err
+	}
+	jobs := producers * batches * perBatch
 	return LiveEntry{
 		Policy:       policy,
+		Jobs:         jobs,
+		Producers:    producers,
+		ClockScale:   clockScale,
+		WallSeconds:  wall,
+		JobsPerSec:   float64(jobs) / wall,
+		P50LatencyMs: svc.LatencySeconds.P50 * 1000,
+		P95LatencyMs: svc.LatencySeconds.P95 * 1000,
+		P99LatencyMs: svc.LatencySeconds.P99 * 1000,
+	}, nil
+}
+
+// clusterLoadBench is the sharded-serving ingest benchmark: a fixed
+// eight-slave comm-heavy platform (identical 1 s links, so the single
+// master's port caps it at ~1 job per model second no matter the
+// compute) partitioned across k masters. Every extra shard brings its
+// own port, so completion throughput — hence sustained jobs/sec through
+// the drain — scales near-linearly in k.
+func clusterLoadBench(shards int, placement string) (ClusterEntry, error) {
+	const (
+		producers  = 4
+		batches    = 4
+		perBatch   = 25
+		clockScale = 2000
+	)
+	wall, svc, err := loadBench(schedd.Config{
+		Platform: core.NewPlatform(
+			[]float64{1, 1, 1, 1, 1, 1, 1, 1},
+			[]float64{1, 2, 3, 4, 1, 2, 3, 4}),
+		Policy:     "LS",
+		Shards:     shards,
+		Placement:  placement,
+		Partition:  core.PartitionBalanced,
+		ClockScale: clockScale,
+	}, producers, batches, perBatch)
+	if err != nil {
+		return ClusterEntry{}, err
+	}
+	jobs := producers * batches * perBatch
+	return ClusterEntry{
+		Shards:       shards,
+		Placement:    placement,
+		Partition:    string(core.PartitionBalanced),
 		Jobs:         jobs,
 		Producers:    producers,
 		ClockScale:   clockScale,

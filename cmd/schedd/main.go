@@ -1,30 +1,36 @@
 // Command schedd is the streaming scheduling daemon: it serves a
 // master–slave platform over HTTP/JSON with any registered scheduling
 // policy (the paper's seven heuristics or the speed-oblivious SO-LS) as
-// the serving discipline, backed by the concurrent live runtime of
-// internal/live.
+// the serving discipline. The platform can be partitioned across a
+// fleet of masters (-shards): each shard owns a slice of the slaves
+// behind its own one-port master, and incoming jobs are routed to a
+// shard by the -placement policy, multiplying the paper's structural
+// one-port bottleneck by the shard count.
 //
 // Endpoints:
 //
 //	POST /jobs        {"count":8,"comm_scale":1,"comp_scale":1} → {"ids":[...]}
-//	GET  /jobs/{id}   one job's lifecycle and latency
-//	GET  /stats       counts, throughput, p50/p95/p99 latency, trace report
-//	GET  /healthz     liveness
+//	GET  /jobs/{id}   one job's lifecycle, owning shard and latency
+//	GET  /stats       merged cluster view + one section per shard
+//	GET  /healthz     liveness + cluster and per-shard queue depths
 //
 // The platform comes from -slaves "c:p,c:p,..." (explicit per-slave
 // costs) or from -class/-m/-seed (a random platform drawn exactly like
-// the experiment harness does). -clock-scale compresses model time: at
-// 1000, a platform calibrated in paper seconds serves jobs a thousand
-// times faster than nominal.
+// the experiment harness does). -shards partitions it (-partition
+// striped|balanced); -placement picks round-robin, least-loaded or
+// het-aware routing. -clock-scale compresses model time: at 1000, a
+// platform calibrated in paper seconds serves jobs a thousand times
+// faster than nominal.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: new submissions get
-// 503, every accepted job completes, the slaves shut down, and only then
-// does the process exit.
+// 503, every accepted job on every shard completes, the slaves shut
+// down, and only then does the process exit.
 //
 // Usage:
 //
 //	schedd -addr :8080 -policy LS -slaves 0.5:2,1:4,2:5 -clock-scale 100
-//	schedd -policy SO-LS -class heterogeneous -m 5 -seed 7
+//	schedd -policy SO-LS -class heterogeneous -m 8 -seed 7 \
+//	       -shards 4 -placement het-aware -partition balanced
 package main
 
 import (
@@ -43,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/sched"
 	"repro/internal/schedd"
@@ -58,6 +65,11 @@ func main() {
 	class := flag.String("class", "heterogeneous", "random platform class: homogeneous, comm-homogeneous, comp-homogeneous, heterogeneous")
 	m := flag.Int("m", 5, "number of slaves for random platforms")
 	seed := flag.Int64("seed", 1, "random seed for -class platforms")
+	shards := flag.Int("shards", 1, "number of master shards the platform is partitioned across")
+	placement := flag.String("placement", cluster.PlacementRoundRobin,
+		"shard placement policy: "+strings.Join(cluster.PlacementNames(), ", "))
+	partition := flag.String("partition", string(core.PartitionStriped),
+		"partition strategy: striped, balanced")
 	clockScale := flag.Float64("clock-scale", 1, "model seconds per wall second (speedup of the serving clock)")
 	maxBatch := flag.Int("max-batch", 10000, "largest count accepted by one POST /jobs")
 	flag.Parse()
@@ -76,6 +88,9 @@ func main() {
 	srv, err := schedd.New(schedd.Config{
 		Platform:   pl,
 		Policy:     *policy,
+		Shards:     *shards,
+		Placement:  *placement,
+		Partition:  core.PartitionStrategy(*partition),
 		ClockScale: *clockScale,
 		MaxBatch:   *maxBatch,
 	})
@@ -88,8 +103,8 @@ func main() {
 		log.Fatal(err)
 	}
 	httpServer := &http.Server{Handler: srv.Handler()}
-	log.Printf("serving %s on http://%s (platform %v, clock-scale %g)",
-		*policy, ln.Addr(), pl, *clockScale)
+	log.Printf("serving %s on http://%s (platform %v, %d shard(s), placement %s, partition %s, clock-scale %g)",
+		*policy, ln.Addr(), pl, *shards, *placement, *partition, *clockScale)
 
 	done := make(chan error, 1)
 	go func() { done <- httpServer.Serve(ln) }()
@@ -103,11 +118,12 @@ func main() {
 		log.Fatalf("http server: %v", err)
 	}
 
-	// Graceful drain: finish every accepted job, then stop the listener.
+	// Graceful drain: finish every accepted job on every shard, then stop
+	// the listener.
 	if err := srv.Drain(); err != nil {
 		log.Fatalf("drain: %v", err)
 	}
-	counts := srv.Tracker().CountsSnapshot()
+	counts := srv.Counts()
 	log.Printf("drained: %d jobs submitted, %d completed", counts.Submitted, counts.Completed)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -117,31 +133,39 @@ func main() {
 	log.Printf("bye")
 }
 
+// parseSlaves parses the -slaves flag: comma-separated c:p pairs, one
+// per slave. Errors name the offending token and its zero-based index so
+// a typo in a long fleet description is findable at a glance.
+func parseSlaves(s string) (core.Platform, error) {
+	var c, p []float64
+	for i, pair := range strings.Split(s, ",") {
+		token := strings.TrimSpace(pair)
+		parts := strings.SplitN(token, ":", 2)
+		if len(parts) != 2 {
+			return core.Platform{}, fmt.Errorf("-slaves entry %d (%q) is not of the form c:p", i, token)
+		}
+		cv, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return core.Platform{}, fmt.Errorf("-slaves entry %d (%q): bad communication time %q: %w", i, token, parts[0], err)
+		}
+		pv, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return core.Platform{}, fmt.Errorf("-slaves entry %d (%q): bad computation time %q: %w", i, token, parts[1], err)
+		}
+		if cv <= 0 || pv <= 0 {
+			return core.Platform{}, fmt.Errorf("-slaves entry %d (%q): costs must be positive", i, token)
+		}
+		c = append(c, cv)
+		p = append(p, pv)
+	}
+	return core.NewPlatform(c, p), nil
+}
+
 // buildPlatform parses -slaves "c:p,c:p,..." or draws a random platform
 // of the requested class, seeded like the experiment harness.
 func buildPlatform(slaves, class string, m int, seed int64) (core.Platform, error) {
 	if slaves != "" {
-		var c, p []float64
-		for _, pair := range strings.Split(slaves, ",") {
-			parts := strings.SplitN(strings.TrimSpace(pair), ":", 2)
-			if len(parts) != 2 {
-				return core.Platform{}, fmt.Errorf("-slaves entry %q is not c:p", pair)
-			}
-			cv, err := strconv.ParseFloat(parts[0], 64)
-			if err != nil {
-				return core.Platform{}, fmt.Errorf("-slaves entry %q: %w", pair, err)
-			}
-			pv, err := strconv.ParseFloat(parts[1], 64)
-			if err != nil {
-				return core.Platform{}, fmt.Errorf("-slaves entry %q: %w", pair, err)
-			}
-			if cv <= 0 || pv <= 0 {
-				return core.Platform{}, fmt.Errorf("-slaves entry %q: costs must be positive", pair)
-			}
-			c = append(c, cv)
-			p = append(p, pv)
-		}
-		return core.NewPlatform(c, p), nil
+		return parseSlaves(slaves)
 	}
 	for _, cl := range core.Classes {
 		if cl.String() == class {

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSlaves(t *testing.T) {
+	pl, err := parseSlaves("0.5:2, 1:4 ,2:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.M() != 3 || pl.C[0] != 0.5 || pl.P[1] != 4 || pl.C[2] != 2 || pl.P[2] != 5 {
+		t.Fatalf("parsed %v", pl)
+	}
+}
+
+func TestParseSlavesErrorsNameTokenAndIndex(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string // substrings the error must contain
+	}{
+		{"0.5:2,13,2:5", []string{"entry 1", `"13"`, "c:p"}},
+		{"0.5:2,x:4", []string{"entry 1", `"x:4"`, "communication"}},
+		{"0.5:2,1:zap", []string{"entry 1", `"1:zap"`, "computation"}},
+		{"1:1,-2:3", []string{"entry 1", `"-2:3"`, "positive"}},
+		{"1:1,2:0", []string{"entry 1", `"2:0"`, "positive"}},
+		{"", []string{"entry 0", "c:p"}},
+		{"1:2,", []string{"entry 1", "c:p"}},
+	}
+	for _, tc := range cases {
+		_, err := parseSlaves(tc.in)
+		if err == nil {
+			t.Fatalf("parseSlaves(%q) accepted", tc.in)
+		}
+		for _, want := range tc.want {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("parseSlaves(%q) error %q lacks %q", tc.in, err, want)
+			}
+		}
+	}
+}
+
+func TestBuildPlatform(t *testing.T) {
+	// Explicit -slaves overrides -class.
+	pl, err := buildPlatform("1:2,3:4", "homogeneous", 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.M() != 2 {
+		t.Fatalf("explicit platform %v", pl)
+	}
+	// Random platforms honor class and m, and are seed-deterministic.
+	a, err := buildPlatform("", "comp-homogeneous", 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildPlatform("", "comp-homogeneous", 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() != 4 || a.String() != b.String() {
+		t.Fatalf("random platform not deterministic: %v vs %v", a, b)
+	}
+	if _, err := buildPlatform("", "hyper-homogeneous", 4, 7); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}

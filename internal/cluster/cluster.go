@@ -1,0 +1,366 @@
+// Package cluster is the sharded multi-master serving layer: a fleet of
+// live runtimes (shards), each owning a partition of the platform's
+// slaves and running its own scheduling policy behind its own one-port
+// master, fronted by a Router that places every incoming job on a shard
+// via a pluggable Placement policy.
+//
+// The paper's one-port master is a structural serial bottleneck — a
+// single master transmits at most one task per link-time, no matter how
+// many slaves it owns. Sharding multiplies the port: k masters serve k
+// disjoint slave sets concurrently, so ingest throughput on port-bound
+// platforms scales near-linearly with k (cmd/paperbench measures this
+// sweep into BENCH_PR5.json). The cost is scheduling myopia: each master
+// optimizes its slice in isolation, which experiment.ShardingStudy
+// quantifies against the monolithic scheduler.
+//
+// With Shards = 1 the cluster is exactly the single-runtime stack of
+// internal/live — same runtime, same admission path — and the
+// conformance suite in this package pins that a one-shard cluster on the
+// virtual clock reproduces the discrete-event engine's schedules bit for
+// bit, extending the PR-3 contract through the new layer.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/sim"
+)
+
+// ErrDraining is returned by Submit/SubmitBatch once Drain has begun.
+var ErrDraining = errors.New("cluster: draining; no new jobs accepted")
+
+// Config describes one sharded cluster.
+type Config struct {
+	// Platform is the full platform; it is partitioned across shards.
+	// Required.
+	Platform core.Platform
+	// NewScheduler constructs one scheduler instance per shard
+	// (schedulers are stateful and must not be shared). Required.
+	NewScheduler func() sim.Scheduler
+	// Shards is the number of masters; 0 means 1. Must not exceed the
+	// number of slaves.
+	Shards int
+	// Partition selects how slaves are split across shards; empty means
+	// striped.
+	Partition core.PartitionStrategy
+	// Placement names the routing policy; empty means round-robin.
+	Placement string
+	// World builds each shard's execution substrate; nil means real time
+	// at speedup 1 for every shard.
+	World func(shard int) live.World
+	// Sources are in-world job producers, only meaningful for
+	// single-shard clusters (a virtual-clock shard can only receive jobs
+	// from sources; the conformance suite uses this). Configuring sources
+	// with more than one shard is an error: in-world submissions bypass
+	// the router.
+	Sources []func(*live.Source)
+}
+
+// Shard is one master–slave runtime owning a slice of the platform.
+type Shard struct {
+	index   int
+	slaves  []int // global slave indices, increasing
+	pl      core.Platform
+	rt      *live.Runtime
+	tracker *live.Tracker
+	// nominalRate is the shard's throughput estimate from its cost
+	// vectors (tasks per model second), precomputed for het-aware
+	// placement; see shardNominalRate.
+	nominalRate float64
+}
+
+// Index returns the shard's position in the cluster.
+func (s *Shard) Index() int { return s.index }
+
+// Slaves returns the global indices of the slaves this shard owns. The
+// slice is shared; treat it as read-only.
+func (s *Shard) Slaves() []int { return s.slaves }
+
+// GlobalSlave maps a shard-local slave index to the platform-global one.
+func (s *Shard) GlobalSlave(local int) int { return s.slaves[local] }
+
+// Platform returns the shard's slice of the platform (local indexing).
+// The value shares cost slices with the shard; treat it as read-only.
+func (s *Shard) Platform() core.Platform { return s.pl }
+
+// Runtime returns the shard's live runtime.
+func (s *Shard) Runtime() *live.Runtime { return s.rt }
+
+// Tracker returns the shard's job-state store (shard-local job IDs and
+// slave indices).
+func (s *Shard) Tracker() *live.Tracker { return s.tracker }
+
+// Load returns the shard's progress snapshot.
+func (s *Shard) Load() live.Load { return s.rt.Load() }
+
+// Result returns the shard's completed run. Call only after the cluster
+// has drained.
+func (s *Shard) Result() live.Result { return s.rt.Result() }
+
+// jobRef locates one globally-numbered job on its shard.
+type jobRef struct {
+	shard int32
+	local int32
+}
+
+// Router is a running sharded cluster: the shards plus the placement
+// state and the global job-ID table. All routing goes through one
+// mutex; the per-shard runtimes do their own (finer-grained) locking.
+type Router struct {
+	shards    []*Shard
+	placement Placement
+	partition core.PartitionStrategy
+
+	mu       sync.Mutex
+	refs     []jobRef
+	staged   []int // scratch: per-shard count of the batch being placed
+	draining bool
+}
+
+// New partitions the platform, builds one live runtime per shard and
+// assembles the router. Shards are not started; call Start (or let the
+// first Wait do it).
+func New(cfg Config) (*Router, error) {
+	if cfg.NewScheduler == nil {
+		return nil, fmt.Errorf("cluster: config needs a scheduler constructor")
+	}
+	k := cfg.Shards
+	if k == 0 {
+		k = 1
+	}
+	strategy := cfg.Partition
+	if strategy == "" {
+		strategy = core.PartitionStriped
+	}
+	placementName := cfg.Placement
+	if placementName == "" {
+		placementName = PlacementRoundRobin
+	}
+	placement, err := NewPlacement(placementName)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.Sources) > 0 && k != 1 {
+		return nil, fmt.Errorf("cluster: sources require a single shard (got %d): in-world submissions bypass the router", k)
+	}
+	parts, err := cfg.Platform.Partition(k, strategy)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	r := &Router{
+		placement: placement,
+		partition: strategy,
+		staged:    make([]int, k),
+	}
+	for i, part := range parts {
+		tracker := live.NewTracker()
+		lcfg := live.Config{
+			Platform:  part.Platform,
+			Scheduler: cfg.NewScheduler(),
+			Observer:  tracker.Observe,
+		}
+		if cfg.World != nil {
+			lcfg.World = cfg.World(i)
+		}
+		if i == 0 {
+			lcfg.Sources = cfg.Sources
+		}
+		rt, err := live.New(lcfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		r.shards = append(r.shards, &Shard{
+			index:       i,
+			slaves:      part.Slaves,
+			pl:          part.Platform,
+			rt:          rt,
+			tracker:     tracker,
+			nominalRate: shardNominalRate(part.Platform),
+		})
+	}
+	return r, nil
+}
+
+// Start launches every shard's runtime.
+func (r *Router) Start() {
+	for _, s := range r.shards {
+		s.rt.Start()
+	}
+}
+
+// Shards returns the cluster's shards. The slice is shared; treat it as
+// read-only.
+func (r *Router) Shards() []*Shard { return r.shards }
+
+// Placement returns the routing policy's name.
+func (r *Router) Placement() string { return r.placement.Name() }
+
+// Partition returns the partition strategy the cluster was built with.
+func (r *Router) Partition() core.PartitionStrategy { return r.partition }
+
+// Jobs returns the number of jobs routed so far.
+func (r *Router) Jobs() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.refs)
+}
+
+// Submit places one job and returns its global ID.
+func (r *Router) Submit(spec live.JobSpec) (int, error) {
+	ids, err := r.SubmitBatch(spec, 1)
+	if err != nil {
+		return 0, err
+	}
+	return ids[0], nil
+}
+
+// SubmitBatch places count identical jobs and returns their global IDs
+// in placement order. Placement decisions are made per job (so
+// least-loaded and het-aware spread a batch), but each shard receives
+// its slice of the batch as a single batched admission — one runtime
+// critical section per shard per batch, preserving the PR-4 ingest
+// contract.
+func (r *Router) SubmitBatch(spec live.JobSpec, count int) ([]int, error) {
+	if count <= 0 {
+		return nil, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.draining {
+		return nil, ErrDraining
+	}
+	for i := range r.staged {
+		r.staged[i] = 0
+	}
+	// One Load snapshot per shard per batch: placement sees consistent
+	// loads plus its own staged decisions, and the routing hot path does
+	// k mutex round-trips per batch instead of k per job.
+	loads := r.Loads()
+	placements := make([]int, count)
+	for i := range placements {
+		s := r.placement.Pick(r.shards, loads, r.staged, spec)
+		if s < 0 || s >= len(r.shards) {
+			panic(fmt.Sprintf("cluster: placement %s picked shard %d of %d", r.placement.Name(), s, len(r.shards)))
+		}
+		placements[i] = s
+		r.staged[s]++
+	}
+	locals := make([][]int, len(r.shards))
+	for s, n := range r.staged {
+		if n > 0 {
+			locals[s] = r.shards[s].rt.SubmitBatch(spec, n)
+		}
+	}
+	gids := make([]int, count)
+	cursor := make([]int, len(r.shards))
+	for i, s := range placements {
+		gids[i] = len(r.refs)
+		r.refs = append(r.refs, jobRef{shard: int32(s), local: int32(locals[s][cursor[s]])})
+		cursor[s]++
+	}
+	return gids, nil
+}
+
+// Job returns a routed job's lifecycle with global identifiers: the ID
+// is the global one and Slave (once dispatched) is the platform-global
+// slave index.
+func (r *Router) Job(gid int) (live.JobInfo, bool) {
+	r.mu.Lock()
+	if gid < 0 || gid >= len(r.refs) {
+		r.mu.Unlock()
+		return live.JobInfo{}, false
+	}
+	ref := r.refs[gid]
+	r.mu.Unlock()
+	sh := r.shards[ref.shard]
+	info, ok := sh.tracker.Job(int(ref.local))
+	if !ok {
+		// Accepted but not yet observed by the shard's master: report it
+		// queued rather than unknown — the router's accept is the accept.
+		return live.JobInfo{ID: gid, State: live.StateQueued, Slave: -1}, true
+	}
+	info.ID = gid
+	if info.Slave >= 0 {
+		info.Slave = sh.GlobalSlave(info.Slave)
+	}
+	return info, true
+}
+
+// ShardOf returns which shard a global job ID was placed on.
+func (r *Router) ShardOf(gid int) (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if gid < 0 || gid >= len(r.refs) {
+		return 0, false
+	}
+	return int(r.refs[gid].shard), true
+}
+
+// Loads snapshots every shard's progress, indexed by shard.
+func (r *Router) Loads() []live.Load {
+	out := make([]live.Load, len(r.shards))
+	for i, s := range r.shards {
+		out[i] = s.rt.Load()
+	}
+	return out
+}
+
+// Pending returns the cluster-wide queue depth (accepted, undispatched
+// jobs summed over shards).
+func (r *Router) Pending() int {
+	total := 0
+	for _, s := range r.shards {
+		total += s.rt.Pending()
+	}
+	return total
+}
+
+// Draining reports whether Drain has begun.
+func (r *Router) Draining() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.draining
+}
+
+// Drain rejects further submissions, then drains every shard
+// concurrently and joins them. It blocks until all shards have fully
+// drained and returns the first shard error, if any. Safe to call more
+// than once.
+func (r *Router) Drain() error {
+	r.mu.Lock()
+	r.draining = true
+	r.mu.Unlock()
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i, s := range r.shards {
+		wg.Add(1)
+		go func(i int, s *Shard) {
+			defer wg.Done()
+			s.rt.Drain()
+			errs[i] = s.rt.Wait()
+		}(i, s)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Wait blocks until every shard's run completes without initiating a
+// drain — for clusters whose sources end the run from inside the world
+// (the virtual-clock conformance path).
+func (r *Router) Wait() error {
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i, s := range r.shards {
+		wg.Add(1)
+		go func(i int, s *Shard) {
+			defer wg.Done()
+			errs[i] = s.rt.Wait()
+		}(i, s)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

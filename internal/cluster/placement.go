@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/live"
+)
+
+// Placement chooses a shard for each incoming job. Implementations are
+// owned by one Router, which serializes every Pick under its submission
+// lock — they need no internal synchronization but must be cheap: Pick
+// runs once per job on the ingest hot path.
+type Placement interface {
+	// Name returns the registry name.
+	Name() string
+	// Pick returns the shard index for one job. loads[i] is shard i's
+	// progress snapshot taken once at the top of the current batch (one
+	// Load per shard per batch, not per job); staged[i] counts jobs of
+	// the current batch already placed on shard i but not yet submitted,
+	// so load-sensitive policies see their own batch's pressure instead
+	// of dog-piling one momentarily-idle shard.
+	Pick(shards []*Shard, loads []live.Load, staged []int, spec live.JobSpec) int
+}
+
+// Registered placement policy names.
+const (
+	// PlacementRoundRobin cycles through shards in order: oblivious to
+	// load and speed, maximally cheap, and the identity on one shard —
+	// the Shards=1 conformance configuration.
+	PlacementRoundRobin = "round-robin"
+	// PlacementLeastLoaded sends each job to the shard with the fewest
+	// outstanding (accepted, uncompleted) jobs, read from the runtime's
+	// Load snapshot. Adapts to heterogeneity indirectly: slow shards
+	// accumulate backlog and stop receiving work.
+	PlacementLeastLoaded = "least-loaded"
+	// PlacementHetAware sends each job to the shard with the smallest
+	// expected completion time: backlog divided by the shard's throughput
+	// rate, estimated from its per-task cost vectors — and, once the
+	// shard has observed enough completions, from its measured
+	// throughput instead (speed-oblivious in the SO-LS sense: learned
+	// rates override nominal ones, so drifted or miscalibrated platforms
+	// still place correctly).
+	PlacementHetAware = "het-aware"
+)
+
+// PlacementNames lists the registered policies in presentation order.
+func PlacementNames() []string {
+	return []string{PlacementRoundRobin, PlacementLeastLoaded, PlacementHetAware}
+}
+
+// ValidatePlacement rejects unknown placement names.
+func ValidatePlacement(name string) error {
+	for _, n := range PlacementNames() {
+		if n == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: unknown placement %q (valid: %s)", name, strings.Join(PlacementNames(), ", "))
+}
+
+// NewPlacement constructs a registered policy by name.
+func NewPlacement(name string) (Placement, error) {
+	switch name {
+	case PlacementRoundRobin:
+		return &roundRobin{}, nil
+	case PlacementLeastLoaded:
+		return leastLoaded{}, nil
+	case PlacementHetAware:
+		return hetAware{}, nil
+	}
+	return nil, ValidatePlacement(name)
+}
+
+type roundRobin struct{ next int }
+
+func (p *roundRobin) Name() string { return PlacementRoundRobin }
+
+func (p *roundRobin) Pick(shards []*Shard, _ []live.Load, _ []int, _ live.JobSpec) int {
+	s := p.next
+	p.next = (p.next + 1) % len(shards)
+	return s
+}
+
+type leastLoaded struct{}
+
+func (leastLoaded) Name() string { return PlacementLeastLoaded }
+
+func (leastLoaded) Pick(_ []*Shard, loads []live.Load, staged []int, _ live.JobSpec) int {
+	best, bestLoad := 0, 0
+	for i := range loads {
+		load := loads[i].Outstanding() + staged[i]
+		if i == 0 || load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+type hetAware struct{}
+
+func (hetAware) Name() string { return PlacementHetAware }
+
+// Pick minimizes expected completion time (outstanding + 1) / rate_i.
+// The job's own scale knobs multiply its cost identically on every
+// shard, so they never change the argmin and are ignored. Ties break on
+// the lowest shard index, keeping placement deterministic for a given
+// load state.
+func (hetAware) Pick(shards []*Shard, loads []live.Load, staged []int, _ live.JobSpec) int {
+	best, bestECT := 0, 0.0
+	for i, sh := range shards {
+		backlog := float64(loads[i].Outstanding() + staged[i] + 1)
+		ect := backlog / sh.serviceRate(loads[i])
+		if i == 0 || ect < bestECT {
+			best, bestECT = i, ect
+		}
+	}
+	return best
+}
+
+// serviceRate is the shard's estimated sustainable throughput in tasks
+// per model second, given a progress snapshot taken at the top of the
+// batch. The nominal estimate comes from the cost vectors; once the
+// shard has completed at least 2·m jobs over a positive span, the
+// observed completion rate replaces it (learned costs à la SO-LS — the
+// cluster keeps placing sensibly when actual speeds drift from the
+// configured platform). The completion count was sampled BEFORE the
+// span is read here, and the span only grows, so the measured rate can
+// only underestimate — placement errs conservative, never toward a
+// shard that merely looked fast for an instant.
+func (s *Shard) serviceRate(load live.Load) float64 {
+	if load.Completed >= 2*s.pl.M() {
+		if first, last, ok := s.tracker.Span(); ok && last > first {
+			return float64(load.Completed) / (last - first)
+		}
+	}
+	return s.nominalRate
+}
+
+// shardNominalRate estimates a shard's sustainable task throughput from
+// its cost vectors under the one-port model: computation can absorb
+// Σ 1/p_j tasks per second; the port, feeding slave j a share of tasks
+// proportional to its compute rate, needs Σ f_j·c_j seconds per task.
+// The sustainable rate is the smaller of the two.
+func shardNominalRate(pl core.Platform) float64 {
+	computeRate := 0.0
+	for _, p := range pl.P {
+		computeRate += 1 / p
+	}
+	portTimePerTask := 0.0
+	for j := range pl.C {
+		f := (1 / pl.P[j]) / computeRate
+		portTimePerTask += f * pl.C[j]
+	}
+	return min(computeRate, 1/portTimePerTask)
+}

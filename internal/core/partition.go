@@ -1,0 +1,153 @@
+package core
+
+// Platform partitioning for sharded multi-master serving: a fleet of
+// masters each owns a slice of the slaves (its own port, its own
+// scheduler), so the structural serial bottleneck of the paper's one-port
+// model — a single master can only push one task per link-time through
+// its outbound port — is multiplied by the number of shards. The
+// partition layer lives in core because both the serving stack
+// (internal/cluster, internal/schedd) and the offline study
+// (experiment.ShardingStudy) consume the same split.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PartitionStrategy names a way of splitting a platform's slaves into
+// shards.
+type PartitionStrategy string
+
+const (
+	// PartitionStriped deals slaves round-robin: slave j goes to shard
+	// j mod k. It preserves each shard's heterogeneity profile on
+	// platforms whose costs are unordered, and it is the identity for
+	// k = 1 — the Shards=1 conformance contract rides on that.
+	PartitionStriped PartitionStrategy = "striped"
+	// PartitionBalanced equalizes aggregate service rate: slaves are
+	// assigned in decreasing order of 1/(c_j+p_j) to the shard with the
+	// least total rate so far (longest-processing-time bin packing), so
+	// no shard is left with only the platform's slowest machines.
+	PartitionBalanced PartitionStrategy = "balanced"
+)
+
+// PartitionStrategies lists the registered strategies.
+var PartitionStrategies = []PartitionStrategy{PartitionStriped, PartitionBalanced}
+
+// ValidatePartitionStrategy rejects unknown strategy names (CLI flags
+// and service configs funnel through this).
+func ValidatePartitionStrategy(s PartitionStrategy) error {
+	for _, known := range PartitionStrategies {
+		if s == known {
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown partition strategy %q (valid: %v)", s, PartitionStrategies)
+}
+
+// ShardPlatform is one shard of a partitioned platform: a standalone
+// Platform over a subset of the original slaves, plus the mapping back
+// to the original slave indices.
+type ShardPlatform struct {
+	// Slaves holds the original platform's slave indices owned by this
+	// shard, in increasing order; Platform.C[i]/P[i] are the costs of
+	// original slave Slaves[i].
+	Slaves   []int
+	Platform Platform
+}
+
+// Partition splits the platform into k shards under the given strategy.
+// Every shard is non-empty, the shards are disjoint, and their union is
+// exactly the platform (the function validates all three before
+// returning). k must be in [1, M].
+func (pl Platform) Partition(k int, strategy PartitionStrategy) ([]ShardPlatform, error) {
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 || k > pl.M() {
+		return nil, fmt.Errorf("core: cannot partition %d slaves into %d shards (need 1 ≤ k ≤ m)", pl.M(), k)
+	}
+	if err := ValidatePartitionStrategy(strategy); err != nil {
+		return nil, err
+	}
+	members := make([][]int, k)
+	switch strategy {
+	case PartitionStriped:
+		for j := 0; j < pl.M(); j++ {
+			members[j%k] = append(members[j%k], j)
+		}
+	case PartitionBalanced:
+		// LPT over service rates: fastest slaves first, each to the
+		// currently slowest shard. Ties break on slave index (sort is
+		// stable over the index-ordered input) and on shard index, so the
+		// partition is deterministic.
+		order := make([]int, pl.M())
+		for j := range order {
+			order[j] = j
+		}
+		rate := func(j int) float64 { return 1 / (pl.C[j] + pl.P[j]) }
+		sort.SliceStable(order, func(a, b int) bool { return rate(order[a]) > rate(order[b]) })
+		total := make([]float64, k)
+		for _, j := range order {
+			best := 0
+			for s := 1; s < k; s++ {
+				if total[s] < total[best] {
+					best = s
+				}
+			}
+			members[best] = append(members[best], j)
+			total[best] += rate(j)
+		}
+		for s := range members {
+			sort.Ints(members[s])
+		}
+	}
+	shards := make([]ShardPlatform, k)
+	for s, idx := range members {
+		c := make([]float64, len(idx))
+		p := make([]float64, len(idx))
+		for i, j := range idx {
+			c[i], p[i] = pl.C[j], pl.P[j]
+		}
+		shards[s] = ShardPlatform{Slaves: idx, Platform: Platform{C: c, P: p}}
+	}
+	if err := validatePartition(pl, shards); err != nil {
+		return nil, err
+	}
+	return shards, nil
+}
+
+// validatePartition checks the partition laws: non-empty shards,
+// disjointness, exact cover, and cost fidelity.
+func validatePartition(pl Platform, shards []ShardPlatform) error {
+	owner := make([]int, pl.M())
+	for j := range owner {
+		owner[j] = -1
+	}
+	for s, sh := range shards {
+		if len(sh.Slaves) == 0 {
+			return fmt.Errorf("core: partition shard %d is empty", s)
+		}
+		if err := sh.Platform.Validate(); err != nil {
+			return fmt.Errorf("core: partition shard %d: %w", s, err)
+		}
+		for i, j := range sh.Slaves {
+			if j < 0 || j >= pl.M() {
+				return fmt.Errorf("core: partition shard %d claims unknown slave %d", s, j)
+			}
+			if owner[j] != -1 {
+				return fmt.Errorf("core: slave %d assigned to both shard %d and shard %d", j, owner[j], s)
+			}
+			owner[j] = s
+			if sh.Platform.C[i] != pl.C[j] || sh.Platform.P[i] != pl.P[j] {
+				return fmt.Errorf("core: partition shard %d mislabels slave %d's costs", s, j)
+			}
+		}
+	}
+	for j, s := range owner {
+		if s == -1 {
+			return fmt.Errorf("core: slave %d belongs to no shard", j)
+		}
+	}
+	return nil
+}

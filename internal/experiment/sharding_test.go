@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func shardingTestCfg(workers int) Config {
+	return Config{Platforms: 2, Tasks: 48, M: 4, Seed: 3, Workers: workers}
+}
+
+func TestShardingStudyDeterministicAcrossWorkers(t *testing.T) {
+	a := ShardingStudy(shardingTestCfg(1))
+	b := ShardingStudy(shardingTestCfg(4))
+	if len(a.Raw.Cells) != len(b.Raw.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a.Raw.Cells), len(b.Raw.Cells))
+	}
+	for i := range a.Raw.Cells {
+		ca, cb := a.Raw.Cells[i], b.Raw.Cells[i]
+		if ca.Key != cb.Key || !reflect.DeepEqual(ca.Values, cb.Values) {
+			t.Fatalf("cell %d (%s) differs across worker counts", i, ca.Key)
+		}
+	}
+}
+
+func TestShardingStudySingleShardIsIdentity(t *testing.T) {
+	r := ShardingStudy(shardingTestCfg(0))
+	for _, cell := range r.Raw.Cells {
+		for key, v := range cell.Values {
+			if strings.Contains(key, "/k=1/") && v != 1.0 {
+				t.Fatalf("%s %s: k=1 degradation %v, want exactly 1", cell.Key, key, v)
+			}
+		}
+	}
+}
+
+func TestShardingStudyShape(t *testing.T) {
+	r := ShardingStudyOver([]core.Class{core.Heterogeneous}, shardingTestCfg(0))
+	if len(r.Raw.Cells) != 2 {
+		t.Fatalf("%d cells", len(r.Raw.Cells))
+	}
+	group := r.Groups[core.Heterogeneous.String()]
+	if group == nil {
+		t.Fatal("no heterogeneous group")
+	}
+	// Every scheduler (incl. SO-LS) × every variant × every objective is
+	// summarized; m=4 admits all of k ∈ {1, 2, 4}.
+	wantVariants := []string{"k=1/striped", "k=2/striped", "k=2/balanced", "k=4/striped", "k=4/balanced"}
+	for _, name := range r.Order {
+		for _, v := range wantVariants {
+			for _, obj := range core.Objectives {
+				key := name + "/" + v + "/" + obj.String() + "-degradation"
+				s, ok := group[key]
+				if !ok {
+					t.Fatalf("missing summary %q", key)
+				}
+				if s.N != 2 || s.Mean <= 0 {
+					t.Fatalf("summary %q: %+v", key, s)
+				}
+			}
+		}
+	}
+	// Sum-flow of a partitioned run can never beat the monolithic run by
+	// more than the extra-port speedup bound allows zero: it must stay
+	// positive and finite; makespan degradation at k=4 on 4 slaves means
+	// one slave per shard — no scheduling freedom left at all.
+	if out := r.Render(); !strings.Contains(out, "k=4/balanced") || !strings.Contains(out, "heterogeneous") {
+		t.Fatalf("render lacks expected columns:\n%s", out)
+	}
+}
+
+func TestShardingStudyFilterStability(t *testing.T) {
+	full := ShardingStudy(shardingTestCfg(0))
+	sub := ShardingStudyOver([]core.Class{core.CommHomogeneous}, shardingTestCfg(0))
+	byKey := map[string]map[string]float64{}
+	for _, c := range full.Raw.Cells {
+		byKey[c.Key] = c.Values
+	}
+	for _, c := range sub.Raw.Cells {
+		want, ok := byKey[c.Key]
+		if !ok {
+			t.Fatalf("filtered cell %s missing from full sweep", c.Key)
+		}
+		if !reflect.DeepEqual(c.Values, want) {
+			t.Fatalf("filtered cell %s differs from full sweep", c.Key)
+		}
+	}
+}

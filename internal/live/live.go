@@ -175,6 +175,53 @@ func (rt *Runtime) SubmitBatch(spec JobSpec, count int) []int {
 	return ids
 }
 
+// Load is a point-in-time progress snapshot of a runtime, cheap enough
+// to poll per placement decision: Submitted counts jobs accepted by
+// Submit/SubmitBatch/sources, Admitted those the master has enqueued
+// (it may trail Submitted by in-flight mail), Dispatched those sent to
+// a slave, Completed those finished.
+type Load struct {
+	Submitted  int `json:"submitted"`
+	Admitted   int `json:"admitted"`
+	Dispatched int `json:"dispatched"`
+	Completed  int `json:"completed"`
+}
+
+// QueueDepth is the number of accepted jobs not yet dispatched — the
+// master-side backlog (including submissions still in the mailbox).
+func (l Load) QueueDepth() int { return l.Submitted - l.Dispatched }
+
+// Outstanding is the number of accepted jobs not yet completed — the
+// shard's total in-system population, the least-loaded placement signal.
+func (l Load) Outstanding() int { return l.Submitted - l.Completed }
+
+// Load returns the current progress snapshot. The counters are advanced
+// atomically (submission side under the runtime lock, master side
+// lock-free), so Load is safe to call from any goroutine at any moment.
+// Reading them in reverse causal order — completed, dispatched,
+// admitted, submitted — makes every snapshot internally monotone
+// (Completed ≤ Dispatched ≤ Admitted ≤ Submitted): each counter only
+// grows, and a job reaches a later stage only after the earlier ones,
+// so a stage read later can never be smaller than one read earlier.
+func (rt *Runtime) Load() Load {
+	completed := int(rt.prog.completed.Load())
+	dispatched := int(rt.prog.dispatched.Load())
+	admitted := int(rt.prog.admitted.Load())
+	rt.mu.Lock()
+	submitted := rt.nextID
+	rt.mu.Unlock()
+	return Load{
+		Submitted:  submitted,
+		Admitted:   admitted,
+		Dispatched: dispatched,
+		Completed:  completed,
+	}
+}
+
+// Pending returns the current queue depth (accepted, undispatched jobs)
+// — what GET /healthz depth reporting and least-loaded placement read.
+func (rt *Runtime) Pending() int { return rt.Load().QueueDepth() }
+
 // Drain tells the master no more jobs are coming: it finishes everything
 // outstanding, shuts the slaves down and exits. External counterpart of
 // Source.Drain.

@@ -3,6 +3,7 @@ package live
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -66,6 +67,13 @@ type program struct {
 	masterID int
 	draining bool
 
+	// Lock-free progress counters behind Runtime.Load(): placement
+	// policies poll them per job, so they must not contend with the
+	// master actor or the event-log mutex.
+	admitted   atomic.Int64
+	dispatched atomic.Int64
+	completed  atomic.Int64
+
 	logMu sync.Mutex
 	log   []Event
 }
@@ -81,6 +89,14 @@ func newProgram(cfg Config) *program {
 
 // record appends to the event log and feeds the observer.
 func (p *program) record(ev Event) {
+	switch ev.Kind {
+	case EvSubmitted:
+		p.admitted.Add(1)
+	case EvSent:
+		p.dispatched.Add(1)
+	case EvCompleted:
+		p.completed.Add(1)
+	}
 	p.logMu.Lock()
 	p.log = append(p.log, ev)
 	p.logMu.Unlock()

@@ -26,10 +26,19 @@ type RealWorld struct {
 // NewRealTime creates a wall-clock world with the given speedup (model
 // seconds per wall second). Non-positive speedups mean 1.
 func NewRealTime(speedup float64) *RealWorld {
+	return NewRealTimeFrom(speedup, time.Now())
+}
+
+// NewRealTimeFrom is NewRealTime with an explicit model-time epoch
+// (model second 0). A fleet of runtimes serving one cluster must share
+// an epoch, or their model timestamps are mutually offset by the
+// construction spread times the speedup and cross-shard windows (first
+// submission to last completion) come out skewed.
+func NewRealTimeFrom(speedup float64, start time.Time) *RealWorld {
 	if speedup <= 0 {
 		speedup = 1
 	}
-	return &RealWorld{clock: &wallClock{start: time.Now(), speedup: speedup}}
+	return &RealWorld{clock: &wallClock{start: start, speedup: speedup}}
 }
 
 // Speedup returns the clock scale (model seconds per wall second).

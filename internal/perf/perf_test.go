@@ -11,7 +11,15 @@
 //   - BenchmarkEndToEndSweep — a reduced Figure-1 panel on a one-worker
 //     pool (the sweep engine end to end);
 //   - BenchmarkScheddIngest — the streaming service's admission path:
-//     batched POST /jobs ingest into the live runtime and a full drain.
+//     batched POST /jobs ingest into the live runtime and a full drain;
+//   - BenchmarkClusterIngest — the same admission path through the
+//     sharded router (4 shards, least-loaded placement): per-job
+//     placement decisions, global-ID bookkeeping, fan-out drain;
+//   - BenchmarkClusterPlacement — the router's placement hot path alone
+//     (SubmitBatch into an unstarted cluster), CPU-bound and therefore
+//     hard-gated, unlike the two ingest lifecycles, which sleep on a
+//     scaled real clock and are exempt from the ns/op gate (see the
+//     -skip regexp in ci.yml).
 //
 // Keep these benchmarks deterministic in their workloads (fixed seeds,
 // fixed scales): the gate compares ns/op and allocs/op across commits,
@@ -24,8 +32,10 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/live"
 	"repro/internal/sched"
 	"repro/internal/schedd"
 	"repro/internal/sim"
@@ -131,5 +141,82 @@ func BenchmarkScheddIngest(b *testing.B) {
 		if got := srv.Stats().Jobs.Completed; got != 200 {
 			b.Fatalf("completed %d of 200 jobs", got)
 		}
+	}
+}
+
+// BenchmarkClusterIngest is BenchmarkScheddIngest through the sharded
+// serving stack: 4 masters over a balanced partition of an eight-slave
+// platform, least-loaded placement, 4 batched POST /jobs requests (200
+// jobs), full fan-out drain. Like ScheddIngest it sleeps on a scaled
+// real clock, so it is tracked by benchstat but exempt from the hard
+// ns/op gate.
+func BenchmarkClusterIngest(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		srv, err := schedd.New(schedd.Config{
+			Platform: core.NewPlatform(
+				[]float64{0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1},
+				[]float64{0.5, 1, 1.5, 2, 0.5, 1, 1.5, 2}),
+			Policy:     "LS",
+			Shards:     4,
+			Placement:  "least-loaded",
+			Partition:  core.PartitionBalanced,
+			ClockScale: 50000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for batch := 0; batch < 4; batch++ {
+			req := httptest.NewRequest("POST", "/jobs", strings.NewReader(`{"count":50}`))
+			rec := httptest.NewRecorder()
+			srv.Handler().ServeHTTP(rec, req)
+			if rec.Code != 202 {
+				b.Fatalf("POST /jobs: %d %s", rec.Code, rec.Body.String())
+			}
+		}
+		if err := srv.Drain(); err != nil {
+			b.Fatal(err)
+		}
+		if got := srv.Stats().Jobs.Completed; got != 200 {
+			b.Fatalf("completed %d of 200 jobs", got)
+		}
+	}
+}
+
+// BenchmarkClusterPlacement isolates the router's per-job placement
+// cost: batched submission into an unstarted 4-shard cluster (no
+// slaves running, nothing sleeps), measuring Pick + global-ID
+// bookkeeping. One op is a fresh router routing 1000 jobs in 10
+// batches, so construction amortizes and the queued mail is reclaimed
+// each iteration. This one is CPU-bound and fully gated.
+func BenchmarkClusterPlacement(b *testing.B) {
+	pl := core.NewPlatform(
+		[]float64{0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1},
+		[]float64{0.5, 1, 1.5, 2, 0.5, 1, 1.5, 2})
+	for _, placement := range []string{"round-robin", "least-loaded", "het-aware"} {
+		b.Run(placement, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := cluster.New(cluster.Config{
+					Platform:     pl,
+					NewScheduler: func() sim.Scheduler { return sched.New("LS") },
+					Shards:       4,
+					Placement:    placement,
+					Partition:    core.PartitionBalanced,
+					World:        func(int) live.World { return live.NewRealTime(50000) },
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for batch := 0; batch < 10; batch++ {
+					if _, err := r.SubmitBatch(live.JobSpec{}, 100); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if r.Jobs() != 1000 {
+					b.Fatalf("routed %d of 1000", r.Jobs())
+				}
+			}
+		})
 	}
 }

@@ -1,24 +1,30 @@
 // Package schedd is the streaming scheduling service: an HTTP/JSON front
-// end over the live master–slave runtime (internal/live). Any registered
-// scheduling policy — the seven paper heuristics or SO-LS — serves a
-// configured heterogeneous platform; jobs are submitted over POST /jobs
-// at any moment, tracked via GET /jobs/{id}, and the service reports
-// latency percentiles, throughput and the full trace analysis of
-// completed work on GET /stats. The daemon command (cmd/schedd) and the
-// load generator in cmd/paperbench both sit on this package.
+// end over the sharded cluster layer (internal/cluster), which fans a
+// fleet of live master–slave runtimes (internal/live) out over a
+// partitioned platform. Any registered scheduling policy — the seven
+// paper heuristics or SO-LS — serves each shard; jobs submitted over
+// POST /jobs are placed on a shard by the configured placement policy,
+// tracked via GET /jobs/{id} under cluster-global IDs, and GET /stats
+// reports one section per shard plus a merged cluster view (stats.Merge
+// for latency summaries, trace.MergeReports for the schedule analysis).
+// With Shards = 1 the service is exactly the PR-3 single-runtime daemon.
+// The daemon command (cmd/schedd) and the load generator in
+// cmd/paperbench both sit on this package.
 package schedd
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
-	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/live"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -28,7 +34,16 @@ type Config struct {
 	// Platform gives the served platform's per-task costs. Required.
 	Platform core.Platform
 	// Policy names the serving policy; any sched.ExtendedNames entry.
+	// Every shard's master runs its own instance of it.
 	Policy string
+	// Shards is the number of masters the platform is partitioned
+	// across; 0 means 1 (the single-runtime service).
+	Shards int
+	// Placement names the shard-routing policy; empty means round-robin.
+	Placement string
+	// Partition selects how slaves are split across shards; empty means
+	// striped.
+	Partition core.PartitionStrategy
 	// ClockScale is the speedup of the serving clock (model seconds per
 	// wall second); non-positive means 1. A platform calibrated in paper
 	// seconds can be served thousands of times faster than nominal.
@@ -37,25 +52,18 @@ type Config struct {
 	MaxBatch int
 }
 
-// Server is a running service: a live runtime plus its HTTP surface.
+// Server is a running service: a sharded cluster plus its HTTP surface.
 type Server struct {
 	cfg     Config
-	rt      *live.Runtime
-	tracker *live.Tracker
+	router  *cluster.Router
 	mux     *http.ServeMux
 	started time.Time
-
-	// mu serializes submissions against drain: a submission holds the
-	// read side, so Drain cannot slip between the draining check and the
-	// runtime submit.
-	mu       sync.RWMutex
-	draining bool
 }
 
-// New validates the configuration and starts the runtime (goroutine
-// slaves on the scaled wall clock). The returned server is serving
-// immediately; wire Handler into an http.Server and call Drain on
-// shutdown.
+// New validates the configuration and starts the cluster (one live
+// runtime per shard, goroutine slaves on the scaled wall clock). The
+// returned server is serving immediately; wire Handler into an
+// http.Server and call Drain on shutdown.
 func New(cfg Config) (*Server, error) {
 	if err := sched.Validate(cfg.Policy); err != nil {
 		return nil, fmt.Errorf("schedd: %w", err)
@@ -69,23 +77,37 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 10000
 	}
-	tracker := live.NewTracker()
-	rt, err := live.New(live.Config{
-		Platform:  cfg.Platform,
-		Scheduler: sched.New(cfg.Policy),
-		World:     live.NewRealTime(cfg.ClockScale),
-		Observer:  tracker.Observe,
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Placement == "" {
+		cfg.Placement = cluster.PlacementRoundRobin
+	}
+	if cfg.Partition == "" {
+		cfg.Partition = core.PartitionStriped
+	}
+	// Every shard shares one model-time epoch: cross-shard windows (the
+	// merged first-submission-to-last-completion span in Stats) compare
+	// timestamps across shards, which is only meaningful on one clock.
+	epoch := time.Now()
+	router, err := cluster.New(cluster.Config{
+		Platform:     cfg.Platform,
+		NewScheduler: func() sim.Scheduler { return sched.New(cfg.Policy) },
+		Shards:       cfg.Shards,
+		Placement:    cfg.Placement,
+		Partition:    cfg.Partition,
+		World:        func(int) live.World { return live.NewRealTimeFrom(cfg.ClockScale, epoch) },
 	})
 	if err != nil {
 		return nil, fmt.Errorf("schedd: %w", err)
 	}
-	s := &Server{cfg: cfg, rt: rt, tracker: tracker, started: time.Now()}
+	s := &Server{cfg: cfg, router: router, started: time.Now()}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	rt.Start()
+	router.Start()
 	return s, nil
 }
 
@@ -95,29 +117,26 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Policy returns the serving policy's name.
 func (s *Server) Policy() string { return s.cfg.Policy }
 
-// Tracker exposes the job-state store (read-only use).
-func (s *Server) Tracker() *live.Tracker { return s.tracker }
+// Router exposes the underlying cluster (read-only use).
+func (s *Server) Router() *cluster.Router { return s.router }
 
-// Drain gracefully shuts the runtime down: new submissions are rejected
-// with 503, every outstanding job completes, the slaves exit. It blocks
-// until the runtime has fully drained and returns its error, if any.
-func (s *Server) Drain() error {
-	s.mu.Lock()
-	already := s.draining
-	s.draining = true
-	s.mu.Unlock()
-	if !already {
-		s.rt.Drain()
+// Counts returns the merged job counters over every shard.
+func (s *Server) Counts() live.Counts {
+	var total live.Counts
+	for _, sh := range s.router.Shards() {
+		c := sh.Tracker().CountsSnapshot()
+		total.Submitted += c.Submitted
+		total.Dispatched += c.Dispatched
+		total.Completed += c.Completed
 	}
-	return s.rt.Wait()
+	return total
 }
 
-// isDraining reports whether the server has begun shutting down.
-func (s *Server) isDraining() bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.draining
-}
+// Drain gracefully shuts the cluster down: new submissions are rejected
+// with 503, every outstanding job on every shard completes, the slaves
+// exit. It blocks until all shards have fully drained and returns the
+// joined error, if any.
+func (s *Server) Drain() error { return s.router.Drain() }
 
 // SubmitRequest is the POST /jobs body. An empty body submits one
 // nominal job.
@@ -129,18 +148,12 @@ type SubmitRequest struct {
 	CompScale float64 `json:"comp_scale"`
 }
 
-// SubmitResponse echoes the assigned job IDs.
+// SubmitResponse echoes the assigned cluster-global job IDs.
 type SubmitResponse struct {
 	IDs []int `json:"ids"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.draining {
-		httpError(w, http.StatusServiceUnavailable, "draining: no new jobs accepted")
-		return
-	}
 	req := SubmitRequest{Count: 1}
 	if r.ContentLength != 0 {
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -159,17 +172,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "scales must be non-negative")
 		return
 	}
-	// One batched admission per request: a single runtime critical
-	// section regardless of count, so concurrent producers contend once
-	// per batch instead of once per job.
-	ids := s.rt.SubmitBatch(live.JobSpec{CommScale: req.CommScale, CompScale: req.CompScale}, req.Count)
+	// One routed batch per request: per-job placement decisions, but a
+	// single runtime critical section per shard (the PR-4 ingest
+	// contract, preserved through the router).
+	ids, err := s.router.SubmitBatch(live.JobSpec{CommScale: req.CommScale, CompScale: req.CompScale}, req.Count)
+	if err != nil {
+		if errors.Is(err, cluster.ErrDraining) {
+			httpError(w, http.StatusServiceUnavailable, "draining: no new jobs accepted")
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	writeJSON(w, http.StatusAccepted, SubmitResponse{IDs: ids})
 }
 
-// JobResponse is the GET /jobs/{id} body: the tracked lifecycle plus the
-// wall-clock latency for completed jobs.
+// JobResponse is the GET /jobs/{id} body: the tracked lifecycle (global
+// job ID, platform-global slave index) plus the shard that served it and
+// the wall-clock latency for completed jobs.
 type JobResponse struct {
 	live.JobInfo
+	// Shard is the shard the job was placed on.
+	Shard int `json:"shard"`
 	// LatencySeconds is the wall-clock response time (submit → complete),
 	// only present once done.
 	LatencySeconds float64 `json:"latency_seconds,omitempty"`
@@ -181,12 +205,13 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad job id")
 		return
 	}
-	info, ok := s.tracker.Job(id)
+	info, ok := s.router.Job(id)
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown job %d", id))
 		return
 	}
-	resp := JobResponse{JobInfo: info}
+	shard, _ := s.router.ShardOf(id)
+	resp := JobResponse{JobInfo: info, Shard: shard}
 	if info.State == live.StateDone {
 		resp.LatencySeconds = info.Latency() / s.cfg.ClockScale
 	}
@@ -201,69 +226,138 @@ type LatencyStats struct {
 	P99  float64 `json:"p99"`
 }
 
-// StatsResponse is the GET /stats body. Trace is the shared trace.Report
-// encoding over completed jobs, in model time.
-type StatsResponse struct {
-	Policy        string      `json:"policy"`
-	Slaves        int         `json:"slaves"`
-	ClockScale    float64     `json:"clock_scale"`
-	UptimeSeconds float64     `json:"uptime_seconds"`
-	Draining      bool        `json:"draining"`
-	Jobs          live.Counts `json:"jobs"`
-	// ThroughputJobsPerSec is completions per wall second over the
-	// window from first submission to last completion.
+// ShardStats is one shard's section of the GET /stats body. Slave
+// indices — in Slaves and inside Trace — are platform-global.
+type ShardStats struct {
+	Shard  int         `json:"shard"`
+	Slaves []int       `json:"slaves"`
+	Jobs   live.Counts `json:"jobs"`
+	// QueueDepth is the shard's accepted-but-undispatched backlog right
+	// now (live, unlike the completed-job statistics).
+	QueueDepth           int           `json:"queue_depth"`
 	ThroughputJobsPerSec float64       `json:"throughput_jobs_per_sec"`
 	LatencySeconds       *LatencyStats `json:"latency_seconds,omitempty"`
 	Trace                *trace.Report `json:"trace,omitempty"`
 }
 
-// Stats assembles the current service statistics from one consistent
-// tracker snapshot (also used by the load generator without going
-// through HTTP decoding).
+// StatsResponse is the GET /stats body: the merged cluster view at the
+// top level (wire-compatible with the single-runtime service: jobs,
+// throughput, latency and trace keep their PR-3 names and meaning) plus
+// one section per shard. Merged latency percentiles come from
+// stats.Merge and are approximate across heterogeneous shards (see that
+// function's contract); counts, means and the trace merge are exact.
+type StatsResponse struct {
+	Policy        string  `json:"policy"`
+	Slaves        int     `json:"slaves"`
+	Shards        int     `json:"shards"`
+	Placement     string  `json:"placement"`
+	Partition     string  `json:"partition"`
+	ClockScale    float64 `json:"clock_scale"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+	// Jobs are the merged counters over every shard.
+	Jobs live.Counts `json:"jobs"`
+	// ThroughputJobsPerSec is merged completions per wall second over the
+	// union window from the cluster's first submission to its last
+	// completion.
+	ThroughputJobsPerSec float64       `json:"throughput_jobs_per_sec"`
+	LatencySeconds       *LatencyStats `json:"latency_seconds,omitempty"`
+	Trace                *trace.Report `json:"trace,omitempty"`
+	// PerShard holds one section per shard, in shard order.
+	PerShard []ShardStats `json:"per_shard"`
+}
+
+// Stats assembles the current service statistics — one consistent
+// tracker snapshot per shard, then the merged cluster view (also used by
+// the load generator without going through HTTP decoding).
 func (s *Server) Stats() StatsResponse {
-	snap := s.tracker.Stats()
 	resp := StatsResponse{
 		Policy:        s.cfg.Policy,
 		Slaves:        s.cfg.Platform.M(),
+		Shards:        len(s.router.Shards()),
+		Placement:     s.cfg.Placement,
+		Partition:     string(s.cfg.Partition),
 		ClockScale:    s.cfg.ClockScale,
 		UptimeSeconds: time.Since(s.started).Seconds(),
-		Draining:      s.isDraining(),
-		Jobs:          snap.Counts,
+		Draining:      s.router.Draining(),
 	}
-	if len(snap.Latencies) > 0 {
-		// The snapshot's latency slice is this call's private copy, so it
-		// can be rescaled and sorted in place — no further copies on a
-		// path that serves every /stats request.
-		wall := snap.Latencies
-		for i, l := range wall {
-			wall[i] = l / s.cfg.ClockScale
+	var latParts []stats.Summary
+	var traceParts []trace.Report
+	first, last := 0.0, 0.0
+	windowSet := false
+	for _, sh := range s.router.Shards() {
+		snap := sh.Tracker().Stats()
+		sec := ShardStats{
+			Shard:      sh.Index(),
+			Slaves:     sh.Slaves(),
+			Jobs:       snap.Counts,
+			QueueDepth: sh.Runtime().Pending(),
 		}
-		sum := stats.SummarizeInPlace(wall)
+		resp.Jobs.Submitted += snap.Counts.Submitted
+		resp.Jobs.Dispatched += snap.Counts.Dispatched
+		resp.Jobs.Completed += snap.Counts.Completed
+		if len(snap.Latencies) > 0 {
+			// The snapshot's latency slice is this call's private copy, so
+			// it can be rescaled and sorted in place.
+			wall := snap.Latencies
+			for i, l := range wall {
+				wall[i] = l / s.cfg.ClockScale
+			}
+			sum := stats.SummarizeInPlace(wall)
+			latParts = append(latParts, sum)
+			sec.LatencySeconds = &LatencyStats{Mean: sum.Mean, P50: sum.P50, P95: sum.P95, P99: sum.P99}
+		}
+		if snap.Counts.Completed > 0 {
+			if snap.Last > snap.First {
+				sec.ThroughputJobsPerSec = float64(snap.Counts.Completed) / ((snap.Last - snap.First) / s.cfg.ClockScale)
+			}
+			if !windowSet || snap.First < first {
+				first = snap.First
+			}
+			if snap.Last > last {
+				last = snap.Last
+			}
+			windowSet = true
+		}
+		if recs := snap.Records; len(recs) > 0 {
+			// Rebase model time to the shard's first submission: a daemon
+			// may idle before its first job, and an un-rebased makespan
+			// (hence every utilization figure) would be dominated by that
+			// offset rather than by the served work.
+			if snap.First > 0 {
+				for i := range recs {
+					recs[i].Release -= snap.First
+					recs[i].SendStart -= snap.First
+					recs[i].Arrive -= snap.First
+					recs[i].Start -= snap.First
+					recs[i].Complete -= snap.First
+				}
+			}
+			report := trace.Analyze(core.Schedule{
+				Instance: core.Instance{Platform: sh.Platform().Clone()},
+				Records:  recs,
+			})
+			// Relabel shard-local slave indices to platform-global ones so
+			// the per-shard section and the merged view both speak global
+			// indices.
+			for i := range report.Slaves {
+				report.Slaves[i].Slave = sh.GlobalSlave(report.Slaves[i].Slave)
+			}
+			sec.Trace = &report
+			traceParts = append(traceParts, report)
+		}
+		resp.PerShard = append(resp.PerShard, sec)
+	}
+	if len(latParts) > 0 {
+		sum := stats.Merge(latParts...)
 		resp.LatencySeconds = &LatencyStats{Mean: sum.Mean, P50: sum.P50, P95: sum.P95, P99: sum.P99}
 	}
-	if snap.Counts.Completed > 0 && snap.Last > snap.First {
-		wallWindow := (snap.Last - snap.First) / s.cfg.ClockScale
-		resp.ThroughputJobsPerSec = float64(snap.Counts.Completed) / wallWindow
+	if len(traceParts) > 0 {
+		merged := trace.MergeReports(traceParts...)
+		resp.Trace = &merged
 	}
-	if recs := snap.Records; len(recs) > 0 {
-		// Rebase model time to the first submission: a daemon may idle for
-		// a long while before its first job, and an un-rebased makespan
-		// (hence every utilization figure) would be dominated by that
-		// offset rather than by the served work.
-		if snap.First > 0 {
-			for i := range recs {
-				recs[i].Release -= snap.First
-				recs[i].SendStart -= snap.First
-				recs[i].Arrive -= snap.First
-				recs[i].Start -= snap.First
-				recs[i].Complete -= snap.First
-			}
-		}
-		report := trace.Analyze(core.Schedule{
-			Instance: core.Instance{Platform: s.cfg.Platform.Clone()},
-			Records:  recs,
-		})
-		resp.Trace = &report
+	if resp.Jobs.Completed > 0 && last > first {
+		resp.ThroughputJobsPerSec = float64(resp.Jobs.Completed) / ((last - first) / s.cfg.ClockScale)
 	}
 	return resp
 }
@@ -272,20 +366,34 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
-// HealthResponse is the GET /healthz body.
+// HealthResponse is the GET /healthz body. QueueDepth reports the
+// cluster-wide accepted-but-undispatched backlog (per shard in
+// ShardQueueDepths), fed by the runtime's Load snapshot.
 type HealthResponse struct {
-	OK            bool    `json:"ok"`
-	Policy        string  `json:"policy"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	Draining      bool    `json:"draining"`
+	OK               bool    `json:"ok"`
+	Policy           string  `json:"policy"`
+	Shards           int     `json:"shards"`
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	Draining         bool    `json:"draining"`
+	QueueDepth       int     `json:"queue_depth"`
+	ShardQueueDepths []int   `json:"shard_queue_depths"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	depths := make([]int, 0, len(s.router.Shards()))
+	total := 0
+	for _, l := range s.router.Loads() {
+		depths = append(depths, l.QueueDepth())
+		total += l.QueueDepth()
+	}
 	writeJSON(w, http.StatusOK, HealthResponse{
-		OK:            true,
-		Policy:        s.cfg.Policy,
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Draining:      s.isDraining(),
+		OK:               true,
+		Policy:           s.cfg.Policy,
+		Shards:           len(s.router.Shards()),
+		UptimeSeconds:    time.Since(s.started).Seconds(),
+		Draining:         s.router.Draining(),
+		QueueDepth:       total,
+		ShardQueueDepths: depths,
 	})
 }
 

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -177,7 +179,7 @@ func TestServiceDrainCompletesOutstanding(t *testing.T) {
 	if err := s.Drain(); err != nil {
 		t.Fatalf("drain: %v", err)
 	}
-	counts := s.Tracker().CountsSnapshot()
+	counts := s.Counts()
 	if counts.Completed != 20 {
 		t.Fatalf("drained with %d of 20 complete", counts.Completed)
 	}
@@ -209,6 +211,15 @@ func TestServiceConfigValidation(t *testing.T) {
 	if _, err := New(Config{Policy: "LS"}); err == nil {
 		t.Fatal("empty platform accepted")
 	}
+	if _, err := New(Config{Platform: pl, Policy: "LS", Shards: 2}); err == nil {
+		t.Fatal("more shards than slaves accepted")
+	}
+	if _, err := New(Config{Platform: pl, Policy: "LS", Placement: "best-effort"}); err == nil {
+		t.Fatal("unknown placement accepted")
+	}
+	if _, err := New(Config{Platform: pl, Policy: "LS", Partition: "zigzag"}); err == nil {
+		t.Fatal("unknown partition strategy accepted")
+	}
 	// Every extended policy (the paper seven + SO-LS) must be servable:
 	// this is the flag-validation contract of cmd/schedd.
 	srv, err := New(Config{Platform: pl, Policy: "SO-LS", ClockScale: 4000})
@@ -217,5 +228,164 @@ func TestServiceConfigValidation(t *testing.T) {
 	}
 	if err := srv.Drain(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// shardedServer builds a 3-shard service over a 6-slave platform.
+func shardedServer(t *testing.T, placement string) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(Config{
+		Platform: core.NewPlatform(
+			[]float64{0.2, 0.4, 0.2, 0.4, 0.2, 0.4},
+			[]float64{1, 2, 1, 2, 1, 2}),
+		Policy:     "LS",
+		Shards:     3,
+		Placement:  placement,
+		Partition:  core.PartitionBalanced,
+		ClockScale: 8000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func TestShardedServiceEndToEnd(t *testing.T) {
+	s, ts := shardedServer(t, "least-loaded")
+
+	var health HealthResponse
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || !health.OK {
+		t.Fatalf("healthz: %d %+v", code, health)
+	}
+	if health.Shards != 3 || len(health.ShardQueueDepths) != 3 {
+		t.Fatalf("healthz shards %+v", health)
+	}
+
+	const jobs = 60
+	var resp SubmitResponse
+	if code := postJSON(t, ts.URL+"/jobs", SubmitRequest{Count: jobs}, &resp); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d", code)
+	}
+	if len(resp.IDs) != jobs {
+		t.Fatalf("got %d ids", len(resp.IDs))
+	}
+	stats := waitCompleted(t, ts, jobs)
+
+	// Merged view: counts add up, shape is the sharded one.
+	if stats.Shards != 3 || stats.Placement != "least-loaded" || stats.Partition != "balanced" {
+		t.Fatalf("cluster stanza %+v", stats)
+	}
+	if stats.Jobs.Submitted != jobs || stats.Jobs.Completed != jobs {
+		t.Fatalf("merged jobs %+v", stats.Jobs)
+	}
+	if len(stats.PerShard) != 3 {
+		t.Fatalf("%d shard sections", len(stats.PerShard))
+	}
+	sum := 0
+	slaveSeen := map[int]bool{}
+	for _, sec := range stats.PerShard {
+		sum += sec.Jobs.Completed
+		if sec.QueueDepth != 0 {
+			t.Fatalf("shard %d queue depth %d after completion", sec.Shard, sec.QueueDepth)
+		}
+		for _, j := range sec.Slaves {
+			if slaveSeen[j] {
+				t.Fatalf("slave %d in two shard sections", j)
+			}
+			slaveSeen[j] = true
+		}
+		if sec.Trace != nil {
+			for _, st := range sec.Trace.Slaves {
+				if !slaveSeen[st.Slave] {
+					t.Fatalf("shard %d trace names unowned slave %d", sec.Shard, st.Slave)
+				}
+			}
+		}
+	}
+	if sum != jobs {
+		t.Fatalf("per-shard completions sum to %d, want %d", sum, jobs)
+	}
+	if len(slaveSeen) != 6 {
+		t.Fatalf("shard sections cover %d of 6 slaves", len(slaveSeen))
+	}
+	if stats.Trace == nil || len(stats.Trace.Slaves) != 6 {
+		t.Fatalf("merged trace %+v", stats.Trace)
+	}
+	if stats.LatencySeconds == nil || stats.LatencySeconds.P95 <= 0 {
+		t.Fatalf("merged latency %+v", stats.LatencySeconds)
+	}
+
+	// Job lookups speak global IDs and global slave indices.
+	var job JobResponse
+	if code := getJSON(t, ts.URL+fmt.Sprintf("/jobs/%d", resp.IDs[jobs-1]), &job); code != http.StatusOK {
+		t.Fatalf("GET job: %d", code)
+	}
+	if job.State != live.StateDone || job.ID != resp.IDs[jobs-1] {
+		t.Fatalf("job %+v", job)
+	}
+	if job.Shard < 0 || job.Shard > 2 || !slaveSeen[job.Slave] {
+		t.Fatalf("job placement %+v", job)
+	}
+
+	if err := s.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestDrainVsSubmitRace is the drain-vs-submit race regression test:
+// POST /jobs racing Drain() must either be accepted — and then the job
+// MUST complete before Drain returns — or be refused with 503. No lost
+// jobs, no panic. Run under -race in CI.
+func TestDrainVsSubmitRace(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		s, ts := shardedServer(t, "round-robin")
+		const producers = 8
+		var (
+			wg       sync.WaitGroup
+			accepted atomic.Int64
+		)
+		start := make(chan struct{})
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 20; i++ {
+					code := postJSON(t, ts.URL+"/jobs", SubmitRequest{Count: 2}, nil)
+					switch code {
+					case http.StatusAccepted:
+						accepted.Add(2)
+					case http.StatusServiceUnavailable:
+						return
+					default:
+						t.Errorf("POST /jobs during drain: %d", code)
+						return
+					}
+				}
+			}()
+		}
+		drained := make(chan error, 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			drained <- s.Drain()
+		}()
+		close(start)
+		wg.Wait()
+		if err := <-drained; err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		counts := s.Counts()
+		if int64(counts.Completed) != accepted.Load() {
+			t.Fatalf("round %d: accepted %d jobs, completed %d — a job was lost",
+				round, accepted.Load(), counts.Completed)
+		}
+		// And after Drain has returned, submissions still get 503.
+		if code := postJSON(t, ts.URL+"/jobs", SubmitRequest{Count: 1}, nil); code != http.StatusServiceUnavailable {
+			t.Fatalf("round %d: submit after drain: %d", round, code)
+		}
 	}
 }

@@ -1,0 +1,79 @@
+package stats
+
+import "math"
+
+// Merge combines Summaries of disjoint sub-samples into the Summary of
+// their union without access to the underlying samples — what a sharded
+// service needs to present one cluster view over per-shard statistics.
+//
+// Exact fields (up to floating-point rounding): N, Mean, Min, Max, Std
+// (via pooled sums of squares) and GeometricMean (via N-weighted log
+// means; the result is geometric-invalid, i.e. reported as 0, when any
+// part was).
+//
+// Approximate fields: Median and the percentiles P50/P95/P99 cannot be
+// recovered from part summaries alone. Merge uses the N-weighted mean of
+// the parts' percentiles, clamped into [merged Min, merged Max]. The
+// approximation is exact when the parts are identically distributed —
+// the homogeneous-shard case — and degrades gracefully with skew: the
+// merged p-quantile always lies between the parts' smallest and largest
+// p-quantiles, but it is NOT the p-quantile of the concatenation in
+// general. Consumers that need exact cluster percentiles must merge raw
+// samples instead (the tracker keeps them).
+//
+// Zero-value (N == 0) parts are skipped; merging no non-empty parts
+// panics, mirroring Summarize on an empty sample.
+func Merge(parts ...Summary) Summary {
+	merged := Summary{Min: math.Inf(1), Max: math.Inf(-1), geometricValid: true}
+	sum := 0.0    // Σ n_i·mean_i
+	ss := 0.0     // Σ over parts of that part's raw sum of squares
+	logSum := 0.0 // Σ n_i·ln(geomean_i)
+	wP50, wP95, wP99, wMed := 0.0, 0.0, 0.0, 0.0
+	for _, p := range parts {
+		if p.N == 0 {
+			continue
+		}
+		n := float64(p.N)
+		merged.N += p.N
+		sum += n * p.Mean
+		// Recover the part's Σx² from (n, mean, std): std² = (Σx² − n·mean²)/(n−1).
+		ss += p.Std*p.Std*(n-1) + n*p.Mean*p.Mean
+		if p.Min < merged.Min {
+			merged.Min = p.Min
+		}
+		if p.Max > merged.Max {
+			merged.Max = p.Max
+		}
+		if p.geometricValid && p.GeometricMean > 0 {
+			logSum += n * math.Log(p.GeometricMean)
+		} else {
+			merged.geometricValid = false
+		}
+		wP50 += n * p.P50
+		wP95 += n * p.P95
+		wP99 += n * p.P99
+		wMed += n * p.Median
+	}
+	if merged.N == 0 {
+		panic("stats: merge of empty summaries")
+	}
+	n := float64(merged.N)
+	merged.Mean = sum / n
+	if merged.N > 1 {
+		v := (ss - n*merged.Mean*merged.Mean) / (n - 1)
+		if v > 0 { // guard fp cancellation on near-constant samples
+			merged.Std = math.Sqrt(v)
+		}
+	}
+	if merged.geometricValid {
+		merged.GeometricMean = math.Exp(logSum / n)
+	}
+	clamp := func(x float64) float64 {
+		return math.Min(math.Max(x, merged.Min), merged.Max)
+	}
+	merged.P50 = clamp(wP50 / n)
+	merged.P95 = clamp(wP95 / n)
+	merged.P99 = clamp(wP99 / n)
+	merged.Median = clamp(wMed / n)
+	return merged
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMergeEqualsSummarizeOfConcat is the property the sharded stats
+// path rides on: for any split of a sample into parts, Merge of the part
+// summaries equals Summarize of the concatenation exactly for N, Min and
+// Max, and up to floating-point rounding for Mean, Std and GeometricMean.
+func TestMergeEqualsSummarizeOfConcat(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	approxEq := func(a, b float64) bool {
+		return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+	}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(400)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Exp(rng.NormFloat64()) // positive, skewed
+		}
+		// Random split into 1..6 contiguous parts (some possibly empty).
+		k := 1 + rng.Intn(6)
+		cuts := make([]int, 0, k+1)
+		cuts = append(cuts, 0)
+		for i := 1; i < k; i++ {
+			cuts = append(cuts, rng.Intn(n+1))
+		}
+		cuts = append(cuts, n)
+		for i := 1; i < len(cuts); i++ {
+			if cuts[i] < cuts[i-1] {
+				cuts[i] = cuts[i-1]
+			}
+		}
+		parts := make([]Summary, 0, k)
+		for i := 1; i < len(cuts); i++ {
+			seg := xs[cuts[i-1]:cuts[i]]
+			if len(seg) == 0 {
+				parts = append(parts, Summary{}) // zero-value part must be skipped
+				continue
+			}
+			parts = append(parts, Summarize(seg))
+		}
+		got := Merge(parts...)
+		want := Summarize(xs)
+		if got.N != want.N || got.Min != want.Min || got.Max != want.Max {
+			t.Fatalf("trial %d: exact fields differ: got N=%d Min=%v Max=%v want N=%d Min=%v Max=%v",
+				trial, got.N, got.Min, got.Max, want.N, want.Min, want.Max)
+		}
+		if !approxEq(got.Mean, want.Mean) {
+			t.Fatalf("trial %d: mean %v != %v", trial, got.Mean, want.Mean)
+		}
+		if !approxEq(got.Std, want.Std) {
+			t.Fatalf("trial %d: std %v != %v", trial, got.Std, want.Std)
+		}
+		if !approxEq(got.GeometricMean, want.GeometricMean) {
+			t.Fatalf("trial %d: geomean %v != %v", trial, got.GeometricMean, want.GeometricMean)
+		}
+		// The percentile approximation must stay inside the sample range
+		// and between the parts' extreme quantiles.
+		for _, p := range []float64{got.P50, got.P95, got.P99, got.Median} {
+			if p < want.Min-1e-12 || p > want.Max+1e-12 {
+				t.Fatalf("trial %d: merged percentile %v outside [%v, %v]", trial, p, want.Min, want.Max)
+			}
+		}
+	}
+}
+
+func TestMergeSinglePartIsIdentity(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	s := Summarize(xs)
+	m := Merge(s)
+	if m.N != s.N || m.Mean != s.Mean || m.Min != s.Min || m.Max != s.Max || m.Std != s.Std {
+		t.Fatalf("merge of one part drifted: %+v vs %+v", m, s)
+	}
+	// Percentiles of a single part are within range, hence un-clamped and
+	// exactly the part's own.
+	if m.P50 != s.P50 || m.P95 != s.P95 || m.P99 != s.P99 || m.Median != s.Median {
+		t.Fatalf("single-part percentiles drifted: %+v vs %+v", m, s)
+	}
+}
+
+func TestMergeGeometricInvalidPropagates(t *testing.T) {
+	good := Summarize([]float64{1, 2, 3})
+	bad := Summarize([]float64{0, 1}) // zero kills the geometric mean
+	if got := Merge(good, bad); got.GeometricMean != 0 {
+		t.Fatalf("geometric mean %v, want 0 for invalid merge", got.GeometricMean)
+	}
+}
+
+func TestMergeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty merge")
+		}
+	}()
+	Merge(Summary{}, Summary{})
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func approx(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+// TestMergeReportsAgainstAnalyze runs two disjoint shard schedules,
+// merges their reports, and checks every merged quantity against the
+// definitions computed directly from the union of records.
+func TestMergeReportsAgainstAnalyze(t *testing.T) {
+	plA := core.NewPlatform([]float64{1, 2}, []float64{2, 4})
+	plB := core.NewPlatform([]float64{1}, []float64{3})
+	sa, err := sim.Simulate(plA, sched.New("LS"), core.Bag(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := sim.Simulate(plB, sched.New("SRPT"), core.Bag(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := Analyze(sa), Analyze(sb)
+	merged := MergeReports(ra, rb)
+
+	if want := math.Max(ra.Makespan, rb.Makespan); merged.Makespan != want {
+		t.Fatalf("makespan %v want %v", merged.Makespan, want)
+	}
+	if want := math.Max(ra.MaxFlow, rb.MaxFlow); merged.MaxFlow != want {
+		t.Fatalf("max-flow %v want %v", merged.MaxFlow, want)
+	}
+	if want := ra.SumFlow + rb.SumFlow; !approx(merged.SumFlow, want) {
+		t.Fatalf("sum-flow %v want %v", merged.SumFlow, want)
+	}
+	na, nb := len(sa.Records), len(sb.Records)
+	wantComm := (ra.MeanCommWait*float64(na) + rb.MeanCommWait*float64(nb)) / float64(na+nb)
+	if !approx(merged.MeanCommWait, wantComm) {
+		t.Fatalf("mean comm wait %v want %v", merged.MeanCommWait, wantComm)
+	}
+	wantService := (ra.MeanService*float64(na) + rb.MeanService*float64(nb)) / float64(na+nb)
+	if !approx(merged.MeanService, wantService) {
+		t.Fatalf("mean service %v want %v", merged.MeanService, wantService)
+	}
+	// Two ports: merged utilization is total transmit time over 2× the
+	// merged makespan.
+	wantBusy := (ra.PortBusy*ra.Makespan + rb.PortBusy*rb.Makespan) / (2 * merged.Makespan)
+	if !approx(merged.PortBusy, wantBusy) {
+		t.Fatalf("port busy %v want %v", merged.PortBusy, wantBusy)
+	}
+	if len(merged.Slaves) != len(ra.Slaves)+len(rb.Slaves) {
+		t.Fatalf("merged %d slave rows", len(merged.Slaves))
+	}
+	tasks := 0
+	for _, st := range merged.Slaves {
+		tasks += st.Tasks
+	}
+	if tasks != na+nb {
+		t.Fatalf("merged slave rows carry %d tasks, want %d", tasks, na+nb)
+	}
+}
+
+// TestMergeReportsSingleIsIdentity pins that a one-shard cluster reports
+// exactly what the shard does.
+func TestMergeReportsSingleIsIdentity(t *testing.T) {
+	pl := core.NewPlatform([]float64{1, 2, 3}, []float64{2, 4, 5})
+	s, err := sim.Simulate(pl, sched.New("SLJF"), core.ReleasesAt(0, 0, 1, 2, 5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(s)
+	m := MergeReports(r)
+	if m.Makespan != r.Makespan || m.MaxFlow != r.MaxFlow || m.SumFlow != r.SumFlow ||
+		!approx(m.PortBusy, r.PortBusy) || m.MeanCommWait != r.MeanCommWait ||
+		m.MeanQueueWait != r.MeanQueueWait || m.MeanService != r.MeanService ||
+		m.PortIdleWithPending != r.PortIdleWithPending || len(m.Slaves) != len(r.Slaves) {
+		t.Fatalf("single-report merge drifted:\n merged %+v\n report %+v", m, r)
+	}
+}
+
+func TestMergeReportsSkipsEmpty(t *testing.T) {
+	pl := core.NewPlatform([]float64{1}, []float64{1})
+	s, err := sim.Simulate(pl, sched.New("LS"), core.Bag(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(s)
+	m := MergeReports(Report{}, r, Report{})
+	if m.Makespan != r.Makespan || m.SumFlow != r.SumFlow {
+		t.Fatalf("empty reports perturbed the merge: %+v vs %+v", m, r)
+	}
+	if z := MergeReports(); z.Makespan != 0 || z.Slaves != nil {
+		t.Fatalf("merge of nothing: %+v", z)
+	}
+}
