@@ -54,7 +54,7 @@ func main() {
 	log.SetPrefix("paperbench: ")
 
 	which := flag.String("experiment", "all",
-		"artifact: table1, fig1a, fig1b, fig1c, fig1d, fig2, scenario, sharding, ablation-rr, ablation-horizon, ablation-arrivals, ablation-model, randomized, all")
+		"artifact: table1, fig1a, fig1b, fig1c, fig1d, fig2, scenario, sharding, steal, ablation-rr, ablation-horizon, ablation-arrivals, ablation-model, randomized, all")
 	platforms := flag.Int("platforms", 10, "random platforms per figure (paper: 10)")
 	tasks := flag.Int("tasks", 1000, "tasks per run (paper: 1000)")
 	m := flag.Int("m", 5, "slaves per platform (paper: 5)")
@@ -146,6 +146,21 @@ func main() {
 				return nil
 			}
 			r := experiment.ShardingStudyOver(selected, cfg)
+			fmt.Println(r.Render())
+			return []runner.Result{r.Raw}
+		}},
+		{"steal", nil, func() []runner.Result {
+			var selected []core.Class
+			for _, class := range core.Classes {
+				if classes[class] {
+					selected = append(selected, class)
+				}
+			}
+			if len(selected) == 0 {
+				fmt.Println("(skipped: every platform class of this artifact is excluded by -classes)")
+				return nil
+			}
+			r := experiment.StealStudyOver(selected, cfg)
 			fmt.Println(r.Render())
 			return []runner.Result{r.Raw}
 		}},
@@ -300,6 +315,29 @@ type ClusterEntry struct {
 	P99LatencyMs float64 `json:"p99_latency_ms"`
 }
 
+// StealEntry is one work-stealing load-generation run: the HTTP load
+// generator against a 4-shard cluster whose placement is pinned — every
+// job lands on shard 0, the adversarial worst case for sharding — swept
+// over the steal policies. With "none" the cluster collapses to one
+// master's port; an active rebalancer migrates the backlog to the idle
+// shards, and the jobs/sec ratio against the none baseline is the
+// headline CI gates on (≥ 1.5×).
+type StealEntry struct {
+	Shards          int     `json:"shards"`
+	Placement       string  `json:"placement"`
+	Steal           string  `json:"steal"`
+	IntervalSeconds float64 `json:"interval_seconds"`
+	Jobs            int     `json:"jobs"`
+	JobsMoved       int64   `json:"jobs_moved"`
+	Producers       int     `json:"producers"`
+	ClockScale      float64 `json:"clock_scale"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	JobsPerSec      float64 `json:"jobs_per_sec"`
+	P50LatencyMs    float64 `json:"p50_latency_ms"`
+	P95LatencyMs    float64 `json:"p95_latency_ms"`
+	P99LatencyMs    float64 `json:"p99_latency_ms"`
+}
+
 // BenchArtifact is the machine-readable perf record CI uploads
 // (BENCH_PR2.json): wall-clock costs of the headline sweeps at the
 // configured scale, plus enough environment to compare runs honestly.
@@ -321,6 +359,9 @@ type BenchArtifact struct {
 	// Cluster holds the sharded-serving ingest sweep (jobs/sec per shard
 	// count × placement on one fixed port-bound platform).
 	Cluster []ClusterEntry `json:"cluster"`
+	// Steal holds the work-stealing sweep (jobs/sec per steal policy
+	// under adversarially pinned placement).
+	Steal []StealEntry `json:"steal"`
 }
 
 // writeBenchArtifact times the Figure-1 sweep on a one-worker pool and a
@@ -386,6 +427,15 @@ func writeBenchArtifact(path string, cfg experiment.Config) error {
 				entry.Shards, entry.Placement, entry.Jobs, entry.WallSeconds, entry.JobsPerSec, entry.P95LatencyMs)
 		}
 	}
+	for _, steal := range cluster.StealPolicyNames() {
+		entry, err := stealLoadBench(steal)
+		if err != nil {
+			return fmt.Errorf("steal load bench %s: %w", steal, err)
+		}
+		art.Steal = append(art.Steal, entry)
+		log.Printf("steal %s (pinned, %d shards): %d jobs (%d moved) in %.2fs wall → %.0f jobs/s",
+			entry.Steal, entry.Shards, entry.Jobs, entry.JobsMoved, entry.WallSeconds, entry.JobsPerSec)
+	}
 	if err := runner.WriteJSON(path, art); err != nil {
 		return err
 	}
@@ -397,7 +447,16 @@ func writeBenchArtifact(path string, cfg experiment.Config) error {
 // service on a loopback listener, slams it with concurrent batched
 // submissions, drains, and reports the wall window plus the service's
 // own stats (the GET /stats data, the single source of latency numbers).
-func loadBench(cfg schedd.Config, producers, batches, perBatch int) (wall float64, svc schedd.StatsResponse, err error) {
+//
+// With settle, the generator polls the service until every job has
+// completed BEFORE initiating the drain, so the wall window measures
+// serving, not shutdown. The distinction matters only when the two
+// differ: Drain stops the rebalancer before the shards, so a
+// drain-as-completion-barrier window would never let stealing touch a
+// burst that arrives faster than one rebalancer tick — exactly the
+// adversarial load the steal benchmark creates. The non-steal entries
+// keep the drain barrier for comparability with the PR-5 artifact.
+func loadBench(cfg schedd.Config, producers, batches, perBatch int, settle bool) (wall float64, svc schedd.StatsResponse, err error) {
 	jobs := producers * batches * perBatch
 	srv, err := schedd.New(cfg)
 	if err != nil {
@@ -436,10 +495,22 @@ func loadBench(cfg schedd.Config, producers, batches, perBatch int) (wall float6
 			return 0, svc, err
 		}
 	}
+	if settle {
+		deadline := time.Now().Add(30 * time.Second)
+		for srv.Counts().Completed < jobs {
+			if time.Now().After(deadline) {
+				return 0, svc, fmt.Errorf("timed out settling %d jobs (completed %d)", jobs, srv.Counts().Completed)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		wall = time.Since(start).Seconds()
+	}
 	if err := srv.Drain(); err != nil {
 		return 0, svc, err
 	}
-	wall = time.Since(start).Seconds()
+	if !settle {
+		wall = time.Since(start).Seconds()
+	}
 
 	svc = srv.Stats()
 	if svc.Jobs.Completed != jobs {
@@ -465,7 +536,7 @@ func liveLoadBench(policy string) (LiveEntry, error) {
 		Platform:   core.NewPlatform([]float64{0.1, 0.25, 0.5, 0.75, 1}, []float64{0.5, 2, 4, 6, 8}),
 		Policy:     policy,
 		ClockScale: clockScale,
-	}, producers, batches, perBatch)
+	}, producers, batches, perBatch, false)
 	if err != nil {
 		return LiveEntry{}, err
 	}
@@ -505,7 +576,7 @@ func clusterLoadBench(shards int, placement string) (ClusterEntry, error) {
 		Placement:  placement,
 		Partition:  core.PartitionBalanced,
 		ClockScale: clockScale,
-	}, producers, batches, perBatch)
+	}, producers, batches, perBatch, false)
 	if err != nil {
 		return ClusterEntry{}, err
 	}
@@ -523,6 +594,57 @@ func clusterLoadBench(shards int, placement string) (ClusterEntry, error) {
 		P95LatencyMs: svc.LatencySeconds.P95 * 1000,
 		P99LatencyMs: svc.LatencySeconds.P99 * 1000,
 	}, nil
+}
+
+// stealLoadBench is the work-stealing benchmark: the clusterLoadBench
+// platform partitioned across 4 masters, but with pinned placement —
+// every submission lands on shard 0 — so with stealing off the cluster
+// degenerates to one port and with it on, the rebalancer must migrate
+// roughly three quarters of the backlog outward to recover the
+// multi-port throughput.
+func stealLoadBench(steal string) (StealEntry, error) {
+	const (
+		shards     = 4
+		producers  = 4
+		batches    = 4
+		perBatch   = 25
+		clockScale = 2000
+		interval   = 2 * time.Millisecond
+	)
+	wall, svc, err := loadBench(schedd.Config{
+		Platform: core.NewPlatform(
+			[]float64{1, 1, 1, 1, 1, 1, 1, 1},
+			[]float64{1, 2, 3, 4, 1, 2, 3, 4}),
+		Policy:        "LS",
+		Shards:        shards,
+		Placement:     cluster.PlacementPinned,
+		Partition:     core.PartitionBalanced,
+		ClockScale:    clockScale,
+		Steal:         steal,
+		StealInterval: interval,
+	}, producers, batches, perBatch, true)
+	if err != nil {
+		return StealEntry{}, err
+	}
+	jobs := producers * batches * perBatch
+	entry := StealEntry{
+		Shards:          shards,
+		Placement:       cluster.PlacementPinned,
+		Steal:           steal,
+		IntervalSeconds: interval.Seconds(),
+		Jobs:            jobs,
+		Producers:       producers,
+		ClockScale:      clockScale,
+		WallSeconds:     wall,
+		JobsPerSec:      float64(jobs) / wall,
+		P50LatencyMs:    svc.LatencySeconds.P50 * 1000,
+		P95LatencyMs:    svc.LatencySeconds.P95 * 1000,
+		P99LatencyMs:    svc.LatencySeconds.P99 * 1000,
+	}
+	if svc.Steal != nil {
+		entry.JobsMoved = svc.Steal.JobsMoved
+	}
+	return entry, nil
 }
 
 // validateSchedulers rejects unknown names up front, so a typo yields a

@@ -17,10 +17,12 @@
 // The platform comes from -slaves "c:p,c:p,..." (explicit per-slave
 // costs) or from -class/-m/-seed (a random platform drawn exactly like
 // the experiment harness does). -shards partitions it (-partition
-// striped|balanced); -placement picks round-robin, least-loaded or
-// het-aware routing. -clock-scale compresses model time: at 1000, a
-// platform calibrated in paper seconds serves jobs a thousand times
-// faster than nominal.
+// striped|balanced); -placement picks round-robin, least-loaded,
+// het-aware or pinned routing. -steal turns on the cross-shard
+// rebalancer (threshold or het-aware; every -steal-interval it migrates
+// pending jobs from overloaded shards to underloaded ones).
+// -clock-scale compresses model time: at 1000, a platform calibrated in
+// paper seconds serves jobs a thousand times faster than nominal.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: new submissions get
 // 503, every accepted job on every shard completes, the slaves shut
@@ -72,6 +74,10 @@ func main() {
 		"partition strategy: striped, balanced")
 	clockScale := flag.Float64("clock-scale", 1, "model seconds per wall second (speedup of the serving clock)")
 	maxBatch := flag.Int("max-batch", 10000, "largest count accepted by one POST /jobs")
+	steal := flag.String("steal", cluster.StealNone,
+		"cross-shard work-stealing policy: "+strings.Join(cluster.StealPolicyNames(), ", "))
+	stealInterval := flag.Duration("steal-interval", 50*time.Millisecond,
+		"rebalancer pass interval (with -steal threshold|het-aware)")
 	flag.Parse()
 
 	if err := sched.Validate(*policy); err != nil {
@@ -86,13 +92,15 @@ func main() {
 	}
 
 	srv, err := schedd.New(schedd.Config{
-		Platform:   pl,
-		Policy:     *policy,
-		Shards:     *shards,
-		Placement:  *placement,
-		Partition:  core.PartitionStrategy(*partition),
-		ClockScale: *clockScale,
-		MaxBatch:   *maxBatch,
+		Platform:      pl,
+		Policy:        *policy,
+		Shards:        *shards,
+		Placement:     *placement,
+		Partition:     core.PartitionStrategy(*partition),
+		ClockScale:    *clockScale,
+		MaxBatch:      *maxBatch,
+		Steal:         *steal,
+		StealInterval: *stealInterval,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -103,8 +111,8 @@ func main() {
 		log.Fatal(err)
 	}
 	httpServer := &http.Server{Handler: srv.Handler()}
-	log.Printf("serving %s on http://%s (platform %v, %d shard(s), placement %s, partition %s, clock-scale %g)",
-		*policy, ln.Addr(), pl, *shards, *placement, *partition, *clockScale)
+	log.Printf("serving %s on http://%s (platform %v, %d shard(s), placement %s, partition %s, steal %s, clock-scale %g)",
+		*policy, ln.Addr(), pl, *shards, *placement, *partition, *steal, *clockScale)
 
 	done := make(chan error, 1)
 	go func() { done <- httpServer.Serve(ln) }()

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/live"
@@ -71,6 +72,14 @@ type Shard struct {
 	// vectors (tasks per model second), precomputed for het-aware
 	// placement; see shardNominalRate.
 	nominalRate float64
+
+	// Declarative slave liveness, fed by Router.SetSlaveLive from
+	// whatever failure detector the deployment runs (or a scenario
+	// timeline in tests). liveCount is read lock-free on the placement
+	// hot path; the bool slice is only touched under liveMu.
+	liveCount atomic.Int32
+	liveMu    sync.Mutex
+	deadLocal []bool
 }
 
 // Index returns the shard's position in the cluster.
@@ -97,6 +106,29 @@ func (s *Shard) Tracker() *live.Tracker { return s.tracker }
 // Load returns the shard's progress snapshot.
 func (s *Shard) Load() live.Load { return s.rt.Load() }
 
+// LiveSlaves returns the number of slaves not currently declared down.
+// Every slave starts live; Router.SetSlaveLive changes the declaration.
+func (s *Shard) LiveSlaves() int { return int(s.liveCount.Load()) }
+
+// setSlaveLive flips one local slave's liveness declaration.
+// Idempotent: re-declaring the current state is a no-op, so a noisy
+// failure detector cannot drive the count negative or past m.
+func (s *Shard) setSlaveLive(local int, up bool) {
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	if local < 0 || local >= len(s.deadLocal) {
+		return
+	}
+	switch {
+	case up && s.deadLocal[local]:
+		s.deadLocal[local] = false
+		s.liveCount.Add(1)
+	case !up && !s.deadLocal[local]:
+		s.deadLocal[local] = true
+		s.liveCount.Add(-1)
+	}
+}
+
 // Result returns the shard's completed run. Call only after the cluster
 // has drained.
 func (s *Shard) Result() live.Result { return s.rt.Result() }
@@ -117,8 +149,17 @@ type Router struct {
 
 	mu       sync.Mutex
 	refs     []jobRef
-	staged   []int // scratch: per-shard count of the batch being placed
+	local2g  [][]int // per shard: local job ID → global ID, -1 gaps
+	staged   []int   // scratch: per-shard count of the batch being placed
 	draining bool
+
+	// migrations counts in-flight Migrate calls. A migration registers
+	// itself under mu while not draining; Drain flips the flag and then
+	// waits the group out before fanning shard drains, so every stolen
+	// job has been re-homed (and its ref updated) before any master is
+	// told to finish — no job can be stranded between shards.
+	migrations sync.WaitGroup
+	stolen     atomic.Int64 // total jobs migrated by Migrate
 }
 
 // New partitions the platform, builds one live runtime per shard and
@@ -155,6 +196,7 @@ func New(cfg Config) (*Router, error) {
 		placement: placement,
 		partition: strategy,
 		staged:    make([]int, k),
+		local2g:   make([][]int, k),
 	}
 	for i, part := range parts {
 		tracker := live.NewTracker()
@@ -173,14 +215,17 @@ func New(cfg Config) (*Router, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
 		}
-		r.shards = append(r.shards, &Shard{
+		sh := &Shard{
 			index:       i,
 			slaves:      part.Slaves,
 			pl:          part.Platform,
 			rt:          rt,
 			tracker:     tracker,
 			nominalRate: shardNominalRate(part.Platform),
-		})
+			deadLocal:   make([]bool, part.Platform.M()),
+		}
+		sh.liveCount.Store(int32(part.Platform.M()))
+		r.shards = append(r.shards, sh)
 	}
 	return r, nil
 }
@@ -258,11 +303,26 @@ func (r *Router) SubmitBatch(spec live.JobSpec, count int) ([]int, error) {
 	gids := make([]int, count)
 	cursor := make([]int, len(r.shards))
 	for i, s := range placements {
+		local := locals[s][cursor[s]]
 		gids[i] = len(r.refs)
-		r.refs = append(r.refs, jobRef{shard: int32(s), local: int32(locals[s][cursor[s]])})
+		r.refs = append(r.refs, jobRef{shard: int32(s), local: int32(local)})
+		r.indexLocal(s, local, gids[i])
 		cursor[s]++
 	}
 	return gids, nil
+}
+
+// indexLocal records the reverse mapping local job ID → global ID for
+// one shard, growing the table with -1 gaps (source-submitted jobs on a
+// single-shard cluster occupy local IDs the router never assigned).
+// Caller holds r.mu.
+func (r *Router) indexLocal(shard, local, gid int) {
+	t := r.local2g[shard]
+	for len(t) <= local {
+		t = append(t, -1)
+	}
+	t[local] = gid
+	r.local2g[shard] = t
 }
 
 // Job returns a routed job's lifecycle with global identifiers: the ID
@@ -281,6 +341,14 @@ func (r *Router) Job(gid int) (live.JobInfo, bool) {
 	if !ok {
 		// Accepted but not yet observed by the shard's master: report it
 		// queued rather than unknown — the router's accept is the accept.
+		return live.JobInfo{ID: gid, State: live.StateQueued, Slave: -1}, true
+	}
+	if info.State == live.StateStolen {
+		// Mid-migration window: the source master has retracted the job
+		// but Migrate has not yet re-pointed the ref at its new home.
+		// The job is accepted and will be served — report it queued, the
+		// same answer a lookup a moment later (through the updated ref)
+		// would give.
 		return live.JobInfo{ID: gid, State: live.StateQueued, Slave: -1}, true
 	}
 	info.ID = gid
@@ -326,6 +394,90 @@ func (r *Router) Draining() bool {
 	return r.draining
 }
 
+// SetSlaveLive declares a platform-global slave up or down for
+// placement and stealing. It is a declaration, not an enforcement: the
+// shard's master keeps serving whatever it already holds (the paper's
+// one-port master cannot recall an in-flight transfer), but placement
+// stops targeting shards with no live slaves and the het-aware steal
+// policy evacuates their queues. Returns false for an unknown slave.
+func (r *Router) SetSlaveLive(global int, up bool) bool {
+	for _, s := range r.shards {
+		for local, g := range s.slaves {
+			if g == global {
+				s.setSlaveLive(local, up)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Stolen returns the total number of jobs migrated between shards.
+func (r *Router) Stolen() int { return int(r.stolen.Load()) }
+
+// Migrate steals up to n pending jobs from shard `from` and re-admits
+// them on shard `to`, returning how many actually moved. The move is
+// atomic from every observer's point of view:
+//
+//   - The source master retracts the jobs inside its own actor loop
+//     (live.Runtime.StealPending), so a stolen job was never dispatched
+//     at the source and can never be — no double-dispatch window.
+//   - The global job table is re-pointed under the router lock in the
+//     same critical section that submits to the destination, so
+//     GET /jobs/{id} resolves to the old home, then (briefly) to a
+//     "queued" placeholder while the source tracker reports the job
+//     stolen, then to the new home — never to "unknown".
+//   - Migration and Drain exclude each other through the migrations
+//     WaitGroup: a migration only begins while not draining, and Drain
+//     waits out in-flight migrations before any shard is drained, so a
+//     stolen job is always re-homed before its new master is told to
+//     finish.
+//
+// Jobs are re-admitted in their original submission order (StealPending
+// returns newest-first; Migrate reverses), so the destination's FIFO
+// treats them no worse than it would have fresh arrivals.
+func (r *Router) Migrate(from, to, n int) int {
+	if from == to || n <= 0 ||
+		from < 0 || from >= len(r.shards) || to < 0 || to >= len(r.shards) {
+		return 0
+	}
+	r.mu.Lock()
+	if r.draining {
+		r.mu.Unlock()
+		return 0
+	}
+	r.migrations.Add(1)
+	r.mu.Unlock()
+	defer r.migrations.Done()
+
+	// Outside the router lock: StealPending blocks on the source master's
+	// reply, and submissions must keep flowing while it does.
+	jobs := r.shards[from].rt.StealPending(n)
+	if len(jobs) == 0 {
+		return 0
+	}
+	dst := r.shards[to].rt
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(jobs) - 1; i >= 0; i-- { // oldest first
+		j := jobs[i]
+		local := dst.Submit(j.Spec)
+		gid := -1
+		if t := r.local2g[from]; j.Local >= 0 && j.Local < len(t) {
+			gid = t[j.Local]
+			if gid >= 0 {
+				t[j.Local] = -1
+			}
+		}
+		if gid >= 0 {
+			r.refs[gid] = jobRef{shard: int32(to), local: int32(local)}
+			r.indexLocal(to, local, gid)
+		}
+		r.stolen.Add(1)
+	}
+	return len(jobs)
+}
+
 // Drain rejects further submissions, then drains every shard
 // concurrently and joins them. It blocks until all shards have fully
 // drained and returns the first shard error, if any. Safe to call more
@@ -334,6 +486,12 @@ func (r *Router) Drain() error {
 	r.mu.Lock()
 	r.draining = true
 	r.mu.Unlock()
+	// Migrations registered before the flag flipped may still be
+	// re-homing stolen jobs; new ones can no longer begin. Wait them out
+	// so every job is on its final shard before any master is told to
+	// finish — otherwise a job stolen from a draining shard could be
+	// submitted to a master that already exited.
+	r.migrations.Wait()
 	errs := make([]error, len(r.shards))
 	var wg sync.WaitGroup
 	for i, s := range r.shards {

@@ -128,21 +128,43 @@ func TestClusterEndToEnd(t *testing.T) {
 }
 
 func TestClusterLeastLoadedAvoidsBackloggedShard(t *testing.T) {
-	// Shard 1 (slaves 1, 3: p = 40) is ~100× slower than shard 0
-	// (slaves 0, 2: p = 0.4): least-loaded must route the bulk of a
-	// large sequential submission to the fast shard.
+	// Shard 1 (slaves 1, 3: p = 400 → 40ms wall at ×10000) is ~1000×
+	// slower than shard 0 (slaves 0, 2: p = 0.4). Unpaced bursts stripe
+	// a few jobs onto the slow shard, where they pin its outstanding
+	// count up for the rest of the test; after that, least-loaded must
+	// route every paced submission to the fast shard. (Pacing by wall
+	// time alone is machine-speed dependent: depending on the host the
+	// shards settle into a tie-break cycle right on the assertion
+	// boundary.)
 	pl := core.NewPlatform(
 		[]float64{0.01, 0.01, 0.01, 0.01},
-		[]float64{0.4, 40, 0.4, 40})
+		[]float64{0.4, 400, 0.4, 400})
 	r := testCluster(t, pl, 2, PlacementLeastLoaded)
-	for i := 0; i < 60; i++ {
-		if _, err := r.Submit(live.JobSpec{}); err != nil {
+	deadline := time.Now().Add(2 * time.Second)
+	for r.Loads()[1].Outstanding() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("could not backlog the slow shard")
+		}
+		for i := 0; i < 8; i++ {
+			if _, err := r.Submit(live.JobSpec{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 30; i++ {
+		// Let the fast shard absorb its queue first, so every decision
+		// compares an empty fast shard against the stuck backlog.
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) && r.Loads()[0].Outstanding() > 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		gid, err := r.Submit(live.JobSpec{})
+		if err != nil {
 			t.Fatal(err)
 		}
-		// Pace submissions so completion feedback exists: the policy is
-		// backlog-driven, and a burst placed before anything completes is
-		// legitimately striped evenly.
-		time.Sleep(200 * time.Microsecond)
+		if s, ok := r.ShardOf(gid); !ok || s != 0 {
+			t.Fatalf("paced job %d placed on backlogged shard %d", gid, s)
+		}
 	}
 	if err := r.Drain(); err != nil {
 		t.Fatal(err)

@@ -43,11 +43,18 @@ const (
 	// rates override nominal ones, so drifted or miscalibrated platforms
 	// still place correctly).
 	PlacementHetAware = "het-aware"
+	// PlacementPinned routes every job to the lowest-indexed live shard
+	// (shard 0 while it has live slaves). It is deliberately
+	// pathological: a diagnostic policy that concentrates the entire
+	// ingest on one master so the other k-1 ports idle — the adversarial
+	// skew the rebalancer benchmarks and the stealing e2e tests use as
+	// their worst case. Do not deploy it as a real routing policy.
+	PlacementPinned = "pinned"
 )
 
 // PlacementNames lists the registered policies in presentation order.
 func PlacementNames() []string {
-	return []string{PlacementRoundRobin, PlacementLeastLoaded, PlacementHetAware}
+	return []string{PlacementRoundRobin, PlacementLeastLoaded, PlacementHetAware, PlacementPinned}
 }
 
 // ValidatePlacement rejects unknown placement names.
@@ -69,17 +76,34 @@ func NewPlacement(name string) (Placement, error) {
 		return leastLoaded{}, nil
 	case PlacementHetAware:
 		return hetAware{}, nil
+	case PlacementPinned:
+		return pinned{}, nil
 	}
 	return nil, ValidatePlacement(name)
 }
+
+// Every policy skips shards whose declared-live slave count (see
+// Router.SetSlaveLive) is zero: a dead shard accepts jobs into a queue
+// nothing will ever drain, so placement must never target one while any
+// alternative exists. When EVERY shard is down the filter is dropped —
+// a total blackout queues jobs rather than wedging ingest, and the
+// rebalancer re-homes them when shards come back.
 
 type roundRobin struct{ next int }
 
 func (p *roundRobin) Name() string { return PlacementRoundRobin }
 
 func (p *roundRobin) Pick(shards []*Shard, _ []live.Load, _ []int, _ live.JobSpec) int {
+	k := len(shards)
+	for off := 0; off < k; off++ {
+		s := (p.next + off) % k
+		if shards[s].LiveSlaves() > 0 {
+			p.next = (s + 1) % k
+			return s
+		}
+	}
 	s := p.next
-	p.next = (p.next + 1) % len(shards)
+	p.next = (p.next + 1) % k
 	return s
 }
 
@@ -87,12 +111,17 @@ type leastLoaded struct{}
 
 func (leastLoaded) Name() string { return PlacementLeastLoaded }
 
-func (leastLoaded) Pick(_ []*Shard, loads []live.Load, staged []int, _ live.JobSpec) int {
-	best, bestLoad := 0, 0
-	for i := range loads {
-		load := loads[i].Outstanding() + staged[i]
-		if i == 0 || load < bestLoad {
-			best, bestLoad = i, load
+func (leastLoaded) Pick(shards []*Shard, loads []live.Load, staged []int, _ live.JobSpec) int {
+	best, bestLoad := -1, 0
+	for pass := 0; pass < 2 && best < 0; pass++ {
+		for i := range loads {
+			if pass == 0 && shards[i].LiveSlaves() == 0 {
+				continue
+			}
+			load := loads[i].Outstanding() + staged[i]
+			if best < 0 || load < bestLoad {
+				best, bestLoad = i, load
+			}
 		}
 	}
 	return best
@@ -108,15 +137,33 @@ func (hetAware) Name() string { return PlacementHetAware }
 // the lowest shard index, keeping placement deterministic for a given
 // load state.
 func (hetAware) Pick(shards []*Shard, loads []live.Load, staged []int, _ live.JobSpec) int {
-	best, bestECT := 0, 0.0
-	for i, sh := range shards {
-		backlog := float64(loads[i].Outstanding() + staged[i] + 1)
-		ect := backlog / sh.serviceRate(loads[i])
-		if i == 0 || ect < bestECT {
-			best, bestECT = i, ect
+	best, bestECT := -1, 0.0
+	for pass := 0; pass < 2 && best < 0; pass++ {
+		for i, sh := range shards {
+			if pass == 0 && sh.LiveSlaves() == 0 {
+				continue
+			}
+			backlog := float64(loads[i].Outstanding() + staged[i] + 1)
+			ect := backlog / sh.serviceRate(loads[i])
+			if best < 0 || ect < bestECT {
+				best, bestECT = i, ect
+			}
 		}
 	}
 	return best
+}
+
+type pinned struct{}
+
+func (pinned) Name() string { return PlacementPinned }
+
+func (pinned) Pick(shards []*Shard, _ []live.Load, _ []int, _ live.JobSpec) int {
+	for i := range shards {
+		if shards[i].LiveSlaves() > 0 {
+			return i
+		}
+	}
+	return 0
 }
 
 // serviceRate is the shard's estimated sustainable throughput in tasks
@@ -144,6 +191,13 @@ func (s *Shard) serviceRate(load live.Load) float64 {
 // proportional to its compute rate, needs Σ f_j·c_j seconds per task.
 // The sustainable rate is the smaller of the two.
 func shardNominalRate(pl core.Platform) float64 {
+	return NominalRate(pl)
+}
+
+// NominalRate is the exported form of the shard throughput estimate, so
+// synthetic studies (experiment.StealStudy) can feed the same rates the
+// router would compute into StealPolicy.Plan without building runtimes.
+func NominalRate(pl core.Platform) float64 {
 	computeRate := 0.0
 	for _, p := range pl.P {
 		computeRate += 1 / p

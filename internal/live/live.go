@@ -185,15 +185,19 @@ type Load struct {
 	Admitted   int `json:"admitted"`
 	Dispatched int `json:"dispatched"`
 	Completed  int `json:"completed"`
+	// Retracted counts jobs extracted by StealPending: accepted here,
+	// migrated to (and eventually completed by) another runtime. They no
+	// longer belong to this runtime's backlog or population.
+	Retracted int `json:"retracted,omitempty"`
 }
 
 // QueueDepth is the number of accepted jobs not yet dispatched — the
 // master-side backlog (including submissions still in the mailbox).
-func (l Load) QueueDepth() int { return l.Submitted - l.Dispatched }
+func (l Load) QueueDepth() int { return l.Submitted - l.Retracted - l.Dispatched }
 
 // Outstanding is the number of accepted jobs not yet completed — the
 // shard's total in-system population, the least-loaded placement signal.
-func (l Load) Outstanding() int { return l.Submitted - l.Completed }
+func (l Load) Outstanding() int { return l.Submitted - l.Retracted - l.Completed }
 
 // Load returns the current progress snapshot. The counters are advanced
 // atomically (submission side under the runtime lock, master side
@@ -204,6 +208,10 @@ func (l Load) Outstanding() int { return l.Submitted - l.Completed }
 // grows, and a job reaches a later stage only after the earlier ones,
 // so a stage read later can never be smaller than one read earlier.
 func (rt *Runtime) Load() Load {
+	// Retracted is read first: it only grows, and a stale (smaller) value
+	// overstates QueueDepth/Outstanding — placement and steal policies
+	// then err toward seeing more backlog here, never less.
+	retracted := int(rt.prog.retracted.Load())
 	completed := int(rt.prog.completed.Load())
 	dispatched := int(rt.prog.dispatched.Load())
 	admitted := int(rt.prog.admitted.Load())
@@ -215,12 +223,57 @@ func (rt *Runtime) Load() Load {
 		Admitted:   admitted,
 		Dispatched: dispatched,
 		Completed:  completed,
+		Retracted:  retracted,
 	}
 }
 
 // Pending returns the current queue depth (accepted, undispatched jobs)
 // — what GET /healthz depth reporting and least-loaded placement read.
 func (rt *Runtime) Pending() int { return rt.Load().QueueDepth() }
+
+// StolenJob is one pending job extracted from a runtime by StealPending:
+// the runtime-local ID it was admitted under (now permanently retracted
+// there) plus the spec to re-admit it elsewhere.
+type StolenJob struct {
+	Local int
+	Spec  JobSpec
+}
+
+// StealPending extracts up to n accepted-but-undispatched jobs from the
+// BACK of the master's pending queue — the youngest backlog, the classic
+// work-stealing-deque discipline (the owner dispatches the FIFO front,
+// the thief takes the tail). It blocks for the master's reply: when it
+// returns, the jobs are out of this runtime for good (the master
+// retracted them inside its own actor before replying), so re-admitting
+// them on another runtime can never double-dispatch.
+//
+// Returns nil when n <= 0, the runtime is draining or not yet started,
+// or the world is virtual: deterministic worlds never steal — an
+// external message would perturb the cooperative schedule, and the
+// virtual substrate refuses outside posts. This is the structural half
+// of the steal-rate-0 conformance contract: a virtual-clock run is
+// bit-identical to the engine no matter what a rebalancer asks for.
+func (rt *Runtime) StealPending(n int) []StolenJob {
+	if n <= 0 {
+		return nil
+	}
+	if _, virtual := rt.world.(*VirtualWorld); virtual {
+		return nil
+	}
+	reply := make(chan []StolenJob, 1)
+	rt.mu.Lock()
+	if rt.draining || !rt.started {
+		rt.mu.Unlock()
+		return nil
+	}
+	// Posted under the runtime lock, like Submit: Drain also takes this
+	// lock before posting msgDrain, so a steal that passed the draining
+	// check is in the master's mailbox ahead of any drain message and is
+	// always answered before the master exits.
+	rt.world.Post(rt.prog.masterID, Msg{Kind: msgSteal, Count: n, StealReply: reply})
+	rt.mu.Unlock()
+	return <-reply
+}
 
 // Drain tells the master no more jobs are coming: it finishes everything
 // outstanding, shuts the slaves down and exits. External counterpart of
@@ -293,7 +346,7 @@ func Run(cfg Config) (Result, error) {
 	if err := rt.Wait(); err != nil {
 		return Result{}, err
 	}
-	if rt.prog.drv == nil || rt.prog.drv.Done() != rt.prog.drv.Admitted() {
+	if rt.prog.drv == nil || rt.prog.drv.Done()+rt.prog.drv.Retracted() != rt.prog.drv.Admitted() {
 		return Result{}, fmt.Errorf("live: run ended before every admitted job completed")
 	}
 	return rt.Result(), nil

@@ -25,6 +25,10 @@ const (
 	EvStarted
 	// EvCompleted marks the computation finishing.
 	EvCompleted
+	// EvRetracted marks a pending job leaving this master's queue via a
+	// steal (it will be re-admitted on another runtime; see
+	// Runtime.StealPending).
+	EvRetracted
 )
 
 // String returns the event kind's wire name.
@@ -40,6 +44,8 @@ func (k EventKind) String() string {
 		return "started"
 	case EvCompleted:
 		return "completed"
+	case EvRetracted:
+		return "retracted"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -73,6 +79,7 @@ type program struct {
 	admitted   atomic.Int64
 	dispatched atomic.Int64
 	completed  atomic.Int64
+	retracted  atomic.Int64
 
 	logMu sync.Mutex
 	log   []Event
@@ -96,6 +103,8 @@ func (p *program) record(ev Event) {
 		p.dispatched.Add(1)
 	case EvCompleted:
 		p.completed.Add(1)
+	case EvRetracted:
+		p.retracted.Add(1)
 	}
 	p.logMu.Lock()
 	p.log = append(p.log, ev)
@@ -127,7 +136,7 @@ func (p *program) runMaster(n Node) {
 		if !p.drainMail(n, now) {
 			return
 		}
-		if p.draining && p.drv.PendingCount() == 0 && p.drv.Done() == p.drv.Admitted() {
+		if p.draining && p.drv.PendingCount() == 0 && p.drv.Done()+p.drv.Retracted() == p.drv.Admitted() {
 			for _, id := range p.slaveID {
 				n.Post(id, Msg{Kind: msgQuit})
 			}
@@ -205,6 +214,21 @@ func (p *program) handle(m Msg) bool {
 		p.drv.MarkCompleted(core.TaskID(m.Task), m.Slave, m.Start, m.Complete)
 		p.record(Event{T: m.Start, Kind: EvStarted, Task: m.Task, Slave: m.Slave})
 		p.record(Event{T: m.Complete, Kind: EvCompleted, Task: m.Task, Slave: m.Slave})
+	case msgSteal:
+		// Retract up to Count pending jobs for migration. The reply is
+		// sent from inside the master actor, so by the time the thief
+		// holds the jobs they are out of this master's pending queue and
+		// can never be dispatched here — no double-dispatch window.
+		tasks := p.drv.RetractNewest(m.Count)
+		jobs := make([]StolenJob, len(tasks))
+		for i, t := range tasks {
+			jobs[i] = StolenJob{
+				Local: int(t.ID),
+				Spec:  JobSpec{CommScale: t.CommScale, CompScale: t.CompScale},
+			}
+			p.record(Event{T: m.At, Kind: EvRetracted, Task: int(t.ID), Slave: -1})
+		}
+		m.StealReply <- jobs
 	case msgDrain:
 		p.draining = true
 	case msgAbort:

@@ -11,6 +11,7 @@ const (
 	StateQueued  = "queued"  // admitted, waiting for the port
 	StateSent    = "sent"    // transmitting or queued/computing at the slave
 	StateDone    = "done"    // completed
+	StateStolen  = "stolen"  // retracted by a steal; re-admitted on another runtime
 	StateUnknown = "unknown" // never seen
 )
 
@@ -36,11 +37,15 @@ func (j JobInfo) Latency() float64 {
 	return j.Complete - j.Submitted
 }
 
-// Counts summarizes the tracked population.
+// Counts summarizes the tracked population. Stolen jobs remain inside
+// Submitted (they were accepted here), so a runtime's net population is
+// Submitted - Stolen; cluster-level merges subtract Stolen to count each
+// migrated job exactly once, on the shard that ultimately serves it.
 type Counts struct {
 	Submitted  int `json:"submitted"`
 	Dispatched int `json:"dispatched"`
 	Completed  int `json:"completed"`
+	Stolen     int `json:"stolen,omitempty"`
 }
 
 // Tracker is a thread-safe job-state store fed by the runtime's event
@@ -101,6 +106,9 @@ func (tr *Tracker) Observe(ev Event) {
 		if ev.T > tr.lastComplete {
 			tr.lastComplete = ev.T
 		}
+	case EvRetracted:
+		j.State = StateStolen
+		tr.counts.Stolen++
 	}
 }
 

@@ -23,6 +23,10 @@ const (
 	// msgAbort is substrate → everyone (real worlds only): another actor
 	// failed; unwind.
 	msgAbort
+	// msgSteal is rebalancer → master (real worlds only): extract up to
+	// Count pending jobs from the back of the queue and reply on
+	// StealReply.
+	msgSteal
 )
 
 // Msg is one runtime message. Fields are a union over kinds; At is the
@@ -44,6 +48,12 @@ type Msg struct {
 	Complete float64
 	// Job is the submission payload (msgSubmit).
 	Job JobSpec
+	// Count is the maximum number of jobs to extract (msgSteal).
+	Count int
+	// StealReply carries the extracted jobs back to the thief (msgSteal).
+	// The requester supplies a buffered channel so the master's reply
+	// never blocks the serving loop.
+	StealReply chan []StolenJob
 }
 
 // Clock is how live actors experience time: a monotonically advancing

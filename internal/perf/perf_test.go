@@ -19,7 +19,18 @@
 //     (SubmitBatch into an unstarted cluster), CPU-bound and therefore
 //     hard-gated, unlike the two ingest lifecycles, which sleep on a
 //     scaled real clock and are exempt from the ns/op gate (see the
-//     -skip regexp in ci.yml).
+//     -skip regexp in ci.yml);
+//   - BenchmarkStealPlan — the rebalancer's planning pass alone
+//     (StealPolicy.Plan on synthetic skewed loads), CPU-bound and
+//     hard-gated: this is the cost every rebalancer tick pays even
+//     when the cluster is balanced;
+//   - BenchmarkRebalance — the full steal lifecycle: a pinned burst
+//     rebalanced by RebalanceOnce passes and drained (sleep-bound,
+//     gate-exempt);
+//   - BenchmarkClusterSkewedIngest — the PR-6 headline scenario as a
+//     benchmark: adversarially pinned placement with stealing off vs
+//     on (sleep-bound, gate-exempt; the committed jobs/sec ratio in
+//     BENCH_PR6.json is what CI actually gates).
 //
 // Keep these benchmarks deterministic in their workloads (fixed seeds,
 // fixed scales): the gate compares ns/op and allocs/op across commits,
@@ -31,6 +42,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -180,6 +192,126 @@ func BenchmarkClusterIngest(b *testing.B) {
 		if got := srv.Stats().Jobs.Completed; got != 200 {
 			b.Fatalf("completed %d of 200 jobs", got)
 		}
+	}
+}
+
+// BenchmarkStealPlan measures one rebalancer planning pass on synthetic
+// loads: 16 shards, the whole backlog pinned on shard 0 — the most work
+// a single Plan call ever does (every pairing iteration fires). Pure
+// CPU, no cluster, fully gated.
+func BenchmarkStealPlan(b *testing.B) {
+	const shards = 16
+	loads := make([]live.Load, shards)
+	loads[0] = live.Load{Submitted: 10000, Admitted: 10000}
+	rates := make([]float64, shards)
+	for i := range rates {
+		rates[i] = 1 + float64(i%4)
+	}
+	for _, name := range []string{"threshold", "het-aware"} {
+		policy, err := cluster.NewStealPolicy(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if plan := policy.Plan(loads, rates); len(plan) == 0 {
+					b.Fatal("no plan for a fully pinned backlog")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRebalance is the steal lifecycle end to end: a 4-shard
+// cluster with every job pinned on shard 0, explicit RebalanceOnce
+// passes spreading the backlog, then a full drain. Sleep-bound (scaled
+// real clock), so benchstat tracks it but the ns/op gate skips it.
+func BenchmarkRebalance(b *testing.B) {
+	pl := core.NewPlatform(
+		[]float64{0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1},
+		[]float64{0.5, 1, 1.5, 2, 0.5, 1, 1.5, 2})
+	policy, err := cluster.NewStealPolicy("het-aware")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := cluster.New(cluster.Config{
+			Platform:     pl,
+			NewScheduler: func() sim.Scheduler { return sched.New("LS") },
+			Shards:       4,
+			Placement:    "pinned",
+			Partition:    core.PartitionBalanced,
+			World:        func(int) live.World { return live.NewRealTime(50000) },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Start()
+		if _, err := r.SubmitBatch(live.JobSpec{}, 200); err != nil {
+			b.Fatal(err)
+		}
+		for pass := 0; pass < 4; pass++ {
+			r.RebalanceOnce(policy)
+		}
+		if err := r.Drain(); err != nil {
+			b.Fatal(err)
+		}
+		total := 0
+		for _, l := range r.Loads() {
+			total += l.Completed
+		}
+		if total != 200 {
+			b.Fatalf("completed %d of 200", total)
+		}
+	}
+}
+
+// BenchmarkClusterSkewedIngest is the adversarial scenario behind the
+// PR-6 throughput gate, as a benchmark pair: pinned placement jams the
+// whole load through one of four masters; the "none" variant serves it
+// serially, the stealing variants let the rebalancer spread it. Both
+// sleep on a scaled real clock — the committed BENCH_PR6.json ratio is
+// the hard gate; this benchmark exists so benchstat can localize a
+// regression to the serving side.
+func BenchmarkClusterSkewedIngest(b *testing.B) {
+	for _, steal := range []string{"none", "threshold", "het-aware"} {
+		b.Run(steal, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				srv, err := schedd.New(schedd.Config{
+					Platform: core.NewPlatform(
+						[]float64{1, 1, 1, 1, 1, 1, 1, 1},
+						[]float64{1, 2, 3, 4, 1, 2, 3, 4}),
+					Policy:        "LS",
+					Shards:        4,
+					Placement:     "pinned",
+					Partition:     core.PartitionBalanced,
+					ClockScale:    50000,
+					Steal:         steal,
+					StealInterval: 500 * time.Microsecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for batch := 0; batch < 4; batch++ {
+					req := httptest.NewRequest("POST", "/jobs", strings.NewReader(`{"count":50}`))
+					rec := httptest.NewRecorder()
+					srv.Handler().ServeHTTP(rec, req)
+					if rec.Code != 202 {
+						b.Fatalf("POST /jobs: %d %s", rec.Code, rec.Body.String())
+					}
+				}
+				if err := srv.Drain(); err != nil {
+					b.Fatal(err)
+				}
+				if got := srv.Stats().Jobs.Completed; got != 200 {
+					b.Fatalf("completed %d of 200 jobs", got)
+				}
+			}
+		})
 	}
 }
 

@@ -50,14 +50,23 @@ type Config struct {
 	ClockScale float64
 	// MaxBatch caps the count accepted by one POST /jobs (default 10000).
 	MaxBatch int
+	// Steal names the cross-shard work-stealing policy; empty or "none"
+	// serves without a rebalancer (the PR-5 cluster, bit for bit).
+	Steal string
+	// StealInterval is the rebalancer's pass interval; non-positive
+	// means 50ms. Ignored unless Steal names an active policy.
+	StealInterval time.Duration
 }
 
-// Server is a running service: a sharded cluster plus its HTTP surface.
+// Server is a running service: a sharded cluster plus its HTTP surface
+// and, when stealing is on, the rebalancer migrating work between
+// shards behind it.
 type Server struct {
-	cfg     Config
-	router  *cluster.Router
-	mux     *http.ServeMux
-	started time.Time
+	cfg        Config
+	router     *cluster.Router
+	rebalancer *cluster.Rebalancer // nil when stealing is off
+	mux        *http.ServeMux
+	started    time.Time
 }
 
 // New validates the configuration and starts the cluster (one live
@@ -86,6 +95,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Partition == "" {
 		cfg.Partition = core.PartitionStriped
 	}
+	if cfg.Steal == "" {
+		cfg.Steal = cluster.StealNone
+	}
+	if err := cluster.ValidateStealPolicy(cfg.Steal); err != nil {
+		return nil, fmt.Errorf("schedd: %w", err)
+	}
 	// Every shard shares one model-time epoch: cross-shard windows (the
 	// merged first-submission-to-last-completion span in Stats) compare
 	// timestamps across shards, which is only meaningful on one clock.
@@ -102,12 +117,22 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("schedd: %w", err)
 	}
 	s := &Server{cfg: cfg, router: router, started: time.Now()}
+	if cfg.Steal != cluster.StealNone {
+		policy, err := cluster.NewStealPolicy(cfg.Steal)
+		if err != nil {
+			return nil, fmt.Errorf("schedd: %w", err)
+		}
+		s.rebalancer = cluster.NewRebalancer(router, policy, cfg.StealInterval)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	router.Start()
+	if s.rebalancer != nil {
+		s.rebalancer.Start()
+	}
 	return s, nil
 }
 
@@ -120,23 +145,36 @@ func (s *Server) Policy() string { return s.cfg.Policy }
 // Router exposes the underlying cluster (read-only use).
 func (s *Server) Router() *cluster.Router { return s.router }
 
-// Counts returns the merged job counters over every shard.
+// Counts returns the merged job counters over every shard. A migrated
+// job is submitted on two shards (source, then destination) but stolen
+// on the source, so each shard contributes Submitted − Stolen and every
+// job counts exactly once — on the shard that ultimately serves it.
+// The merged Stolen field reports total migrations for observability;
+// it is NOT part of the population identity (which is Submitted ==
+// Completed after a drain, stealing or not).
 func (s *Server) Counts() live.Counts {
 	var total live.Counts
 	for _, sh := range s.router.Shards() {
 		c := sh.Tracker().CountsSnapshot()
-		total.Submitted += c.Submitted
+		total.Submitted += c.Submitted - c.Stolen
 		total.Dispatched += c.Dispatched
 		total.Completed += c.Completed
+		total.Stolen += c.Stolen
 	}
 	return total
 }
 
-// Drain gracefully shuts the cluster down: new submissions are rejected
-// with 503, every outstanding job on every shard completes, the slaves
-// exit. It blocks until all shards have fully drained and returns the
-// joined error, if any.
-func (s *Server) Drain() error { return s.router.Drain() }
+// Drain gracefully shuts the cluster down: the rebalancer stops first
+// (no new migrations begin), then new submissions are rejected with
+// 503, in-flight migrations finish re-homing, every outstanding job on
+// every shard completes, the slaves exit. It blocks until all shards
+// have fully drained and returns the joined error, if any.
+func (s *Server) Drain() error {
+	if s.rebalancer != nil {
+		s.rebalancer.Stop()
+	}
+	return s.router.Drain()
+}
 
 // SubmitRequest is the POST /jobs body. An empty body submits one
 // nominal job.
@@ -240,12 +278,28 @@ type ShardStats struct {
 	Trace                *trace.Report `json:"trace,omitempty"`
 }
 
+// StealStats is the GET /stats stealing stanza, present only when the
+// service runs a rebalancer.
+type StealStats struct {
+	// Policy is the steal policy's registry name.
+	Policy string `json:"policy"`
+	// IntervalSeconds is the rebalancer's pass interval in wall seconds.
+	IntervalSeconds float64 `json:"interval_seconds"`
+	// Passes counts planning passes run so far.
+	Passes int64 `json:"passes"`
+	// JobsMoved counts jobs migrated between shards so far.
+	JobsMoved int64 `json:"jobs_moved"`
+}
+
 // StatsResponse is the GET /stats body: the merged cluster view at the
 // top level (wire-compatible with the single-runtime service: jobs,
 // throughput, latency and trace keep their PR-3 names and meaning) plus
 // one section per shard. Merged latency percentiles come from
 // stats.Merge and are approximate across heterogeneous shards (see that
 // function's contract); counts, means and the trace merge are exact.
+// Merged job counters subtract each shard's stolen jobs so a migrated
+// job counts once (see Server.Counts); per-shard sections keep the raw
+// counters, stolen included.
 type StatsResponse struct {
 	Policy        string  `json:"policy"`
 	Slaves        int     `json:"slaves"`
@@ -263,6 +317,9 @@ type StatsResponse struct {
 	ThroughputJobsPerSec float64       `json:"throughput_jobs_per_sec"`
 	LatencySeconds       *LatencyStats `json:"latency_seconds,omitempty"`
 	Trace                *trace.Report `json:"trace,omitempty"`
+	// Steal reports the rebalancer's progress; absent when stealing is
+	// off.
+	Steal *StealStats `json:"steal,omitempty"`
 	// PerShard holds one section per shard, in shard order.
 	PerShard []ShardStats `json:"per_shard"`
 }
@@ -293,9 +350,10 @@ func (s *Server) Stats() StatsResponse {
 			Jobs:       snap.Counts,
 			QueueDepth: sh.Runtime().Pending(),
 		}
-		resp.Jobs.Submitted += snap.Counts.Submitted
+		resp.Jobs.Submitted += snap.Counts.Submitted - snap.Counts.Stolen
 		resp.Jobs.Dispatched += snap.Counts.Dispatched
 		resp.Jobs.Completed += snap.Counts.Completed
+		resp.Jobs.Stolen += snap.Counts.Stolen
 		if len(snap.Latencies) > 0 {
 			// The snapshot's latency slice is this call's private copy, so
 			// it can be rescaled and sorted in place.
@@ -359,6 +417,14 @@ func (s *Server) Stats() StatsResponse {
 	if resp.Jobs.Completed > 0 && last > first {
 		resp.ThroughputJobsPerSec = float64(resp.Jobs.Completed) / ((last - first) / s.cfg.ClockScale)
 	}
+	if b := s.rebalancer; b != nil {
+		resp.Steal = &StealStats{
+			Policy:          b.Policy(),
+			IntervalSeconds: b.Interval().Seconds(),
+			Passes:          b.Passes(),
+			JobsMoved:       b.Moved(),
+		}
+	}
 	return resp
 }
 
@@ -377,6 +443,9 @@ type HealthResponse struct {
 	Draining         bool    `json:"draining"`
 	QueueDepth       int     `json:"queue_depth"`
 	ShardQueueDepths []int   `json:"shard_queue_depths"`
+	// Steals is the total number of jobs migrated between shards (0
+	// forever when stealing is off).
+	Steals int `json:"steals"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -394,6 +463,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		Draining:         s.router.Draining(),
 		QueueDepth:       total,
 		ShardQueueDepths: depths,
+		Steals:           s.router.Stolen(),
 	})
 }
 

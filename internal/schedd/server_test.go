@@ -334,6 +334,119 @@ func TestShardedServiceEndToEnd(t *testing.T) {
 	}
 }
 
+// TestStealingServiceEndToEnd is the stealing smoke test: a 3-shard
+// service with adversarially pinned placement and the threshold
+// rebalancer takes 1000 jobs over HTTP. Pinned placement sends every
+// job to shard 0 — without stealing two of the three masters would
+// never see work — so completion of the full load with a nonzero steal
+// count proves migration moved real jobs and lost none. Run under
+// -race in CI.
+func TestStealingServiceEndToEnd(t *testing.T) {
+	s, err := New(Config{
+		Platform: core.NewPlatform(
+			[]float64{0.2, 0.2, 0.2, 0.2, 0.2, 0.2},
+			[]float64{1, 1, 1, 1, 1, 1}),
+		Policy:        "LS",
+		Shards:        3,
+		Placement:     "pinned",
+		Partition:     core.PartitionStriped,
+		ClockScale:    2000,
+		Steal:         "threshold",
+		StealInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	const jobs = 1000
+	for b := 0; b < 10; b++ {
+		var resp SubmitResponse
+		if code := postJSON(t, ts.URL+"/jobs", SubmitRequest{Count: jobs / 10}, &resp); code != http.StatusAccepted {
+			t.Fatalf("POST /jobs: %d", code)
+		}
+	}
+	// Settle before draining: Drain stops the rebalancer first, so on a
+	// loaded machine an immediate drain can close the steal window
+	// before the first 2ms tick ever fires. Polling to completion keeps
+	// the rebalancer alive for the whole pinned-backlog drain-down
+	// (~100ms of model-serial sends on shard 0 alone — dozens of ticks).
+	waitCompleted(t, ts, jobs)
+	if err := s.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	var stats StatsResponse
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("GET /stats: %d", code)
+	}
+	// The merged count is net of migration: every job exactly once.
+	if stats.Jobs.Submitted != jobs || stats.Jobs.Completed != jobs {
+		t.Fatalf("merged jobs %+v, want %d submitted and completed", stats.Jobs, jobs)
+	}
+	if stats.Steal == nil || stats.Steal.Policy != "threshold" || stats.Steal.Passes == 0 {
+		t.Fatalf("steal stanza %+v", stats.Steal)
+	}
+	if stats.Steal.JobsMoved == 0 {
+		t.Fatal("rebalancer moved nothing off a fully pinned 1000-job load")
+	}
+	// Per-shard sections: net populations sum to the total, and the
+	// stolen-to shards actually completed work.
+	net, offPinned := 0, 0
+	for _, sec := range stats.PerShard {
+		net += sec.Jobs.Submitted - sec.Jobs.Stolen
+		if sec.Shard != 0 {
+			offPinned += sec.Jobs.Completed
+		}
+	}
+	if net != jobs {
+		t.Fatalf("per-shard net populations sum to %d, want %d", net, jobs)
+	}
+	if offPinned == 0 {
+		t.Fatalf("no work completed off the pinned shard: %+v", stats.PerShard)
+	}
+
+	var health HealthResponse
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("GET /healthz: %d", code)
+	}
+	if health.Steals == 0 || int64(health.Steals) != stats.Steal.JobsMoved {
+		t.Fatalf("healthz steals %d, stats moved %d", health.Steals, stats.Steal.JobsMoved)
+	}
+}
+
+func TestStealConfigValidation(t *testing.T) {
+	pl := core.NewPlatform([]float64{1, 1}, []float64{2, 2})
+	if _, err := New(Config{Platform: pl, Policy: "LS", Shards: 2, Steal: "grand-theft"}); err == nil {
+		t.Fatal("unknown steal policy accepted")
+	}
+	// Stealing off (default): no rebalancer, no stats stanza, zero steals.
+	s, err := New(Config{Platform: pl, Policy: "LS", Shards: 2, ClockScale: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	if code := postJSON(t, ts.URL+"/jobs", SubmitRequest{Count: 4}, nil); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d", code)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("GET /stats: %d", code)
+	}
+	if stats.Steal != nil {
+		t.Fatalf("steal stanza present with stealing off: %+v", stats.Steal)
+	}
+	var health HealthResponse
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || health.Steals != 0 {
+		t.Fatalf("healthz %d %+v", code, health)
+	}
+}
+
 // TestDrainVsSubmitRace is the drain-vs-submit race regression test:
 // POST /jobs racing Drain() must either be accepted — and then the job
 // MUST complete before Drain returns — or be refused with 503. No lost

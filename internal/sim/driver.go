@@ -37,6 +37,7 @@ type Driver struct {
 	obsComp []ewma
 
 	completed int
+	retracted int
 	view      driverView
 }
 
@@ -122,8 +123,39 @@ func (d *Driver) MarkCompleted(task core.TaskID, j int, start, complete float64)
 	d.ledger.Completed(j, idx, complete)
 }
 
+// RetractNewest removes up to n tasks from the BACK of the pending queue
+// and returns them in retraction order (newest first). Retraction is the
+// master-side half of cross-shard work stealing: the thief takes the
+// youngest backlog — the work-stealing-deque discipline — so the jobs
+// the owner is about to dispatch (the FIFO front) keep their position
+// and the migrated jobs are the ones that would have waited longest.
+// A retracted task stays admitted (IDs remain dense) but is permanently
+// out of the pending queue: it can never be sent here, its record keeps
+// zero dispatch fields, and Done+Retracted==Admitted is the completion
+// condition for masters that allow stealing.
+func (d *Driver) RetractNewest(n int) []core.Task {
+	if n > d.pending.Len() {
+		n = d.pending.Len()
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]core.Task, 0, n)
+	for i := 0; i < n; i++ {
+		last := d.pending.Len() - 1
+		idx := d.pending.At(last)
+		d.pending.RemoveAt(last)
+		d.retracted++
+		out = append(out, d.tasks[idx])
+	}
+	return out
+}
+
 // Admitted returns the number of tasks admitted so far.
 func (d *Driver) Admitted() int { return len(d.tasks) }
+
+// Retracted returns the number of tasks retracted by RetractNewest.
+func (d *Driver) Retracted() int { return d.retracted }
 
 // Done returns the number of completed tasks.
 func (d *Driver) Done() int { return d.completed }

@@ -84,6 +84,44 @@ func TestDriverAlive(t *testing.T) {
 	}
 }
 
+func TestDriverRetractNewest(t *testing.T) {
+	now := 0.0
+	d := driverAt(&now)
+	for i := 0; i < 5; i++ {
+		d.Admit(core.Task{ID: core.TaskID(i), Release: 0})
+	}
+
+	got := d.RetractNewest(2)
+	if len(got) != 2 || got[0].ID != 4 || got[1].ID != 3 {
+		t.Fatalf("RetractNewest(2) = %+v, want tasks 4 then 3", got)
+	}
+	if d.Retracted() != 2 || d.PendingCount() != 3 || d.Admitted() != 5 {
+		t.Fatalf("counts after retract: retracted=%d pending=%d admitted=%d",
+			d.Retracted(), d.PendingCount(), d.Admitted())
+	}
+	// The FIFO front is untouched: the oldest task still dispatches first.
+	if id, ok := d.View().FirstPending(); !ok || id != 0 {
+		t.Fatalf("FirstPending after retract = %v %v, want 0", id, ok)
+	}
+
+	// Over-ask empties the queue without inventing tasks.
+	rest := d.RetractNewest(10)
+	if len(rest) != 3 || rest[0].ID != 2 || rest[2].ID != 0 {
+		t.Fatalf("over-ask returned %+v, want tasks 2,1,0", rest)
+	}
+	if d.Retracted() != 5 || d.PendingCount() != 0 {
+		t.Fatalf("counts after over-ask: retracted=%d pending=%d", d.Retracted(), d.PendingCount())
+	}
+
+	// Empty queue and non-positive asks are nil no-ops.
+	if d.RetractNewest(1) != nil || d.RetractNewest(0) != nil || d.RetractNewest(-3) != nil {
+		t.Fatal("retraction from an empty queue (or n<=0) must return nil")
+	}
+	if d.Retracted() != 5 {
+		t.Fatalf("no-op retractions changed the count to %d", d.Retracted())
+	}
+}
+
 func TestDriverProtocolViolationsPanic(t *testing.T) {
 	cases := []struct {
 		name string
