@@ -9,10 +9,16 @@
 //
 // Endpoints:
 //
-//	POST /jobs        {"count":8,"comm_scale":1,"comp_scale":1} → {"ids":[...]}
-//	GET  /jobs/{id}   one job's lifecycle, owning shard and latency
-//	GET  /stats       merged cluster view + one section per shard
-//	GET  /healthz     liveness + cluster and per-shard queue depths
+//	POST /jobs             {"count":8,"comm_scale":1,"comp_scale":1} → {"ids":[...]}
+//	GET  /jobs/{id}        one job's lifecycle, owning shard and latency
+//	GET  /jobs/{id}/trace  the job's span tree (queue/transfer/slave-wait/service)
+//	GET  /stats            merged cluster view + one section per shard
+//	GET  /decisions        recent placement/steal/migration audit entries
+//	GET  /metrics          Prometheus text exposition (disable with -metrics=false)
+//	GET  /debug/vars       the same registry as flat JSON
+//	GET  /healthz          liveness + cluster and per-shard queue depths
+//	GET  /readyz           readiness: 503 while draining; shard drain state
+//	GET  /debug/pprof/     Go profiling surface (opt-in via -pprof)
 //
 // The platform comes from -slaves "c:p,c:p,..." (explicit per-slave
 // costs) or from -class/-m/-seed (a random platform drawn exactly like
@@ -23,6 +29,12 @@
 // pending jobs from overloaded shards to underloaded ones).
 // -clock-scale compresses model time: at 1000, a platform calibrated in
 // paper seconds serves jobs a thousand times faster than nominal.
+//
+// Observability: -metrics (default true) serves the Prometheus text
+// exposition and /debug/vars; -audit-depth sizes the decision-audit
+// ring (0 disables); -pprof opts into the Go profiling surface;
+// -log-level/-log-format configure structured logging (steal plans are
+// logged at debug).
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: new submissions get
 // 503, every accepted job on every shard completes, the slaves shut
@@ -40,7 +52,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
@@ -58,9 +70,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("schedd: ")
-
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 	policy := flag.String("policy", "LS", "serving policy: "+strings.Join(sched.ExtendedNames(), ", "))
 	slaves := flag.String("slaves", "", "explicit platform as comma-separated c:p pairs, e.g. 0.5:2,1:4,2:5 (overrides -class)")
@@ -78,41 +87,77 @@ func main() {
 		"cross-shard work-stealing policy: "+strings.Join(cluster.StealPolicyNames(), ", "))
 	stealInterval := flag.Duration("steal-interval", 50*time.Millisecond,
 		"rebalancer pass interval (with -steal threshold|het-aware)")
+	metrics := flag.Bool("metrics", true, "serve GET /metrics (Prometheus text) and GET /debug/vars")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in)")
+	auditDepth := flag.Int("audit-depth", 256,
+		"decision-audit ring depth behind GET /decisions (0 disables auditing)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log format: text, json")
 	flag.Parse()
 
+	logger, err := buildLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedd:", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	if err := sched.Validate(*policy); err != nil {
-		log.Fatal(err)
+		fatal("invalid policy", "err", err)
 	}
 	if *clockScale <= 0 {
-		log.Fatalf("-clock-scale %v must be positive", *clockScale)
+		fatal("-clock-scale must be positive", "clock_scale", *clockScale)
 	}
 	pl, err := buildPlatform(*slaves, *class, *m, *seed)
 	if err != nil {
-		log.Fatal(err)
+		fatal("invalid platform", "err", err)
 	}
 
+	// The flag semantics invert into the config's zero-value defaults:
+	// -metrics=false disables, -audit-depth 0 disables (config -1).
+	cfgAudit := *auditDepth
+	if cfgAudit == 0 {
+		cfgAudit = -1
+	}
 	srv, err := schedd.New(schedd.Config{
-		Platform:      pl,
-		Policy:        *policy,
-		Shards:        *shards,
-		Placement:     *placement,
-		Partition:     core.PartitionStrategy(*partition),
-		ClockScale:    *clockScale,
-		MaxBatch:      *maxBatch,
-		Steal:         *steal,
-		StealInterval: *stealInterval,
+		Platform:       pl,
+		Policy:         *policy,
+		Shards:         *shards,
+		Placement:      *placement,
+		Partition:      core.PartitionStrategy(*partition),
+		ClockScale:     *clockScale,
+		MaxBatch:       *maxBatch,
+		Steal:          *steal,
+		StealInterval:  *stealInterval,
+		DisableMetrics: !*metrics,
+		Pprof:          *pprofFlag,
+		AuditDepth:     cfgAudit,
+		Logger:         logger,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("startup failed", "err", err)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal("listen failed", "addr", *addr, "err", err)
 	}
 	httpServer := &http.Server{Handler: srv.Handler()}
-	log.Printf("serving %s on http://%s (platform %v, %d shard(s), placement %s, partition %s, steal %s, clock-scale %g)",
-		*policy, ln.Addr(), pl, *shards, *placement, *partition, *steal, *clockScale)
+	logger.Info("serving",
+		"policy", *policy,
+		"addr", fmt.Sprintf("http://%s", ln.Addr()),
+		"platform", fmt.Sprint(pl),
+		"shards", *shards,
+		"placement", *placement,
+		"partition", *partition,
+		"steal", *steal,
+		"clock_scale", *clockScale,
+		"metrics", *metrics,
+		"pprof", *pprofFlag,
+		"audit_depth", *auditDepth)
 
 	done := make(chan error, 1)
 	go func() { done <- httpServer.Serve(ln) }()
@@ -121,24 +166,50 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		log.Printf("received %v: draining", s)
+		logger.Info("draining", "signal", s.String())
 	case err := <-done:
-		log.Fatalf("http server: %v", err)
+		fatal("http server failed", "err", err)
 	}
 
 	// Graceful drain: finish every accepted job on every shard, then stop
 	// the listener.
 	if err := srv.Drain(); err != nil {
-		log.Fatalf("drain: %v", err)
+		fatal("drain failed", "err", err)
 	}
 	counts := srv.Counts()
-	log.Printf("drained: %d jobs submitted, %d completed", counts.Submitted, counts.Completed)
+	logger.Info("drained", "submitted", counts.Submitted, "completed", counts.Completed)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpServer.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("shutdown: %v", err)
+		fatal("shutdown failed", "err", err)
 	}
-	log.Printf("bye")
+	logger.Info("bye")
+}
+
+// buildLogger assembles the process logger from the -log-level and
+// -log-format flags. Testable: errors name the offending flag value.
+func buildLogger(w *os.File, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level %q: want debug, info, warn or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("-log-format %q: want text or json", format)
 }
 
 // parseSlaves parses the -slaves flag: comma-separated c:p pairs, one

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -38,6 +39,25 @@ func TestParseSlavesErrorsNameTokenAndIndex(t *testing.T) {
 				t.Fatalf("parseSlaves(%q) error %q lacks %q", tc.in, err, want)
 			}
 		}
+	}
+}
+
+func TestBuildLogger(t *testing.T) {
+	for _, level := range []string{"debug", "info", "warn", "error"} {
+		for _, format := range []string{"text", "json"} {
+			if _, err := buildLogger(os.Stderr, level, format); err != nil {
+				t.Fatalf("buildLogger(%q, %q): %v", level, format, err)
+			}
+		}
+	}
+	// Errors name the offending flag and value.
+	if _, err := buildLogger(os.Stderr, "loud", "text"); err == nil ||
+		!strings.Contains(err.Error(), "-log-level") || !strings.Contains(err.Error(), `"loud"`) {
+		t.Fatalf("bad level error = %v", err)
+	}
+	if _, err := buildLogger(os.Stderr, "info", "xml"); err == nil ||
+		!strings.Contains(err.Error(), "-log-format") || !strings.Contains(err.Error(), `"xml"`) {
+		t.Fatalf("bad format error = %v", err)
 	}
 }
 

@@ -1,0 +1,169 @@
+package cluster
+
+// Decision-audit coverage: placement decisions carry every shard's
+// score (chosen and rejected alike), steals and migrations land in the
+// same ring with realized sizes and latencies, and a cluster built
+// without AuditDepth records nothing — the audit is strictly opt-in.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/obs"
+)
+
+func auditCluster(t *testing.T, shards int, placement string, depth int) *Router {
+	t.Helper()
+	m := 2 * shards
+	c := make([]float64, m)
+	p := make([]float64, m)
+	for i := range c {
+		c[i], p[i] = 5, 5
+	}
+	r, err := New(Config{
+		Platform:     core.NewPlatform(c, p),
+		NewScheduler: newLS,
+		Shards:       shards,
+		Placement:    placement,
+		AuditDepth:   depth,
+		World:        func(int) live.World { return live.NewRealTime(1000) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	return r
+}
+
+func TestAuditOffByDefault(t *testing.T) {
+	r := auditCluster(t, 2, PlacementLeastLoaded, 0)
+	defer r.Drain()
+	if r.Audit() != nil {
+		t.Fatal("AuditDepth 0 built a ring")
+	}
+	if _, err := r.SubmitBatch(live.JobSpec{}, 4); err != nil {
+		t.Fatal(err)
+	}
+	// The nil ring stays inert through the whole surface.
+	if r.Audit().Len() != 0 || r.Audit().Recent(0) != nil {
+		t.Fatal("nil audit not inert")
+	}
+}
+
+func TestAuditRecordsPlacementsWithScores(t *testing.T) {
+	r := auditCluster(t, 2, PlacementLeastLoaded, 32)
+	defer r.Drain()
+	ids, err := r.SubmitBatch(live.JobSpec{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decisions := r.Audit().Recent(0)
+	if len(decisions) != 3 {
+		t.Fatalf("audit holds %d decisions, want 3", len(decisions))
+	}
+	// Newest first; job IDs match the batch, every decision scored both
+	// shards and the chosen one had the (weakly) lowest score.
+	for k, d := range decisions {
+		if d.Kind != obs.DecisionPlace || d.Policy != PlacementLeastLoaded || d.From != -1 {
+			t.Fatalf("decision %d = %+v", k, d)
+		}
+		if d.Job != ids[len(ids)-1-k] {
+			t.Fatalf("decision %d audits job %d, want %d", k, d.Job, ids[len(ids)-1-k])
+		}
+		if len(d.Scores) != 2 {
+			t.Fatalf("decision %d scores = %v, want one per shard", k, d.Scores)
+		}
+		for _, s := range d.Scores {
+			if d.Scores[d.To] > s {
+				t.Fatalf("decision %d chose shard %d with scores %v", k, d.To, d.Scores)
+			}
+		}
+		if d.Wall == 0 {
+			t.Fatalf("decision %d has no wall timestamp", k)
+		}
+	}
+}
+
+func TestAuditUnscoredPolicyRecordsNoScores(t *testing.T) {
+	r := auditCluster(t, 2, PlacementRoundRobin, 32)
+	defer r.Drain()
+	if _, err := r.SubmitBatch(live.JobSpec{}, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range r.Audit().Recent(0) {
+		if d.Scores != nil {
+			t.Fatalf("round-robin decision carries scores %v", d.Scores)
+		}
+	}
+}
+
+func TestAuditRecordsMigrations(t *testing.T) {
+	r := auditCluster(t, 2, PlacementPinned, 64)
+	if _, err := r.SubmitBatch(live.JobSpec{}, 20); err != nil {
+		t.Fatal(err)
+	}
+	var hookMoved int
+	var hookLatency float64
+	r.OnMigrate(func(moved int, latency float64) { hookMoved, hookLatency = moved, latency })
+	moved := r.Migrate(0, 1, 8)
+	if moved == 0 {
+		t.Fatal("migration moved nothing")
+	}
+	var mig *obs.Decision
+	for _, d := range r.Audit().Recent(0) {
+		if d.Kind == obs.DecisionMigrate {
+			d := d
+			mig = &d
+			break
+		}
+	}
+	if mig == nil {
+		t.Fatal("no migrate decision in audit")
+	}
+	if mig.From != 0 || mig.To != 1 || mig.Planned != 8 || mig.N != moved {
+		t.Fatalf("migrate decision = %+v (moved %d)", mig, moved)
+	}
+	if mig.LatencySeconds <= 0 {
+		t.Fatalf("migration latency = %v, want > 0", mig.LatencySeconds)
+	}
+	if hookMoved != moved || hookLatency != mig.LatencySeconds {
+		t.Fatalf("OnMigrate saw (%d, %v), audit says (%d, %v)",
+			hookMoved, hookLatency, mig.N, mig.LatencySeconds)
+	}
+	if err := r.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuditRecordsStealPlans(t *testing.T) {
+	r := auditCluster(t, 2, PlacementPinned, 64)
+	if _, err := r.SubmitBatch(live.JobSpec{}, 20); err != nil {
+		t.Fatal(err)
+	}
+	policy, err := NewStealPolicy(StealThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved := r.RebalanceOnce(policy); moved == 0 {
+		t.Fatal("rebalance pass moved nothing over a pinned backlog")
+	}
+	var steals, migrates int
+	for _, d := range r.Audit().Recent(0) {
+		switch d.Kind {
+		case obs.DecisionSteal:
+			steals++
+			if d.Policy != StealThreshold || d.Planned <= 0 {
+				t.Fatalf("steal decision = %+v", d)
+			}
+		case obs.DecisionMigrate:
+			migrates++
+		}
+	}
+	if steals == 0 || migrates == 0 {
+		t.Fatalf("audit holds %d steal and %d migrate decisions, want both", steals, migrates)
+	}
+	if err := r.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -23,11 +23,14 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/live"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -59,6 +62,16 @@ type Config struct {
 	// with more than one shard is an error: in-world submissions bypass
 	// the router.
 	Sources []func(*live.Source)
+	// AuditDepth bounds the decision-audit ring: keep the newest
+	// AuditDepth placement/steal/migration decisions (with the placement
+	// policy's per-shard scores) for GET /decisions. 0 — the default —
+	// disables auditing entirely: no ring, no score computation, no
+	// timestamps on the ingest path, preserving the bare-cluster hot
+	// path the benchgate pins.
+	AuditDepth int
+	// EventLogCap bounds each shard runtime's retained event log (see
+	// live.Config.EventLogCap); 0 keeps full history.
+	EventLogCap int
 }
 
 // Shard is one master–slave runtime owning a slice of the platform.
@@ -160,6 +173,15 @@ type Router struct {
 	// told to finish — no job can be stranded between shards.
 	migrations sync.WaitGroup
 	stolen     atomic.Int64 // total jobs migrated by Migrate
+
+	// audit is the bounded decision ring (nil — recording a no-op —
+	// unless Config.AuditDepth > 0); scoreBuf is its preallocated
+	// per-Pick score buffer, guarded by mu like the rest of placement.
+	audit    *obs.AuditRing
+	scoreBuf []float64
+	// onMigrate, if set (before Start; see OnMigrate), observes each
+	// successful migration's realized size and wall latency.
+	onMigrate func(moved int, latencySeconds float64)
 }
 
 // New partitions the platform, builds one live runtime per shard and
@@ -198,12 +220,17 @@ func New(cfg Config) (*Router, error) {
 		staged:    make([]int, k),
 		local2g:   make([][]int, k),
 	}
+	if cfg.AuditDepth > 0 {
+		r.audit = obs.NewAuditRing(cfg.AuditDepth, k)
+		r.scoreBuf = make([]float64, k)
+	}
 	for i, part := range parts {
 		tracker := live.NewTracker()
 		lcfg := live.Config{
-			Platform:  part.Platform,
-			Scheduler: cfg.NewScheduler(),
-			Observer:  tracker.Observe,
+			Platform:    part.Platform,
+			Scheduler:   cfg.NewScheduler(),
+			Observer:    tracker.Observe,
+			EventLogCap: cfg.EventLogCap,
 		}
 		if cfg.World != nil {
 			lcfg.World = cfg.World(i)
@@ -285,14 +312,37 @@ func (r *Router) SubmitBatch(spec live.JobSpec, count int) ([]int, error) {
 	// loads plus its own staged decisions, and the routing hot path does
 	// k mutex round-trips per batch instead of k per job.
 	loads := r.Loads()
+	// When auditing, one wall timestamp per batch (not per job) and the
+	// global ID base every decision in this batch counts up from.
+	var wall int64
+	gidBase := len(r.refs)
+	if r.audit != nil {
+		wall = time.Now().UnixNano()
+	}
 	placements := make([]int, count)
 	for i := range placements {
-		s := r.placement.Pick(r.shards, loads, r.staged, spec)
+		if r.scoreBuf != nil {
+			for j := range r.scoreBuf {
+				r.scoreBuf[j] = math.NaN()
+			}
+		}
+		s := r.placement.Pick(r.shards, loads, r.staged, spec, r.scoreBuf)
 		if s < 0 || s >= len(r.shards) {
 			panic(fmt.Sprintf("cluster: placement %s picked shard %d of %d", r.placement.Name(), s, len(r.shards)))
 		}
 		placements[i] = s
 		r.staged[s]++
+		if r.audit != nil {
+			r.audit.Record(obs.Decision{
+				Wall:   wall,
+				Kind:   obs.DecisionPlace,
+				Policy: r.placement.Name(),
+				Job:    gidBase + i,
+				From:   -1,
+				To:     s,
+				Scores: sanitizeScores(r.scoreBuf, s),
+			})
+		}
 	}
 	locals := make([][]int, len(r.shards))
 	for s, n := range r.staged {
@@ -310,6 +360,36 @@ func (r *Router) SubmitBatch(spec live.JobSpec, count int) ([]int, error) {
 		cursor[s]++
 	}
 	return gids, nil
+}
+
+// sanitizeScores prepares a Pick score buffer for the audit: a policy
+// that ranks nothing (round-robin, pinned) leaves the chosen shard's
+// slot at the NaN sentinel, so the decision carries no scores at all;
+// otherwise any shard the policy skipped (declared dead) has its NaN
+// replaced by -1 — an impossible value for the non-negative real scores,
+// and JSON-representable where NaN is not. The buffer is reused per
+// Pick; the audit ring copies it on Record.
+func sanitizeScores(scores []float64, chosen int) []float64 {
+	if scores == nil || math.IsNaN(scores[chosen]) {
+		return nil
+	}
+	for i, v := range scores {
+		if math.IsNaN(v) {
+			scores[i] = -1
+		}
+	}
+	return scores
+}
+
+// Audit returns the decision-audit ring, or nil when auditing is off.
+func (r *Router) Audit() *obs.AuditRing { return r.audit }
+
+// OnMigrate registers an observer for successful migrations (realized
+// size and wall latency) — the serving layer's migration-latency
+// histogram. Set it before Start; it must be fast and must not call
+// back into the Router.
+func (r *Router) OnMigrate(fn func(moved int, latencySeconds float64)) {
+	r.onMigrate = fn
 }
 
 // indexLocal records the reverse mapping local job ID → global ID for
@@ -450,6 +530,15 @@ func (r *Router) Migrate(from, to, n int) int {
 	r.mu.Unlock()
 	defer r.migrations.Done()
 
+	// The migration clock runs only when someone watches: latency spans
+	// retraction through re-homing, dominated by the source master's
+	// round-trip.
+	var begin time.Time
+	observed := r.audit != nil || r.onMigrate != nil
+	if observed {
+		begin = time.Now()
+	}
+
 	// Outside the router lock: StealPending blocks on the source master's
 	// reply, and submissions must keep flowing while it does.
 	jobs := r.shards[from].rt.StealPending(n)
@@ -474,6 +563,22 @@ func (r *Router) Migrate(from, to, n int) int {
 			r.indexLocal(to, local, gid)
 		}
 		r.stolen.Add(1)
+	}
+	if observed {
+		latency := time.Since(begin).Seconds()
+		r.audit.Record(obs.Decision{
+			Wall:           begin.UnixNano(),
+			Kind:           obs.DecisionMigrate,
+			Job:            -1,
+			From:           from,
+			To:             to,
+			Planned:        n,
+			N:              len(jobs),
+			LatencySeconds: latency,
+		})
+		if r.onMigrate != nil {
+			r.onMigrate(len(jobs), latency)
+		}
 	}
 	return len(jobs)
 }

@@ -21,7 +21,14 @@ type Placement interface {
 	// the current batch already placed on shard i but not yet submitted,
 	// so load-sensitive policies see their own batch's pressure instead
 	// of dog-piling one momentarily-idle shard.
-	Pick(shards []*Shard, loads []live.Load, staged []int, spec live.JobSpec) int
+	//
+	// scores, when non-nil, is a caller-owned buffer of len(shards) the
+	// policy fills with its per-shard ranking (lower is better) for the
+	// decision audit — every shard's score, chosen and rejected alike.
+	// Policies that rank nothing (round-robin, pinned) leave the buffer
+	// untouched; the router passes nil when auditing is off, so scoring
+	// costs nothing on unaudited ingest.
+	Pick(shards []*Shard, loads []live.Load, staged []int, spec live.JobSpec, scores []float64) int
 }
 
 // Registered placement policy names.
@@ -93,7 +100,7 @@ type roundRobin struct{ next int }
 
 func (p *roundRobin) Name() string { return PlacementRoundRobin }
 
-func (p *roundRobin) Pick(shards []*Shard, _ []live.Load, _ []int, _ live.JobSpec) int {
+func (p *roundRobin) Pick(shards []*Shard, _ []live.Load, _ []int, _ live.JobSpec, _ []float64) int {
 	k := len(shards)
 	for off := 0; off < k; off++ {
 		s := (p.next + off) % k
@@ -111,7 +118,7 @@ type leastLoaded struct{}
 
 func (leastLoaded) Name() string { return PlacementLeastLoaded }
 
-func (leastLoaded) Pick(shards []*Shard, loads []live.Load, staged []int, _ live.JobSpec) int {
+func (leastLoaded) Pick(shards []*Shard, loads []live.Load, staged []int, _ live.JobSpec, scores []float64) int {
 	best, bestLoad := -1, 0
 	for pass := 0; pass < 2 && best < 0; pass++ {
 		for i := range loads {
@@ -119,6 +126,9 @@ func (leastLoaded) Pick(shards []*Shard, loads []live.Load, staged []int, _ live
 				continue
 			}
 			load := loads[i].Outstanding() + staged[i]
+			if scores != nil {
+				scores[i] = float64(load)
+			}
 			if best < 0 || load < bestLoad {
 				best, bestLoad = i, load
 			}
@@ -136,7 +146,7 @@ func (hetAware) Name() string { return PlacementHetAware }
 // shard, so they never change the argmin and are ignored. Ties break on
 // the lowest shard index, keeping placement deterministic for a given
 // load state.
-func (hetAware) Pick(shards []*Shard, loads []live.Load, staged []int, _ live.JobSpec) int {
+func (hetAware) Pick(shards []*Shard, loads []live.Load, staged []int, _ live.JobSpec, scores []float64) int {
 	best, bestECT := -1, 0.0
 	for pass := 0; pass < 2 && best < 0; pass++ {
 		for i, sh := range shards {
@@ -145,6 +155,9 @@ func (hetAware) Pick(shards []*Shard, loads []live.Load, staged []int, _ live.Jo
 			}
 			backlog := float64(loads[i].Outstanding() + staged[i] + 1)
 			ect := backlog / sh.serviceRate(loads[i])
+			if scores != nil {
+				scores[i] = ect
+			}
 			if best < 0 || ect < bestECT {
 				best, bestECT = i, ect
 			}
@@ -157,7 +170,7 @@ type pinned struct{}
 
 func (pinned) Name() string { return PlacementPinned }
 
-func (pinned) Pick(shards []*Shard, _ []live.Load, _ []int, _ live.JobSpec) int {
+func (pinned) Pick(shards []*Shard, _ []live.Load, _ []int, _ live.JobSpec, _ []float64) int {
 	for i := range shards {
 		if shards[i].LiveSlaves() > 0 {
 			return i

@@ -23,6 +23,7 @@ package cluster
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"strings"
 	"sync"
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/live"
+	"repro/internal/obs"
 )
 
 // StealDecision is one planned migration: move N pending jobs from
@@ -232,8 +234,23 @@ func (r *Router) RebalanceOnce(policy StealPolicy) int {
 		return 0
 	}
 	loads := r.Loads()
+	plan := policy.Plan(loads, r.stealRates(loads))
+	if r.audit != nil && len(plan) > 0 {
+		wall := time.Now().UnixNano()
+		for _, d := range plan {
+			r.audit.Record(obs.Decision{
+				Wall:    wall,
+				Kind:    obs.DecisionSteal,
+				Policy:  policy.Name(),
+				Job:     -1,
+				From:    d.From,
+				To:      d.To,
+				Planned: d.N,
+			})
+		}
+	}
 	moved := 0
-	for _, d := range policy.Plan(loads, r.stealRates(loads)) {
+	for _, d := range plan {
 		moved += r.Migrate(d.From, d.To, d.N)
 	}
 	return moved
@@ -261,9 +278,14 @@ type Rebalancer struct {
 	r        *Router
 	policy   StealPolicy
 	interval time.Duration
+	logger   *slog.Logger // nil: no logging
 
 	passes atomic.Int64
 	moved  atomic.Int64
+	// lastPass is the wall time (Unix nanoseconds) the most recent
+	// planning pass finished; 0 until the first pass. GET /readyz
+	// reports its age so a wedged rebalancer loop is visible.
+	lastPass atomic.Int64
 
 	mu      sync.Mutex
 	stop    chan struct{}
@@ -292,6 +314,21 @@ func (b *Rebalancer) Passes() int64 { return b.passes.Load() }
 
 // Moved returns how many jobs the rebalancer has migrated.
 func (b *Rebalancer) Moved() int64 { return b.moved.Load() }
+
+// SetLogger wires structured logging: each pass that moves work is
+// logged at Debug with the pass number and jobs moved. Call before
+// Start; a nil logger (the default) logs nothing.
+func (b *Rebalancer) SetLogger(l *slog.Logger) { b.logger = l }
+
+// LastPass returns when the most recent planning pass finished, and
+// false before the first pass.
+func (b *Rebalancer) LastPass() (time.Time, bool) {
+	ns := b.lastPass.Load()
+	if ns == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns), true
+}
 
 // Start launches the rebalancing loop. Idempotent.
 func (b *Rebalancer) Start() {
@@ -334,6 +371,13 @@ func (b *Rebalancer) loop(stop, done chan struct{}) {
 			moved := b.r.RebalanceOnce(b.policy)
 			b.passes.Add(1)
 			b.moved.Add(int64(moved))
+			b.lastPass.Store(time.Now().UnixNano())
+			if moved > 0 && b.logger != nil {
+				b.logger.Debug("steal pass moved work",
+					"policy", b.policy.Name(),
+					"pass", b.passes.Load(),
+					"moved", moved)
+			}
 		}
 	}
 }

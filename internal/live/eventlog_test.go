@@ -1,0 +1,112 @@
+package live
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// runCapped executes a 12-task bag under the virtual clock with the
+// given event-log cap and returns the result plus the runtime.
+func runCapped(t *testing.T, cap int) (Result, *Runtime) {
+	t.Helper()
+	rt, err := New(Config{
+		Platform:    core.NewPlatform([]float64{1, 1}, []float64{2, 2}),
+		Scheduler:   sched.New("LS"),
+		World:       NewVirtual(),
+		EventLogCap: cap,
+		Sources: []func(*Source){func(src *Source) {
+			for i := 0; i < 12; i++ {
+				src.Submit(JobSpec{})
+			}
+			src.Drain()
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	return rt.Result(), rt
+}
+
+// TestEventLogUnboundedByDefault pins the zero-value behavior every
+// conformance suite depends on: no cap, no drops, full history.
+func TestEventLogUnboundedByDefault(t *testing.T) {
+	res, rt := runCapped(t, 0)
+	// 12 jobs × 5 lifecycle events each.
+	if len(res.Events) != 60 {
+		t.Fatalf("events = %d, want 60", len(res.Events))
+	}
+	if rt.EventsDropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", rt.EventsDropped())
+	}
+}
+
+// TestEventLogBoundedRing pins the satellite fix: a capped log retains
+// exactly the newest cap events, in order, and counts the overwritten.
+func TestEventLogBoundedRing(t *testing.T) {
+	full, _ := runCapped(t, 0)
+	res, rt := runCapped(t, 16)
+	if len(res.Events) != 16 {
+		t.Fatalf("events = %d, want 16", len(res.Events))
+	}
+	if got, want := rt.EventsDropped(), int64(60-16); got != want {
+		t.Fatalf("dropped = %d, want %d", got, want)
+	}
+	// The retained suffix is the tail of the full deterministic stream.
+	tail := full.Events[len(full.Events)-16:]
+	for i := range tail {
+		if res.Events[i] != tail[i] {
+			t.Fatalf("ring event %d = %+v, want %+v", i, res.Events[i], tail[i])
+		}
+	}
+	// The ring does not disturb the schedule or counters.
+	if len(res.Schedule.Records) != 12 {
+		t.Fatalf("records = %d, want 12", len(res.Schedule.Records))
+	}
+}
+
+// TestEventLogCapLargerThanStream: a cap the run never fills behaves
+// exactly like the unbounded log.
+func TestEventLogCapLargerThanStream(t *testing.T) {
+	res, rt := runCapped(t, 1000)
+	if len(res.Events) != 60 || rt.EventsDropped() != 0 {
+		t.Fatalf("events = %d dropped = %d, want 60/0", len(res.Events), rt.EventsDropped())
+	}
+}
+
+// TestTrackerOnComplete pins the completion hook: called once per
+// completed job with its model-time latency, matching the tracker's own
+// latency log.
+func TestTrackerOnComplete(t *testing.T) {
+	tr := NewTracker()
+	var got []float64
+	tr.OnComplete(func(l float64) { got = append(got, l) })
+	tr.Observe(Event{T: 1, Kind: EvSubmitted, Task: 0, Slave: -1})
+	tr.Observe(Event{T: 2, Kind: EvSent, Task: 0, Slave: 0})
+	tr.Observe(Event{T: 3, Kind: EvArrived, Task: 0, Slave: 0})
+	tr.Observe(Event{T: 3, Kind: EvStarted, Task: 0, Slave: 0})
+	tr.Observe(Event{T: 7, Kind: EvCompleted, Task: 0, Slave: 0})
+	if len(got) != 1 || got[0] != 6 {
+		t.Fatalf("hook saw %v, want [6]", got)
+	}
+	if lats := tr.Latencies(); len(lats) != 1 || lats[0] != 6 {
+		t.Fatalf("latencies = %v", lats)
+	}
+}
+
+// TestTrackerStolenAt pins the retraction timestamp on the source-side
+// lifecycle.
+func TestTrackerStolenAt(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(Event{T: 1, Kind: EvSubmitted, Task: 0, Slave: -1})
+	tr.Observe(Event{T: 5, Kind: EvRetracted, Task: 0, Slave: -1})
+	j, ok := tr.Job(0)
+	if !ok || j.State != StateStolen || j.StolenAt != 5 {
+		t.Fatalf("job = %+v", j)
+	}
+}

@@ -61,6 +61,14 @@ type Config struct {
 	// master actor, in order. It must be fast and must not call back into
 	// the Runtime.
 	Observer func(Event)
+	// EventLogCap bounds the retained event log: 0 (the default) keeps
+	// every event — what Result, the conformance suites and the analysis
+	// surfaces require — while a positive cap keeps only the newest
+	// EventLogCap events in a preallocated ring, overwriting the oldest
+	// and counting the overwritten in EventsDropped. Long-running serving
+	// deployments (schedd) set a cap so the log stops growing with
+	// uptime; the Observer still sees every event regardless.
+	EventLogCap int
 }
 
 // Result is the outcome of a completed (drained) run.
@@ -230,6 +238,12 @@ func (rt *Runtime) Load() Load {
 // Pending returns the current queue depth (accepted, undispatched jobs)
 // — what GET /healthz depth reporting and least-loaded placement read.
 func (rt *Runtime) Pending() int { return rt.Load().QueueDepth() }
+
+// EventsDropped returns how many events the bounded event log has
+// overwritten (always 0 with EventLogCap 0). Exposed as a gauge by the
+// serving layer so operators can see when the retained log no longer
+// covers the full history.
+func (rt *Runtime) EventsDropped() int64 { return rt.prog.eventsDropped() }
 
 // StolenJob is one pending job extracted from a runtime by StealPending:
 // the runtime-local ID it was admitted under (now permanently retracted

@@ -81,8 +81,14 @@ type program struct {
 	completed  atomic.Int64
 	retracted  atomic.Int64
 
-	logMu sync.Mutex
-	log   []Event
+	// Event log: unbounded append with EventLogCap 0, else a
+	// preallocated ring of the newest logCap events. logTotal counts
+	// every recorded event; with a ring, logTotal − len(log) events have
+	// been overwritten (the drop counter the serving layer exposes).
+	logMu    sync.Mutex
+	log      []Event
+	logCap   int
+	logTotal uint64
 }
 
 func newProgram(cfg Config) *program {
@@ -90,11 +96,17 @@ func newProgram(cfg Config) *program {
 		cfg:     cfg,
 		pl:      cfg.Platform.Clone(),
 		slaveID: make([]int, cfg.Platform.M()),
+		logCap:  cfg.EventLogCap,
+	}
+	if p.logCap > 0 {
+		p.log = make([]Event, 0, p.logCap)
 	}
 	return p
 }
 
-// record appends to the event log and feeds the observer.
+// record appends to the event log (overwriting the oldest entry once a
+// bounded log is full) and feeds the observer, which always sees the
+// full stream.
 func (p *program) record(ev Event) {
 	switch ev.Kind {
 	case EvSubmitted:
@@ -107,18 +119,38 @@ func (p *program) record(ev Event) {
 		p.retracted.Add(1)
 	}
 	p.logMu.Lock()
-	p.log = append(p.log, ev)
+	if p.logCap > 0 && len(p.log) == p.logCap {
+		p.log[p.logTotal%uint64(p.logCap)] = ev
+	} else {
+		p.log = append(p.log, ev)
+	}
+	p.logTotal++
 	p.logMu.Unlock()
 	if p.cfg.Observer != nil {
 		p.cfg.Observer(ev)
 	}
 }
 
-// events snapshots the log.
+// events snapshots the retained log, oldest first.
 func (p *program) events() []Event {
 	p.logMu.Lock()
 	defer p.logMu.Unlock()
-	return append([]Event(nil), p.log...)
+	if p.logCap == 0 || len(p.log) < p.logCap {
+		return append([]Event(nil), p.log...)
+	}
+	// Full ring: the oldest retained event sits where the next write
+	// would land.
+	out := make([]Event, 0, len(p.log))
+	head := int(p.logTotal % uint64(p.logCap))
+	out = append(out, p.log[head:]...)
+	return append(out, p.log[:head]...)
+}
+
+// eventsDropped reports how many events the bounded log overwrote.
+func (p *program) eventsDropped() int64 {
+	p.logMu.Lock()
+	defer p.logMu.Unlock()
+	return int64(p.logTotal) - int64(len(p.log))
 }
 
 // runMaster is the master actor: the scheduling policy's event loop.

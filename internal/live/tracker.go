@@ -26,6 +26,10 @@ type JobInfo struct {
 	Arrive    float64 `json:"arrive,omitempty"`
 	Start     float64 `json:"start,omitempty"`
 	Complete  float64 `json:"complete,omitempty"`
+	// StolenAt is the model time the job was retracted for migration
+	// (meaningful only in the source shard's tracker while State is
+	// stolen; the destination tracker restarts the lifecycle).
+	StolenAt float64 `json:"stolen_at,omitempty"`
 }
 
 // Latency returns the job's response time (submit → complete) in model
@@ -68,10 +72,22 @@ type Tracker struct {
 	latencies    []float64
 	firstSubmit  float64
 	lastComplete float64
+	onComplete   func(latency float64)
 }
 
 // NewTracker returns an empty tracker.
 func NewTracker() *Tracker { return &Tracker{} }
+
+// OnComplete registers a hook called with each completed job's response
+// time (model seconds), from inside Observe — the serving layer feeds
+// its latency histogram this way instead of re-walking the job table.
+// Set it before events flow; the hook must be fast and must not call
+// back into the tracker.
+func (tr *Tracker) OnComplete(fn func(latency float64)) {
+	tr.mu.Lock()
+	tr.onComplete = fn
+	tr.mu.Unlock()
+}
 
 // Observe applies one runtime event. It is the Config.Observer hook.
 func (tr *Tracker) Observe(ev Event) {
@@ -106,8 +122,12 @@ func (tr *Tracker) Observe(ev Event) {
 		if ev.T > tr.lastComplete {
 			tr.lastComplete = ev.T
 		}
+		if tr.onComplete != nil {
+			tr.onComplete(j.Complete - j.Submitted)
+		}
 	case EvRetracted:
 		j.State = StateStolen
+		j.StolenAt = ev.T
 		tr.counts.Stolen++
 	}
 }

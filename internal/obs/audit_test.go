@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAuditRingNilIsOff(t *testing.T) {
+	var a *AuditRing
+	a.Record(Decision{Kind: DecisionPlace})
+	if a.Len() != 0 || a.Dropped() != 0 || a.Recent(0) != nil {
+		t.Fatal("nil ring must be inert")
+	}
+	if NewAuditRing(0, 4) != nil {
+		t.Fatal("capacity 0 must build a nil (off) ring")
+	}
+}
+
+func TestAuditRingRecordRecent(t *testing.T) {
+	a := NewAuditRing(4, 2)
+	for i := 0; i < 3; i++ {
+		a.Record(Decision{Kind: DecisionPlace, Job: i, From: -1, To: i % 2, Scores: []float64{float64(i), 9}})
+	}
+	if a.Len() != 3 || a.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", a.Len(), a.Dropped())
+	}
+	got := a.Recent(0)
+	if len(got) != 3 {
+		t.Fatalf("recent = %d entries", len(got))
+	}
+	// Newest first, sequence numbers assigned 1..3.
+	if got[0].Job != 2 || got[0].Seq != 3 || got[2].Job != 0 || got[2].Seq != 1 {
+		t.Fatalf("order wrong: %+v", got)
+	}
+	if got[0].Scores[0] != 2 || got[0].Scores[1] != 9 {
+		t.Fatalf("scores = %v", got[0].Scores)
+	}
+}
+
+func TestAuditRingWrapAndDrop(t *testing.T) {
+	a := NewAuditRing(3, 1)
+	for i := 0; i < 10; i++ {
+		a.Record(Decision{Kind: DecisionSteal, From: i, To: 0, Planned: 1})
+	}
+	if a.Len() != 3 {
+		t.Fatalf("len = %d, want 3", a.Len())
+	}
+	if a.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", a.Dropped())
+	}
+	got := a.Recent(2)
+	if len(got) != 2 || got[0].From != 9 || got[1].From != 8 {
+		t.Fatalf("recent = %+v", got)
+	}
+	if got[0].Seq != 10 {
+		t.Fatalf("seq = %d, want 10", got[0].Seq)
+	}
+}
+
+// TestAuditRingRecentCopies pins that returned entries survive the ring
+// wrapping over their slots.
+func TestAuditRingRecentCopies(t *testing.T) {
+	a := NewAuditRing(2, 1)
+	a.Record(Decision{Kind: DecisionPlace, Job: 1, Scores: []float64{1}})
+	got := a.Recent(1)
+	for i := 0; i < 4; i++ {
+		a.Record(Decision{Kind: DecisionPlace, Job: 100 + i, Scores: []float64{99}})
+	}
+	if got[0].Job != 1 || got[0].Scores[0] != 1 {
+		t.Fatalf("snapshot mutated by later records: %+v", got[0])
+	}
+}
+
+func TestAuditRingScoreTruncation(t *testing.T) {
+	a := NewAuditRing(2, 2)
+	a.Record(Decision{Kind: DecisionPlace, Scores: []float64{1, 2, 3, 4}})
+	got := a.Recent(1)
+	if len(got[0].Scores) != 2 || got[0].Scores[0] != 1 || got[0].Scores[1] != 2 {
+		t.Fatalf("scores = %v, want truncated to stride", got[0].Scores)
+	}
+	// Zero-stride ring drops scores entirely.
+	b := NewAuditRing(2, 0)
+	b.Record(Decision{Kind: DecisionPlace, Scores: []float64{math.Pi}})
+	if got := b.Recent(1); got[0].Scores != nil {
+		t.Fatalf("zero-stride ring kept scores: %v", got[0].Scores)
+	}
+}

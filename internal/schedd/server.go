@@ -16,13 +16,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/live"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -56,6 +59,23 @@ type Config struct {
 	// StealInterval is the rebalancer's pass interval; non-positive
 	// means 50ms. Ignored unless Steal names an active policy.
 	StealInterval time.Duration
+	// DisableMetrics turns the /metrics and /debug/vars surface off
+	// (the zero value serves metrics — observability is the default).
+	DisableMetrics bool
+	// Pprof mounts net/http/pprof under /debug/pprof/ — opt-in: the
+	// profiling surface exposes stacks and heap contents, so it is never
+	// on by accident.
+	Pprof bool
+	// AuditDepth sizes the decision-audit ring behind GET /decisions:
+	// 0 means 256, negative disables auditing.
+	AuditDepth int
+	// EventLogCap bounds each shard's retained event log: 0 means 65536
+	// (a serving daemon must not grow without bound; see
+	// live.Config.EventLogCap), negative keeps unbounded history.
+	EventLogCap int
+	// Logger receives the service's structured logs (rebalancer steal
+	// plans at Debug). nil logs nothing from inside the service.
+	Logger *slog.Logger
 }
 
 // Server is a running service: a sharded cluster plus its HTTP surface
@@ -67,6 +87,16 @@ type Server struct {
 	rebalancer *cluster.Rebalancer // nil when stealing is off
 	mux        *http.ServeMux
 	started    time.Time
+
+	// metrics is the zero-dependency registry behind GET /metrics and
+	// GET /debug/vars (nil with DisableMetrics). Almost everything in it
+	// is a Func metric sampled at scrape time from counters the stack
+	// already maintains atomically; the two real histograms (job and
+	// migration latency) are fed by completion/migration hooks off the
+	// ingest path, so serving metrics adds nothing to the hot path.
+	metrics    *obs.Registry
+	jobLatency *obs.Histogram // nil with DisableMetrics
+	migLatency *obs.Histogram
 }
 
 // New validates the configuration and starts the cluster (one live
@@ -101,6 +131,25 @@ func New(cfg Config) (*Server, error) {
 	if err := cluster.ValidateStealPolicy(cfg.Steal); err != nil {
 		return nil, fmt.Errorf("schedd: %w", err)
 	}
+	// Observability defaults: audit and a bounded event log are on
+	// unless explicitly turned off (negative). The event-log cap is the
+	// satellite fix for unbounded growth in long-running serving mode —
+	// a daemon retains the newest 65536 events per shard and counts the
+	// rest as dropped, instead of growing with uptime.
+	auditDepth := cfg.AuditDepth
+	switch {
+	case auditDepth == 0:
+		auditDepth = 256
+	case auditDepth < 0:
+		auditDepth = 0
+	}
+	eventCap := cfg.EventLogCap
+	switch {
+	case eventCap == 0:
+		eventCap = 65536
+	case eventCap < 0:
+		eventCap = 0
+	}
 	// Every shard shares one model-time epoch: cross-shard windows (the
 	// merged first-submission-to-last-completion span in Stats) compare
 	// timestamps across shards, which is only meaningful on one clock.
@@ -111,6 +160,8 @@ func New(cfg Config) (*Server, error) {
 		Shards:       cfg.Shards,
 		Placement:    cfg.Placement,
 		Partition:    cfg.Partition,
+		AuditDepth:   auditDepth,
+		EventLogCap:  eventCap,
 		World:        func(int) live.World { return live.NewRealTimeFrom(cfg.ClockScale, epoch) },
 	})
 	if err != nil {
@@ -123,17 +174,121 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("schedd: %w", err)
 		}
 		s.rebalancer = cluster.NewRebalancer(router, policy, cfg.StealInterval)
+		if cfg.Logger != nil {
+			s.rebalancer.SetLogger(cfg.Logger)
+		}
+	}
+	if !cfg.DisableMetrics {
+		s.registerMetrics()
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /jobs", s.counted("jobs", s.handleSubmit))
+	s.mux.HandleFunc("GET /jobs/{id}", s.counted("job", s.handleJob))
+	s.mux.HandleFunc("GET /jobs/{id}/trace", s.counted("trace", s.handleTrace))
+	s.mux.HandleFunc("GET /stats", s.counted("stats", s.handleStats))
+	s.mux.HandleFunc("GET /decisions", s.counted("decisions", s.handleDecisions))
+	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.counted("readyz", s.handleReadyz))
+	if s.metrics != nil {
+		s.mux.HandleFunc("GET /metrics", s.counted("metrics", s.handleMetrics))
+		s.mux.HandleFunc("GET /debug/vars", s.counted("vars", s.handleVars))
+	}
+	if cfg.Pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	router.Start()
 	if s.rebalancer != nil {
 		s.rebalancer.Start()
 	}
 	return s, nil
+}
+
+// registerMetrics builds the /metrics registry. Called before the
+// cluster starts, so the completion hooks are installed before any
+// event can flow. Population counters are Func metrics reading the
+// trackers' existing atomically-maintained counts at scrape time —
+// zero additional cost on the serving path.
+func (s *Server) registerMetrics() {
+	r := obs.NewRegistry()
+	s.metrics = r
+	scale := s.cfg.ClockScale
+	s.jobLatency = r.Histogram("schedd_job_latency_seconds",
+		"Completed-job response time (submit to complete) in wall seconds.",
+		"", obs.LatencyBuckets())
+	for _, sh := range s.router.Shards() {
+		sh := sh
+		labels := obs.Labels("shard", strconv.Itoa(sh.Index()))
+		r.CounterFunc("schedd_jobs_submitted_total", "Jobs accepted, by shard (stolen jobs count on both source and destination).",
+			labels, func() float64 { return float64(sh.Tracker().CountsSnapshot().Submitted) })
+		r.CounterFunc("schedd_jobs_dispatched_total", "Jobs sent to a slave, by shard.",
+			labels, func() float64 { return float64(sh.Tracker().CountsSnapshot().Dispatched) })
+		r.CounterFunc("schedd_jobs_completed_total", "Jobs completed, by shard.",
+			labels, func() float64 { return float64(sh.Tracker().CountsSnapshot().Completed) })
+		r.CounterFunc("schedd_jobs_stolen_total", "Jobs retracted by cross-shard steals, by source shard.",
+			labels, func() float64 { return float64(sh.Tracker().CountsSnapshot().Stolen) })
+		r.GaugeFunc("schedd_queue_depth", "Accepted-but-undispatched backlog, by shard.",
+			labels, func() float64 { return float64(sh.Load().QueueDepth()) })
+		r.GaugeFunc("schedd_slaves_live", "Slaves not declared down, by shard.",
+			labels, func() float64 { return float64(sh.LiveSlaves()) })
+		r.CounterFunc("schedd_events_dropped_total", "Events overwritten in the bounded per-shard event log.",
+			labels, func() float64 { return float64(sh.Runtime().EventsDropped()) })
+		sh.Tracker().OnComplete(func(latency float64) {
+			s.jobLatency.Observe(latency / scale)
+		})
+	}
+	r.GaugeFunc("schedd_uptime_seconds", "Wall seconds since the service started.",
+		"", func() float64 { return time.Since(s.started).Seconds() })
+	r.GaugeFunc("schedd_draining", "1 while the service is draining, else 0.",
+		"", func() float64 {
+			if s.router.Draining() {
+				return 1
+			}
+			return 0
+		})
+	r.CounterFunc("schedd_migrations_jobs_total", "Jobs migrated between shards.",
+		"", func() float64 { return float64(s.router.Stolen()) })
+	s.migLatency = r.Histogram("schedd_migration_latency_seconds",
+		"Wall latency of one executed migration (retract through re-home).",
+		"", obs.LatencyBuckets())
+	s.router.OnMigrate(func(_ int, latency float64) {
+		s.migLatency.Observe(latency)
+	})
+	if a := s.router.Audit(); a != nil {
+		r.CounterFunc("schedd_decisions_dropped_total", "Audit decisions overwritten in the bounded ring.",
+			"", func() float64 { return float64(a.Dropped()) })
+	}
+	if b := s.rebalancer; b != nil {
+		r.CounterFunc("schedd_steal_passes_total", "Rebalancer planning passes.",
+			"", func() float64 { return float64(b.Passes()) })
+		r.CounterFunc("schedd_steal_moved_total", "Jobs moved by the rebalancer.",
+			"", func() float64 { return float64(b.Moved()) })
+		r.GaugeFunc("schedd_steal_last_pass_age_seconds", "Age of the last rebalancer pass (-1 before the first).",
+			"", func() float64 {
+				last, ok := b.LastPass()
+				if !ok {
+					return -1
+				}
+				return time.Since(last).Seconds()
+			})
+	}
+}
+
+// counted wraps a handler with its per-route request counter; with
+// metrics off it returns the handler unchanged.
+func (s *Server) counted(route string, h http.HandlerFunc) http.HandlerFunc {
+	if s.metrics == nil {
+		return h
+	}
+	c := s.metrics.Counter("schedd_http_requests_total",
+		"HTTP requests served, by route.", obs.Labels("route", route))
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.Inc()
+		h(w, r)
+	}
 }
 
 // Handler returns the HTTP surface.
@@ -275,7 +430,12 @@ type ShardStats struct {
 	QueueDepth           int           `json:"queue_depth"`
 	ThroughputJobsPerSec float64       `json:"throughput_jobs_per_sec"`
 	LatencySeconds       *LatencyStats `json:"latency_seconds,omitempty"`
-	Trace                *trace.Report `json:"trace,omitempty"`
+	// StageSeconds decomposes completed-job latency into the lifecycle
+	// stages the one-port model defines (queue-wait, transfer,
+	// slave-wait, service), in wall seconds — derived from the same span
+	// timestamps GET /jobs/{id}/trace serves.
+	StageSeconds *obs.StageBreakdown `json:"stage_seconds,omitempty"`
+	Trace        *trace.Report       `json:"trace,omitempty"`
 }
 
 // StealStats is the GET /stats stealing stanza, present only when the
@@ -316,7 +476,10 @@ type StatsResponse struct {
 	// completion.
 	ThroughputJobsPerSec float64       `json:"throughput_jobs_per_sec"`
 	LatencySeconds       *LatencyStats `json:"latency_seconds,omitempty"`
-	Trace                *trace.Report `json:"trace,omitempty"`
+	// StageSeconds is the cluster-wide per-stage latency decomposition
+	// over every completed job, in wall seconds.
+	StageSeconds *obs.StageBreakdown `json:"stage_seconds,omitempty"`
+	Trace        *trace.Report       `json:"trace,omitempty"`
 	// Steal reports the rebalancer's progress; absent when stealing is
 	// off.
 	Steal *StealStats `json:"steal,omitempty"`
@@ -340,6 +503,7 @@ func (s *Server) Stats() StatsResponse {
 	}
 	var latParts []stats.Summary
 	var traceParts []trace.Report
+	var stageParts []obs.StageBreakdown
 	first, last := 0.0, 0.0
 	windowSet := false
 	for _, sh := range s.router.Shards() {
@@ -349,6 +513,14 @@ func (s *Server) Stats() StatsResponse {
 			Slaves:     sh.Slaves(),
 			Jobs:       snap.Counts,
 			QueueDepth: sh.Runtime().Pending(),
+		}
+		if len(snap.Records) > 0 {
+			// Stage durations are differences of the span timestamps, so
+			// they are unaffected by the rebasing the trace section does
+			// below.
+			b := obs.Breakdown(snap.Records).Scale(s.cfg.ClockScale)
+			sec.StageSeconds = &b
+			stageParts = append(stageParts, b)
 		}
 		resp.Jobs.Submitted += snap.Counts.Submitted - snap.Counts.Stolen
 		resp.Jobs.Dispatched += snap.Counts.Dispatched
@@ -414,6 +586,10 @@ func (s *Server) Stats() StatsResponse {
 		merged := trace.MergeReports(traceParts...)
 		resp.Trace = &merged
 	}
+	if len(stageParts) > 0 {
+		merged := obs.MergeBreakdowns(stageParts...)
+		resp.StageSeconds = &merged
+	}
 	if resp.Jobs.Completed > 0 && last > first {
 		resp.ThroughputJobsPerSec = float64(resp.Jobs.Completed) / ((last - first) / s.cfg.ClockScale)
 	}
@@ -465,6 +641,172 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		ShardQueueDepths: depths,
 		Steals:           s.router.Stolen(),
 	})
+}
+
+// ReadyResponse is the GET /readyz body. Unlike /healthz (liveness:
+// "the process is up and serving HTTP"), readiness answers "should a
+// load balancer route new work here" — false the moment draining
+// begins, with per-shard drain state and the rebalancer's last-scan age
+// as the supporting detail.
+type ReadyResponse struct {
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining"`
+	// Shards reports each shard's routable state.
+	Shards []ShardReady `json:"shards"`
+	// StealLastPassAgeSeconds is how long ago the rebalancer's last
+	// planning pass finished; -1 before the first pass, absent when
+	// stealing is off. A large age under load means the rebalancer loop
+	// is wedged.
+	StealLastPassAgeSeconds *float64 `json:"steal_last_pass_age_seconds,omitempty"`
+}
+
+// ShardReady is one shard's row of the readiness report.
+type ShardReady struct {
+	Shard      int  `json:"shard"`
+	QueueDepth int  `json:"queue_depth"`
+	LiveSlaves int  `json:"live_slaves"`
+	Draining   bool `json:"draining"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	draining := s.router.Draining()
+	resp := ReadyResponse{Ready: !draining, Draining: draining}
+	loads := s.router.Loads()
+	for i, sh := range s.router.Shards() {
+		resp.Shards = append(resp.Shards, ShardReady{
+			Shard:      sh.Index(),
+			QueueDepth: loads[i].QueueDepth(),
+			LiveSlaves: sh.LiveSlaves(),
+			Draining:   draining,
+		})
+	}
+	if b := s.rebalancer; b != nil {
+		age := -1.0
+		if last, ok := b.LastPass(); ok {
+			age = time.Since(last).Seconds()
+		}
+		resp.StealLastPassAgeSeconds = &age
+	}
+	status := http.StatusOK
+	if draining {
+		// 503 so a load balancer's readiness probe stops routing here
+		// while the daemon finishes its backlog.
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WritePrometheus(w)
+}
+
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.metrics.WriteJSON(w)
+}
+
+// TraceResponse is the GET /jobs/{id}/trace body: the job's span tree.
+// Span times are model seconds on the serving clock (divide by
+// clock_scale for wall seconds); Stages holds the lifecycle intervals
+// observed so far, so an in-flight job's trace grows stage by stage and
+// a completed job's trace is the full four-stage decomposition.
+type TraceResponse struct {
+	Job        int      `json:"job"`
+	Shard      int      `json:"shard"`
+	State      string   `json:"state"`
+	ClockScale float64  `json:"clock_scale"`
+	Span       obs.Span `json:"span"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad job id")
+		return
+	}
+	info, ok := s.router.Job(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown job %d", id))
+		return
+	}
+	shard, _ := s.router.ShardOf(id)
+	writeJSON(w, http.StatusOK, TraceResponse{
+		Job:        id,
+		Shard:      shard,
+		State:      info.State,
+		ClockScale: s.cfg.ClockScale,
+		Span:       spanFromInfo(info),
+	})
+}
+
+// spanFromInfo builds the span tree for any lifecycle state. A
+// completed job decomposes into the full four stages (the same pure
+// function the conformance suite pins deterministic); an in-flight job
+// carries the stages with both endpoints observed so far.
+func spanFromInfo(info live.JobInfo) obs.Span {
+	if info.State == live.StateDone {
+		return obs.FromRecord(core.Record{
+			Task:      core.TaskID(info.ID),
+			Slave:     info.Slave,
+			Release:   info.Submitted,
+			SendStart: info.SendStart,
+			Arrive:    info.Arrive,
+			Start:     info.Start,
+			Complete:  info.Complete,
+		})
+	}
+	sp := obs.Span{Job: info.ID, Slave: info.Slave, Start: info.Submitted, End: info.Submitted}
+	add := func(name string, start, end float64) {
+		sp.Stages = append(sp.Stages, obs.Stage{Name: name, Start: start, End: end})
+		sp.End = end
+	}
+	switch info.State {
+	case live.StateStolen:
+		// The source-side lifecycle ends at retraction; the job's new
+		// shard restarts it (GET /jobs/{id} follows the migration, so
+		// this branch is only visible mid-migration).
+		add(obs.StageQueue, info.Submitted, info.StolenAt)
+	case live.StateSent:
+		add(obs.StageQueue, info.Submitted, info.SendStart)
+		if info.Arrive >= info.SendStart && info.Arrive > 0 {
+			add(obs.StageTransfer, info.SendStart, info.Arrive)
+		}
+	}
+	return sp
+}
+
+// DecisionsResponse is the GET /decisions body: the newest audit
+// entries (placements with per-shard scores, steal plans, executed
+// migrations), newest first.
+type DecisionsResponse struct {
+	// Enabled is false when the service runs with auditing off
+	// (AuditDepth < 0); Decisions is then always empty.
+	Enabled bool `json:"enabled"`
+	// Dropped counts audit entries overwritten by the bounded ring.
+	Dropped uint64 `json:"dropped"`
+	// Decisions are the newest entries, newest first.
+	Decisions []obs.Decision `json:"decisions"`
+}
+
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	n := 50
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			httpError(w, http.StatusBadRequest, "bad n: want a positive integer")
+			return
+		}
+		n = v
+	}
+	a := s.router.Audit()
+	resp := DecisionsResponse{Enabled: a != nil, Dropped: a.Dropped()}
+	if ds := a.Recent(n); ds != nil {
+		resp.Decisions = ds
+	} else {
+		resp.Decisions = []obs.Decision{}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -82,6 +82,47 @@ func TestMergeSinglePartIsIdentity(t *testing.T) {
 	}
 }
 
+// TestMergeOneSided pins the empty-shard cases the sharded /stats path
+// hits in practice: a cluster where only one shard has completed work
+// (pinned placement before any steal) must report that shard's summary
+// unchanged, however the empty parts are interleaved.
+func TestMergeOneSided(t *testing.T) {
+	s := Summarize([]float64{2, 7, 1, 8, 2, 8})
+	approxEq := func(a, b float64) bool {
+		return math.Abs(a-b) <= 1e-12*(1+math.Abs(a)+math.Abs(b))
+	}
+	for _, parts := range [][]Summary{
+		{s, {}},
+		{{}, s},
+		{{}, s, {}, {}},
+	} {
+		m := Merge(parts...)
+		if m.N != s.N || m.Min != s.Min || m.Max != s.Max {
+			t.Fatalf("one-sided merge drifted on exact fields: %+v vs %+v", m, s)
+		}
+		// Mean/Std/GeometricMean round-trip through the pooled sums, so
+		// allow floating-point rounding; percentiles likewise.
+		for _, pair := range [][2]float64{
+			{m.Mean, s.Mean}, {m.Std, s.Std}, {m.GeometricMean, s.GeometricMean},
+			{m.P50, s.P50}, {m.P95, s.P95}, {m.P99, s.P99}, {m.Median, s.Median},
+		} {
+			if !approxEq(pair[0], pair[1]) {
+				t.Fatalf("one-sided merge drifted: got %v want %v (%+v vs %+v)",
+					pair[0], pair[1], m, s)
+			}
+		}
+	}
+}
+
+func TestMergeNoPartsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero-part merge")
+		}
+	}()
+	Merge()
+}
+
 func TestMergeGeometricInvalidPropagates(t *testing.T) {
 	good := Summarize([]float64{1, 2, 3})
 	bad := Summarize([]float64{0, 1}) // zero kills the geometric mean
