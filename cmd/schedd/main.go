@@ -18,6 +18,9 @@
 //	GET  /debug/vars       the same registry as flat JSON
 //	GET  /healthz          liveness + cluster and per-shard queue depths
 //	GET  /readyz           readiness: 503 while draining; shard drain state
+//	GET  /slo              SLO burn-rate report (configure with -slo)
+//	GET  /watch            Server-Sent Events stream of lifecycle events
+//	GET  /flight           the flight recorder's raw recording (schedctl export)
 //	GET  /debug/pprof/     Go profiling surface (opt-in via -pprof)
 //
 // The platform comes from -slaves "c:p,c:p,..." (explicit per-slave
@@ -32,9 +35,13 @@
 //
 // Observability: -metrics (default true) serves the Prometheus text
 // exposition and /debug/vars; -audit-depth sizes the decision-audit
-// ring (0 disables); -pprof opts into the Go profiling surface;
-// -log-level/-log-format configure structured logging (steal plans are
-// logged at debug).
+// ring (0 disables); -record (default true) runs the flight recorder
+// (-record-dir persists segments, -record-segment-bytes and
+// -record-segments bound the ring, -snapshot-interval paces journaled
+// metric snapshots); -slo configures burn-rate objectives (e.g.
+// -slo p99=latency:0.5:0.99,avail=availability:0.999); -pprof opts into
+// the Go profiling surface; -log-level/-log-format configure structured
+// logging (steal plans are logged at debug).
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: new submissions get
 // 503, every accepted job on every shard completes, the slaves shut
@@ -65,6 +72,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/schedd"
 )
@@ -91,6 +99,14 @@ func main() {
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in)")
 	auditDepth := flag.Int("audit-depth", 256,
 		"decision-audit ring depth behind GET /decisions (0 disables auditing)")
+	record := flag.Bool("record", true, "run the flight recorder (GET /flight; export with schedctl)")
+	recordDir := flag.String("record-dir", "", "persist flight segments to this directory (empty: memory-only)")
+	recordSegBytes := flag.Int("record-segment-bytes", 0, "flight segment size in bytes (0: 1 MiB)")
+	recordSegments := flag.Int("record-segments", 0, "flight segments retained (0: 8)")
+	snapshotInterval := flag.Duration("snapshot-interval", 5*time.Second,
+		"cadence of metric snapshots journaled into the flight recording")
+	sloFlag := flag.String("slo", "",
+		"comma-separated SLO objectives, each latency:<threshold-seconds>:<target> or availability:<target>, optionally name=spec (e.g. p99=latency:0.5:0.99,avail=availability:0.999)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text, json")
 	flag.Parse()
@@ -116,6 +132,11 @@ func main() {
 		fatal("invalid platform", "err", err)
 	}
 
+	slos, err := parseSLOs(*sloFlag)
+	if err != nil {
+		fatal("invalid -slo", "err", err)
+	}
+
 	// The flag semantics invert into the config's zero-value defaults:
 	// -metrics=false disables, -audit-depth 0 disables (config -1).
 	cfgAudit := *auditDepth
@@ -123,19 +144,25 @@ func main() {
 		cfgAudit = -1
 	}
 	srv, err := schedd.New(schedd.Config{
-		Platform:       pl,
-		Policy:         *policy,
-		Shards:         *shards,
-		Placement:      *placement,
-		Partition:      core.PartitionStrategy(*partition),
-		ClockScale:     *clockScale,
-		MaxBatch:       *maxBatch,
-		Steal:          *steal,
-		StealInterval:  *stealInterval,
-		DisableMetrics: !*metrics,
-		Pprof:          *pprofFlag,
-		AuditDepth:     cfgAudit,
-		Logger:         logger,
+		Platform:           pl,
+		Policy:             *policy,
+		Shards:             *shards,
+		Placement:          *placement,
+		Partition:          core.PartitionStrategy(*partition),
+		ClockScale:         *clockScale,
+		MaxBatch:           *maxBatch,
+		Steal:              *steal,
+		StealInterval:      *stealInterval,
+		DisableMetrics:     !*metrics,
+		Pprof:              *pprofFlag,
+		AuditDepth:         cfgAudit,
+		DisableRecorder:    !*record,
+		RecordDir:          *recordDir,
+		RecordSegmentBytes: *recordSegBytes,
+		RecordMaxSegments:  *recordSegments,
+		SnapshotInterval:   *snapshotInterval,
+		SLOs:               slos,
+		Logger:             logger,
 	})
 	if err != nil {
 		fatal("startup failed", "err", err)
@@ -157,7 +184,10 @@ func main() {
 		"clock_scale", *clockScale,
 		"metrics", *metrics,
 		"pprof", *pprofFlag,
-		"audit_depth", *auditDepth)
+		"audit_depth", *auditDepth,
+		"record", *record,
+		"record_dir", *recordDir,
+		"slos", len(slos))
 
 	done := make(chan error, 1)
 	go func() { done <- httpServer.Serve(ln) }()
@@ -210,6 +240,59 @@ func buildLogger(w *os.File, level, format string) (*slog.Logger, error) {
 		return slog.New(slog.NewJSONHandler(w, opts)), nil
 	}
 	return nil, fmt.Errorf("-log-format %q: want text or json", format)
+}
+
+// parseSLOs parses the -slo flag: comma-separated objectives, each
+// "latency:<threshold-seconds>:<target>" or "availability:<target>",
+// optionally prefixed "name=" (the default name is the kind, suffixed
+// with the entry index past the first so unnamed objectives stay
+// unique). Testable: errors name the offending entry.
+func parseSLOs(s string) ([]obs.Objective, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []obs.Objective
+	for i, entry := range strings.Split(s, ",") {
+		token := strings.TrimSpace(entry)
+		name := ""
+		if eq := strings.Index(token, "="); eq >= 0 {
+			name = strings.TrimSpace(token[:eq])
+			token = strings.TrimSpace(token[eq+1:])
+		}
+		parts := strings.Split(token, ":")
+		o := obs.Objective{Name: name, Kind: parts[0]}
+		switch {
+		case o.Kind == obs.ObjectiveLatency && len(parts) == 3:
+			thr, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("-slo entry %d (%q): bad threshold %q: %w", i, entry, parts[1], err)
+			}
+			tgt, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("-slo entry %d (%q): bad target %q: %w", i, entry, parts[2], err)
+			}
+			o.ThresholdSeconds, o.Target = thr, tgt
+		case o.Kind == obs.ObjectiveAvailability && len(parts) == 2:
+			tgt, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("-slo entry %d (%q): bad target %q: %w", i, entry, parts[1], err)
+			}
+			o.Target = tgt
+		default:
+			return nil, fmt.Errorf("-slo entry %d (%q): want latency:<threshold>:<target> or availability:<target>", i, entry)
+		}
+		if o.Name == "" {
+			o.Name = o.Kind
+			if i > 0 {
+				o.Name = fmt.Sprintf("%s-%d", o.Kind, i)
+			}
+		}
+		if err := o.Validate(); err != nil {
+			return nil, fmt.Errorf("-slo entry %d (%q): %w", i, entry, err)
+		}
+		out = append(out, o)
+	}
+	return out, nil
 }
 
 // parseSlaves parses the -slaves flag: comma-separated c:p pairs, one

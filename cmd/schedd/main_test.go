@@ -4,7 +4,49 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
+
+func TestParseSLOs(t *testing.T) {
+	// Empty means no objectives, not an error.
+	if slos, err := parseSLOs("  "); err != nil || slos != nil {
+		t.Fatalf("empty -slo: %v %v", slos, err)
+	}
+	slos, err := parseSLOs("p99=latency:0.5:0.99, availability:0.999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slos) != 2 {
+		t.Fatalf("parsed %d objectives", len(slos))
+	}
+	if slos[0].Name != "p99" || slos[0].Kind != obs.ObjectiveLatency ||
+		slos[0].ThresholdSeconds != 0.5 || slos[0].Target != 0.99 {
+		t.Fatalf("latency objective %+v", slos[0])
+	}
+	// Unnamed objectives default to kind (index-suffixed past the first).
+	if slos[1].Name != "availability-1" || slos[1].Kind != obs.ObjectiveAvailability || slos[1].Target != 0.999 {
+		t.Fatalf("availability objective %+v", slos[1])
+	}
+	for _, bad := range []string{
+		"latency:0.5",             // missing target
+		"availability:0.5:0.9",    // extra field
+		"latency:zap:0.9",         // bad threshold
+		"availability:high",       // bad target
+		"throughput:0.9",          // unknown kind
+		"availability:1.5",        // target outside (0,1)
+		"p=latency:-1:0.9",        // non-positive threshold
+		"latency:0.5:0.99,,x:0.9", // empty entry then junk
+	} {
+		if _, err := parseSLOs(bad); err == nil {
+			t.Fatalf("-slo %q accepted", bad)
+		}
+	}
+	// Errors name the entry.
+	if _, err := parseSLOs("ok=availability:0.9,bad=latency:0.5"); err == nil || !strings.Contains(err.Error(), "entry 1") {
+		t.Fatalf("error does not name the entry: %v", err)
+	}
+}
 
 func TestParseSlaves(t *testing.T) {
 	pl, err := parseSlaves("0.5:2, 1:4 ,2:5")

@@ -23,21 +23,34 @@
 // then the decision audit and the per-stage latency breakdown after
 // the dust settles.
 //
+// Part 5 records a steal storm with the flight recorder (DESIGN.md
+// §14): the same adversarial run journaled to on-disk segments while
+// SLO burn rates are computed live, then — after the daemon has
+// drained — the recording alone is parsed, summarized, rendered as
+// per-shard Gantt timelines and exported as Perfetto-loadable Chrome
+// trace-event JSON. Everything part 5 does programmatically, schedctl
+// does from the command line (top / tail / export / slo).
+//
 // Run with: go run ./examples/sharded-service
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/live"
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/sched"
 	"repro/internal/schedd"
 	"repro/internal/sim"
@@ -317,4 +330,104 @@ func main() {
 	}
 	fmt.Println("\n(queue-wait dwarfing service is the pinned bottleneck made visible —")
 	fmt.Println(" the same numbers stream from GET /stats on any running schedd)")
+
+	// --- Part 5: the flight recorder — record the storm, replay it. ---
+	// The same pinned steal storm, but this time the daemon journals
+	// every lifecycle event, completed-job span and audit decision to an
+	// on-disk flight recording while two SLO objectives burn-rate the
+	// run live. After drain the daemon is gone; the segments are the
+	// post-mortem.
+	fmt.Println("\npart 5 — flight-record a steal storm, then export the post-mortem:")
+	recDir, err := os.MkdirTemp("", "flight-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(recDir)
+	srv5, err := schedd.New(schedd.Config{
+		Platform:      pl,
+		Policy:        "LS",
+		Shards:        4,
+		Placement:     cluster.PlacementPinned,
+		Partition:     core.PartitionBalanced,
+		ClockScale:    2000,
+		Steal:         cluster.StealThreshold,
+		StealInterval: 2 * time.Millisecond,
+		RecordDir:     recDir,
+		SLOs: []obs.Objective{
+			{Name: "p99", Kind: obs.ObjectiveLatency, ThresholdSeconds: 60, Target: 0.99},
+			{Name: "avail", Kind: obs.ObjectiveAvailability, Target: 0.999},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	ts5 := httptest.NewServer(srv5.Handler())
+	defer ts5.Close()
+	if _, err := http.Post(ts5.URL+"/jobs", "application/json",
+		strings.NewReader(`{"count":80}`)); err != nil {
+		panic(err)
+	}
+	for srv5.Counts().Completed < 80 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	var slo schedd.SLOResponse
+	decode5 := func(path string, out any) {
+		resp, err := http.Get(ts5.URL + path)
+		if err != nil {
+			panic(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			panic(err)
+		}
+	}
+	decode5("/slo", &slo)
+	for _, st := range slo.Objectives {
+		status := "ok"
+		if !st.OK {
+			status = "BURNING"
+		}
+		w := st.Windows[0]
+		fmt.Printf("  slo %-6s %-13s target %.3f  %d/%d good  burn %.3f  %s\n",
+			st.Objective.Name, st.Objective.Kind, st.Objective.Target,
+			w.Good, w.Total, w.BurnRate, status)
+	}
+	if err := srv5.Drain(); err != nil { // seals and flushes the recording
+		panic(err)
+	}
+
+	// The daemon has drained; from here on only the segment files speak.
+	recording, err := flight.ReadDir(recDir)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\n  recording: %d segments, %d frames — %d events, %d spans, %d decisions\n",
+		len(recording.Segments()), len(recording.Frames),
+		len(recording.Events()), len(recording.Spans()), len(recording.Decisions()))
+
+	var perfetto bytes.Buffer
+	if err := flight.WritePerfetto(&perfetto, recording); err != nil {
+		panic(err)
+	}
+	traceFile := filepath.Join(recDir, "trace.json")
+	if err := os.WriteFile(traceFile, perfetto.Bytes(), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Printf("  perfetto export: %d bytes (80 jobs × 4 lifecycle stages) → %s\n",
+		perfetto.Len(), traceFile)
+	fmt.Println("  (load it in https://ui.perfetto.dev — one process per shard,")
+	fmt.Println("   the master's port and each slave as separate tracks)")
+
+	fmt.Println("\n  per-shard gantt from the same segments (model time, rebased):")
+	var gantt bytes.Buffer
+	if err := flight.WriteGantt(&gantt, recording, 72); err != nil {
+		panic(err)
+	}
+	sc5 := bufio.NewScanner(&gantt)
+	for sc5.Scan() {
+		fmt.Printf("  %s\n", sc5.Text())
+	}
+
+	fmt.Println("\n(the CLI equivalent, against a live daemon or this directory:")
+	fmt.Printf("   schedctl export -dir %s -format perfetto|gantt|jsonl)\n", recDir)
 }

@@ -72,6 +72,13 @@ type Config struct {
 	// EventLogCap bounds each shard runtime's retained event log (see
 	// live.Config.EventLogCap); 0 keeps full history.
 	EventLogCap int
+	// Observer, when set, is called with every lifecycle event from every
+	// shard, after the shard's tracker has absorbed it (so the tracker's
+	// view already reflects the event — an EvCompleted observer can read
+	// the finished job's span). It runs inside the shard's master actor:
+	// it must be fast, non-blocking, and must not call back into the
+	// cluster. The flight recorder and /watch stream tap in here.
+	Observer func(shard int, ev live.Event)
 }
 
 // Shard is one master–slave runtime owning a slice of the platform.
@@ -226,10 +233,18 @@ func New(cfg Config) (*Router, error) {
 	}
 	for i, part := range parts {
 		tracker := live.NewTracker()
+		obsFn := tracker.Observe
+		if cfg.Observer != nil {
+			shard, user, tr := i, cfg.Observer, tracker
+			obsFn = func(ev live.Event) {
+				tr.Observe(ev)
+				user(shard, ev)
+			}
+		}
 		lcfg := live.Config{
 			Platform:    part.Platform,
 			Scheduler:   cfg.NewScheduler(),
-			Observer:    tracker.Observe,
+			Observer:    obsFn,
 			EventLogCap: cfg.EventLogCap,
 		}
 		if cfg.World != nil {

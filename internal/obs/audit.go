@@ -65,6 +65,7 @@ type AuditRing struct {
 	stride  int
 	next    uint64 // total recorded; entries[(next-1) % cap] is newest
 	dropped uint64
+	sink    func(Decision)
 }
 
 // NewAuditRing builds a ring holding the most recent capacity
@@ -110,6 +111,23 @@ func (a *AuditRing) Record(d Decision) {
 		d.Scores = nil
 	}
 	a.entries[i] = d
+	if a.sink != nil {
+		a.sink(d)
+	}
+	a.mu.Unlock()
+}
+
+// SetSink registers a hook invoked with every recorded decision (Seq
+// assigned), under the ring's mutex — the flight recorder's journaling
+// tap. The hook must be fast, must not call back into the ring, and
+// must copy d.Scores if it retains them (they alias the ring's backing
+// array). Set it before decisions flow; nil removes the sink.
+func (a *AuditRing) SetSink(fn func(Decision)) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.sink = fn
 	a.mu.Unlock()
 }
 

@@ -1,0 +1,228 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/textplot"
+)
+
+// Exporters render a parsed recording into human- and tool-facing
+// forms. All three are deterministic: same recording, same bytes —
+// they sort only by values already in the frames and never read a
+// clock, so the virtual-clock byte-identity contract extends through
+// export.
+
+// traceEvent is one Chrome trace-event object. The subset used here —
+// ph "X" complete events with microsecond timestamps plus ph "M"
+// process/thread name metadata — loads in Perfetto and chrome://tracing.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WritePerfetto renders the recording's span frames as Chrome
+// trace-event JSON: one process per shard, whose thread 0 is the
+// master's port (queue and transfer stages — port occupancy is the
+// paper's structural bottleneck, so it gets its own track) and whose
+// thread j+1 is slave j (slave-wait and service stages). Model seconds
+// map to trace microseconds.
+func WritePerfetto(w io.Writer, rec *Recording) error {
+	spans := rec.Spans()
+	// Track metadata first, shards then slaves in ascending order, so
+	// the track layout is stable however the spans interleave.
+	shardSlaves := map[int]int{} // shard → max slave index seen
+	for _, sp := range spans {
+		if cur, ok := shardSlaves[sp.Shard]; !ok || sp.Record.Slave > cur {
+			shardSlaves[sp.Shard] = sp.Record.Slave
+		}
+	}
+	shards := make([]int, 0, len(shardSlaves))
+	for s := range shardSlaves {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	var events []traceEvent
+	for _, s := range shards {
+		events = append(events, traceEvent{
+			Name: "process_name", Ph: "M", Pid: s,
+			Args: map[string]any{"name": fmt.Sprintf("shard %d", s)},
+		})
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: s, Tid: 0,
+			Args: map[string]any{"name": "port"},
+		})
+		for j := 0; j <= shardSlaves[s]; j++ {
+			events = append(events, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: s, Tid: j + 1,
+				Args: map[string]any{"name": fmt.Sprintf("slave %d", j)},
+			})
+		}
+	}
+	for _, sp := range spans {
+		span := obs.FromRecord(sp.Record)
+		for _, st := range span.Stages {
+			tid := 0
+			if st.Name == obs.StageSlaveWait || st.Name == obs.StageService {
+				tid = sp.Record.Slave + 1
+			}
+			dur := (st.End - st.Start) * 1e6
+			events = append(events, traceEvent{
+				Name: st.Name, Cat: "lifecycle", Ph: "X",
+				Ts: st.Start * 1e6, Dur: &dur,
+				Pid: sp.Shard, Tid: tid,
+				Args: map[string]any{"job": span.Job},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteGantt renders one textplot.Gantt timeline per shard from the
+// recording's span frames, shards in ascending order. Each shard's
+// records are rebased to its earliest release so a daemon's idle time
+// before the first job does not dominate the plot.
+func WriteGantt(w io.Writer, rec *Recording, width int) error {
+	byShard := map[int][]core.Record{}
+	for _, sp := range rec.Spans() {
+		byShard[sp.Shard] = append(byShard[sp.Shard], sp.Record)
+	}
+	if len(byShard) == 0 {
+		_, err := io.WriteString(w, "(no completed jobs in recording)\n")
+		return err
+	}
+	shards := make([]int, 0, len(byShard))
+	for s := range byShard {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	for i, s := range shards {
+		recs := byShard[s]
+		m := 0
+		base := recs[0].Release
+		for _, r := range recs {
+			if r.Slave+1 > m {
+				m = r.Slave + 1
+			}
+			if r.Release < base {
+				base = r.Release
+			}
+		}
+		if base != 0 {
+			for j := range recs {
+				recs[j].Release -= base
+				recs[j].SendStart -= base
+				recs[j].Arrive -= base
+				recs[j].Start -= base
+				recs[j].Complete -= base
+			}
+		}
+		ones := make([]float64, m)
+		for j := range ones {
+			ones[j] = 1
+		}
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "shard %d (%d jobs)\n", s, len(recs)); err != nil {
+			return err
+		}
+		g := textplot.Gantt(core.Schedule{
+			Instance: core.Instance{Platform: core.NewPlatform(ones, ones)},
+			Records:  recs,
+		}, width)
+		if _, err := io.WriteString(w, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonlFrame is the JSONL exporter's per-frame shape: exactly one of
+// the typed fields is set, matching the frame type.
+type jsonlFrame struct {
+	Type     string          `json:"type"`
+	Segment  *uint64         `json:"segment,omitempty"`
+	Event    *Event          `json:"event,omitempty"`
+	Span     *Span           `json:"span,omitempty"`
+	Decision *obs.Decision   `json:"decision,omitempty"`
+	Blob     json.RawMessage `json:"blob,omitempty"`
+}
+
+// WriteJSONL renders every frame as one JSON object per line, in
+// journal order — the grep-friendly export.
+func WriteJSONL(w io.Writer, rec *Recording) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	segs, events, spans, decisions := 0, 0, 0, 0
+	allSegs := rec.Segments()
+	allEvents := rec.Events()
+	allSpans := rec.Spans()
+	allDecisions := rec.Decisions()
+	for _, f := range rec.Frames {
+		var line jsonlFrame
+		switch f.Type {
+		case FrameSegment:
+			if segs >= len(allSegs) {
+				continue
+			}
+			line = jsonlFrame{Type: "segment", Segment: &allSegs[segs]}
+			segs++
+		case FrameEvent:
+			if events >= len(allEvents) {
+				continue
+			}
+			line = jsonlFrame{Type: "event", Event: &allEvents[events]}
+			events++
+		case FrameSpan:
+			if spans >= len(allSpans) {
+				continue
+			}
+			line = jsonlFrame{Type: "span", Span: &allSpans[spans]}
+			spans++
+		case FrameDecision:
+			if decisions >= len(allDecisions) {
+				continue
+			}
+			line = jsonlFrame{Type: "decision", Decision: &allDecisions[decisions]}
+			decisions++
+		case FrameMeta:
+			line = jsonlFrame{Type: "meta", Blob: blobJSON(f.Payload)}
+		case FrameMetrics:
+			line = jsonlFrame{Type: "metrics", Blob: blobJSON(f.Payload)}
+		default:
+			continue
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// blobJSON passes a blob through as raw JSON when it is valid JSON, and
+// quotes it as a JSON string otherwise.
+func blobJSON(b []byte) json.RawMessage {
+	if json.Valid(b) {
+		return json.RawMessage(b)
+	}
+	q, _ := json.Marshal(string(b))
+	return q
+}

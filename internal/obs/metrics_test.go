@@ -51,6 +51,51 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+// TestHistogramBucketBoundaries pins the le semantics table-driven: a
+// value exactly equal to an upper bound lands in THAT bound's bucket
+// (Prometheus le is inclusive — Observe uses the first bound >= v), so
+// SLO-style queries over bucket edges never off-by-one.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []float64{0.5, 1, 2.5}
+	cases := []struct {
+		name   string
+		value  float64
+		bucket int // index into counts; len(bounds) is +Inf
+	}{
+		{"below first bound", 0.1, 0},
+		{"exactly first bound", 0.5, 0},
+		{"just above first bound", math.Nextafter(0.5, 1), 1},
+		{"between bounds", 0.75, 1},
+		{"exactly middle bound", 1, 1},
+		{"exactly last bound", 2.5, 2},
+		{"just above last bound", math.Nextafter(2.5, 3), 3},
+		{"far above last bound", 100, 3},
+		{"zero", 0, 0},
+		{"negative", -1, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			h := NewHistogram(bounds)
+			h.Observe(c.value)
+			_, cum, total := h.Snapshot()
+			if total != 1 {
+				t.Fatalf("total = %d", total)
+			}
+			// The cumulative counts step from 0 to 1 exactly at the target
+			// bucket.
+			for i, got := range cum {
+				want := uint64(0)
+				if i >= c.bucket {
+					want = 1
+				}
+				if got != want {
+					t.Fatalf("value %v: cumulative[%d] = %d, want %d (cum=%v)", c.value, i, got, want, cum)
+				}
+			}
+		})
+	}
+}
+
 func TestHistogramRejectsBadBounds(t *testing.T) {
 	for _, bounds := range [][]float64{
 		{1, 1},

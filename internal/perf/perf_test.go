@@ -43,7 +43,11 @@
 //   - BenchmarkClusterSkewedIngest — the PR-6 headline scenario as a
 //     benchmark: adversarially pinned placement with stealing off vs
 //     on (sleep-bound, gate-exempt; the committed jobs/sec ratio in
-//     BENCH_PR6.json is what CI actually gates).
+//     BENCH_PR6.json is what CI actually gates);
+//   - BenchmarkFlightAppend — the PR-8 flight recorder's append path
+//     (event, span and decision frames into a memory-only segment
+//     ring), CPU-bound and hard-gated: the contract is 0 allocs/op at
+//     steady state, rotation included (sealed buffers are recycled).
 //
 // Keep these benchmarks deterministic in their workloads (fixed seeds,
 // fixed scales): the gate compares ns/op and allocs/op across commits,
@@ -62,6 +66,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/live"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/sched"
 	"repro/internal/schedd"
 	"repro/internal/sim"
@@ -362,6 +367,58 @@ func BenchmarkObsRecord(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ring.Record(obs.Decision{Kind: obs.DecisionPlace, Job: i, To: i & 3, Scores: scores})
+		}
+	})
+}
+
+// BenchmarkFlightAppend measures the flight recorder's hot append path
+// per frame type on a small memory-only ring (64 KiB × 4 segments), so
+// steady state includes segment rotation and buffer recycling. The
+// warmup drives the ring past its first full rotation before the timer
+// starts — after that every sealed segment reuses a recycled buffer and
+// the contract is 0 allocs/op, which the CI benchgate hard-gates.
+func BenchmarkFlightAppend(b *testing.B) {
+	newWarm := func(b *testing.B) *flight.Recorder {
+		b.Helper()
+		rec, err := flight.New(flight.Config{SegmentBytes: 64 << 10, MaxSegments: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 20000; i++ {
+			rec.AppendEvent(0, live.Event{T: float64(i), Kind: live.EvSubmitted, Task: i, Slave: -1})
+		}
+		return rec
+	}
+	b.Run("event", func(b *testing.B) {
+		rec := newWarm(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec.AppendEvent(i&3, live.Event{T: float64(i), Kind: live.EvCompleted, Task: i, Slave: i & 7})
+		}
+	})
+	b.Run("span", func(b *testing.B) {
+		rec := newWarm(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t := float64(i)
+			rec.AppendSpan(i&3, core.Record{
+				Task: core.TaskID(i), Slave: i & 7,
+				Release: t, SendStart: t + 1, Arrive: t + 2, Start: t + 3, Complete: t + 4,
+			})
+		}
+	})
+	b.Run("decision", func(b *testing.B) {
+		rec := newWarm(b)
+		scores := []float64{1, 2, 3, 4}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec.AppendDecision(obs.Decision{
+				Kind: obs.DecisionPlace, Policy: "least-loaded",
+				Seq: uint64(i), Job: i, From: -1, To: i & 3, Scores: scores,
+			})
 		}
 	})
 }

@@ -1,0 +1,363 @@
+package schedd
+
+// Tests for the PR-8 surface: the flight-recorder tap (GET /flight and
+// on-disk segments), the /watch SSE stream, the SLO burn-rate endpoint,
+// and the bounded /decisions limit parameter.
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+)
+
+func TestFlightEndpoint(t *testing.T) {
+	s, ts := testServer(t, "LS")
+	if code := postJSON(t, ts.URL+"/jobs", SubmitRequest{Count: 6}, nil); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d", code)
+	}
+	waitCompleted(t, ts, 6)
+
+	resp, err := http.Get(ts.URL + "/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /flight: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := flight.Parse(raw)
+	if err != nil {
+		t.Fatalf("recording does not parse: %v", err)
+	}
+	// The recording carries the startup meta frame, every lifecycle
+	// event, one span per completed job, and the audit's placement
+	// decisions (audit is on by default).
+	meta := rec.Meta()
+	if len(meta) != 1 || !strings.Contains(string(meta[0]), `"policy":"LS"`) {
+		t.Fatalf("meta frames %q", meta)
+	}
+	if spans := rec.Spans(); len(spans) != 6 {
+		t.Fatalf("%d span frames, want 6", len(spans))
+	}
+	if evs := rec.Events(); len(evs) < 6*4 {
+		t.Fatalf("only %d event frames for 6 jobs", len(evs))
+	}
+	if decs := rec.Decisions(); len(decs) != 6 {
+		t.Fatalf("%d decision frames, want 6", len(decs))
+	}
+
+	// The /stats recorder and watch stanzas report the same recording.
+	var stats StatsResponse
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("GET /stats: %d", code)
+	}
+	if stats.Recorder == nil || stats.Recorder.Frames == 0 || stats.Recorder.Segments < 1 {
+		t.Fatalf("recorder stanza %+v", stats.Recorder)
+	}
+	if stats.Watch == nil || stats.Watch.Subscribers != 0 {
+		t.Fatalf("watch stanza %+v", stats.Watch)
+	}
+	for _, sec := range stats.PerShard {
+		if sec.EventsDropped != 0 {
+			t.Fatalf("unexpected event drops: %+v", sec)
+		}
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlightDisabled(t *testing.T) {
+	s, err := New(Config{
+		Platform:        core.NewPlatform([]float64{1}, []float64{2}),
+		Policy:          "LS",
+		ClockScale:      4000,
+		DisableRecorder: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestHTTP(t, s)
+	if code := getJSON(t, ts.URL+"/flight", nil); code != http.StatusNotFound {
+		t.Fatalf("GET /flight with recorder off: %d", code)
+	}
+	var stats StatsResponse
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("GET /stats: %d", code)
+	}
+	if stats.Recorder != nil {
+		t.Fatalf("recorder stanza present with recorder off: %+v", stats.Recorder)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlightPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{
+		Platform:           core.NewPlatform([]float64{0.5, 1}, []float64{2, 4}),
+		Policy:             "LS",
+		ClockScale:         4000,
+		RecordDir:          dir,
+		RecordSegmentBytes: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestHTTP(t, s)
+	if code := postJSON(t, ts.URL+"/jobs", SubmitRequest{Count: 40}, nil); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d", code)
+	}
+	waitCompleted(t, ts, 40)
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	// After drain the recording is on disk, complete through the last
+	// completion.
+	rec, err := flight.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Frames) == 0 {
+		t.Fatal("empty on-disk recording")
+	}
+	spans := rec.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans in on-disk recording")
+	}
+}
+
+func TestWatchStream(t *testing.T) {
+	s, ts := testServer(t, "LS")
+	resp, err := http.Get(ts.URL + "/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /watch: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	// Wait for the subscription to land before submitting, so the
+	// submitted jobs' events are guaranteed to be published.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var stats StatsResponse
+		getJSON(t, ts.URL+"/stats", &stats)
+		if stats.Watch != nil && stats.Watch.Subscribers == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code := postJSON(t, ts.URL+"/jobs", SubmitRequest{Count: 3}, nil); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d", code)
+	}
+
+	// Read SSE lines until a completion shows up.
+	sc := bufio.NewScanner(resp.Body)
+	kinds := map[string]bool{}
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev WatchEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad watch line %q: %v", line, err)
+		}
+		if ev.Shard != 0 || ev.Kind == "" {
+			t.Fatalf("watch event %+v", ev)
+		}
+		kinds[ev.Kind] = true
+		if ev.Kind == "completed" {
+			break
+		}
+	}
+	for _, want := range []string{"submitted", "sent", "completed"} {
+		if !kinds[want] {
+			t.Fatalf("watch stream missing %q events (saw %v)", want, kinds)
+		}
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSLOEndpoint(t *testing.T) {
+	s, err := New(Config{
+		Platform:   core.NewPlatform([]float64{0.5, 1, 2}, []float64{2, 4, 5}),
+		Policy:     "LS",
+		ClockScale: 4000,
+		SLOs: []obs.Objective{
+			{Name: "job-p99", Kind: obs.ObjectiveLatency, ThresholdSeconds: 30, Target: 0.99},
+			{Name: "http-avail", Kind: obs.ObjectiveAvailability, Target: 0.999},
+		},
+		SLOWindows: []time.Duration{time.Minute, time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestHTTP(t, s)
+	if code := postJSON(t, ts.URL+"/jobs", SubmitRequest{Count: 8}, nil); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d", code)
+	}
+	waitCompleted(t, ts, 8)
+
+	var slo SLOResponse
+	if code := getJSON(t, ts.URL+"/slo", &slo); code != http.StatusOK {
+		t.Fatalf("GET /slo: %d", code)
+	}
+	if !slo.Enabled || len(slo.Objectives) != 2 {
+		t.Fatalf("slo %+v", slo)
+	}
+	for _, st := range slo.Objectives {
+		if len(st.Windows) != 2 || st.Windows[0].WindowSeconds != 60 || st.Windows[1].WindowSeconds != 3600 {
+			t.Fatalf("objective %q windows %+v", st.Objective.Name, st.Windows)
+		}
+		// Nothing is failing: every job is far under 30 wall seconds and
+		// no request has 500d.
+		if !st.OK {
+			t.Fatalf("objective %q not OK: %+v", st.Objective.Name, st)
+		}
+	}
+	// The latency objective has counted the 8 completions; availability
+	// has counted the HTTP traffic.
+	for _, st := range slo.Objectives {
+		if st.Windows[1].Total == 0 {
+			t.Fatalf("objective %q saw no events", st.Objective.Name)
+		}
+		if st.Objective.Kind == obs.ObjectiveLatency && st.Windows[1].Good != 8 {
+			t.Fatalf("latency objective counts %+v, want 8 good", st.Windows[1])
+		}
+	}
+
+	// Burn-rate gauges are on /metrics; the burn report rides /readyz.
+	_, body, _ := scrape(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`schedd_slo_burn_rate{objective="job-p99",window_seconds="60"}`,
+		`schedd_slo_burn_rate{objective="http-avail",window_seconds="3600"}`,
+		`schedd_slo_events_total{objective="job-p99"} 8`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics lacks %q:\n%s", want, body)
+		}
+	}
+	var ready ReadyResponse
+	if code := getJSON(t, ts.URL+"/readyz", &ready); code != http.StatusOK {
+		t.Fatalf("GET /readyz: %d", code)
+	}
+	if ready.SLO == nil || len(ready.SLO.Objectives) != 2 {
+		t.Fatalf("readyz slo %+v", ready.SLO)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSLODisabledAndInvalid(t *testing.T) {
+	_, ts := testServer(t, "LS")
+	var slo SLOResponse
+	if code := getJSON(t, ts.URL+"/slo", &slo); code != http.StatusOK {
+		t.Fatalf("GET /slo: %d", code)
+	}
+	if slo.Enabled || len(slo.Objectives) != 0 {
+		t.Fatalf("slo without objectives %+v", slo)
+	}
+
+	base := Config{
+		Platform:   core.NewPlatform([]float64{1}, []float64{2}),
+		Policy:     "LS",
+		ClockScale: 4000,
+	}
+	bad := base
+	bad.SLOs = []obs.Objective{
+		{Name: "x", Kind: obs.ObjectiveAvailability, Target: 0.9},
+		{Name: "x", Kind: obs.ObjectiveAvailability, Target: 0.99},
+	}
+	if _, err := New(bad); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate objective: %v", err)
+	}
+	bad = base
+	bad.SLOs = []obs.Objective{{Name: "x", Kind: "throughput", Target: 0.9}}
+	if _, err := New(bad); err == nil {
+		t.Fatal("invalid objective accepted")
+	}
+	bad = base
+	bad.SLOs = []obs.Objective{{Name: "x", Kind: obs.ObjectiveAvailability, Target: 0.9}}
+	bad.SLOWindows = []time.Duration{-time.Second}
+	if _, err := New(bad); err == nil {
+		t.Fatal("negative window accepted")
+	}
+}
+
+func TestDecisionsLimitParam(t *testing.T) {
+	s, ts := shardedServer(t, "least-loaded")
+	if code := postJSON(t, ts.URL+"/jobs", SubmitRequest{Count: 60}, nil); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d", code)
+	}
+	// Default is 50 even though more decisions exist.
+	var dec DecisionsResponse
+	if code := getJSON(t, ts.URL+"/decisions", &dec); code != http.StatusOK || len(dec.Decisions) != decisionsDefaultLimit {
+		t.Fatalf("default window: %d decisions (code %d), want %d", len(dec.Decisions), code, decisionsDefaultLimit)
+	}
+	// ?limit selects the window, newest first; huge limits are capped,
+	// not rejected; bad limits are 400s.
+	var two DecisionsResponse
+	if code := getJSON(t, ts.URL+"/decisions?limit=2", &two); code != http.StatusOK || len(two.Decisions) != 2 {
+		t.Fatalf("limit=2: %d %+v", code, two)
+	}
+	if two.Decisions[0].Seq < two.Decisions[1].Seq {
+		t.Fatalf("not newest first: %+v", two.Decisions)
+	}
+	var capped DecisionsResponse
+	if code := getJSON(t, ts.URL+"/decisions?limit=999999", &capped); code != http.StatusOK {
+		t.Fatalf("over-cap limit rejected: %d", code)
+	}
+	for _, bad := range []string{"0", "-3", "many"} {
+		if code := getJSON(t, ts.URL+"/decisions?limit="+bad, nil); code != http.StatusBadRequest {
+			t.Fatalf("limit=%s: %d", bad, code)
+		}
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerRouteLatencyHistograms(t *testing.T) {
+	_, ts := testServer(t, "LS")
+	if code := postJSON(t, ts.URL+"/jobs", SubmitRequest{Count: 2}, nil); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d", code)
+	}
+	getJSON(t, ts.URL+"/stats", nil)
+	_, body, _ := scrape(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"# TYPE schedd_http_request_duration_seconds histogram",
+		`schedd_http_request_duration_seconds_count{route="jobs"} 1`,
+		`schedd_http_request_duration_seconds_bucket{route="stats",le="+Inf"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics lacks %q:\n%s", want, body)
+		}
+	}
+}

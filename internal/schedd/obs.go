@@ -1,0 +1,271 @@
+package schedd
+
+// Observability surface beyond /metrics: the flight-recorder tap, the
+// /watch SSE stream, and the SLO burn-rate endpoint. Everything here
+// follows the off-hot-path rule — the cluster observer does constant
+// work per event (a bounded binary append plus an atomic subscriber
+// check), and all JSON formatting happens on reader goroutines or only
+// when a watcher is actually connected.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/obs"
+)
+
+// observeShardEvent is the cluster's per-event tap (cluster.Config.
+// Observer): it journals the event into the flight recorder — and, at
+// each completion, the finished job's span record — then fans the event
+// out to /watch subscribers. It runs inside the shard's master actor,
+// after the tracker has absorbed the event, so the completion span is
+// already visible.
+func (s *Server) observeShardEvent(shard int, ev live.Event) {
+	if rec := s.recorder; rec != nil {
+		rec.AppendEvent(shard, ev)
+		if ev.Kind == live.EvCompleted {
+			if info, ok := s.router.Shards()[shard].Tracker().Job(ev.Task); ok && info.State == live.StateDone {
+				rec.AppendSpan(shard, core.Record{
+					Task:      core.TaskID(info.ID),
+					Slave:     info.Slave,
+					Release:   info.Submitted,
+					SendStart: info.SendStart,
+					Arrive:    info.Arrive,
+					Start:     info.Start,
+					Complete:  info.Complete,
+				})
+			}
+		}
+	}
+	s.watch.publish(shard, ev)
+}
+
+// WatchEvent is one line of the GET /watch SSE stream: a lifecycle
+// event with its shard, in model seconds on the serving clock.
+type WatchEvent struct {
+	T     float64 `json:"t"`
+	Shard int     `json:"shard"`
+	Kind  string  `json:"kind"`
+	Task  int     `json:"task"`
+	Slave int     `json:"slave,omitempty"`
+}
+
+// watchHub fans lifecycle events out to SSE subscribers. The publish
+// path is free when nobody watches (one atomic load); with subscribers
+// it marshals once and does a non-blocking send per subscriber, counting
+// drops instead of ever blocking the master actor.
+type watchHub struct {
+	mu      sync.Mutex
+	subs    map[int]chan []byte
+	nextID  int
+	nsubs   atomic.Int32
+	dropped atomic.Uint64
+}
+
+func newWatchHub() *watchHub {
+	return &watchHub{subs: make(map[int]chan []byte)}
+}
+
+func (h *watchHub) publish(shard int, ev live.Event) {
+	if h == nil || h.nsubs.Load() == 0 {
+		return
+	}
+	line, err := json.Marshal(WatchEvent{
+		T:     ev.T,
+		Shard: shard,
+		Kind:  ev.Kind.String(),
+		Task:  ev.Task,
+		Slave: ev.Slave,
+	})
+	if err != nil {
+		return
+	}
+	h.mu.Lock()
+	for _, ch := range h.subs {
+		select {
+		case ch <- line:
+		default:
+			h.dropped.Add(1)
+		}
+	}
+	h.mu.Unlock()
+}
+
+func (h *watchHub) subscribe() (int, chan []byte) {
+	ch := make(chan []byte, 256)
+	h.mu.Lock()
+	id := h.nextID
+	h.nextID++
+	h.subs[id] = ch
+	h.mu.Unlock()
+	h.nsubs.Add(1)
+	return id, ch
+}
+
+func (h *watchHub) unsubscribe(id int) {
+	h.mu.Lock()
+	if _, ok := h.subs[id]; ok {
+		delete(h.subs, id)
+		h.nsubs.Add(-1)
+	}
+	h.mu.Unlock()
+}
+
+func (h *watchHub) subscribers() int { return int(h.nsubs.Load()) }
+
+// handleWatch serves GET /watch: a Server-Sent Events stream of every
+// lifecycle event on every shard (data: one WatchEvent JSON object per
+// event), until the client disconnects. A slow client loses events (the
+// per-subscriber buffer is bounded; drops are counted in /stats), never
+// slows the cluster.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	id, ch := s.watch.subscribe()
+	defer s.watch.unsubscribe(id)
+	keepalive := time.NewTicker(15 * time.Second)
+	defer keepalive.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case line := <-ch:
+			if _, err := w.Write([]byte("data: ")); err != nil {
+				return
+			}
+			_, _ = w.Write(line)
+			if _, err := w.Write([]byte("\n\n")); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-keepalive.C:
+			if _, err := w.Write([]byte(": keepalive\n\n")); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// handleFlight serves GET /flight: the flight recorder's full retained
+// recording as raw binary frames (the flight wire format), ready for
+// schedctl export. Registered only when the recorder is on.
+func (s *Server) handleFlight(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(s.recorder.Snapshot())
+}
+
+// SLOStatus is one objective's row of the GET /slo body.
+type SLOStatus struct {
+	Objective obs.Objective `json:"objective"`
+	// OK is true when every window's burn rate is at most 1.
+	OK      bool             `json:"ok"`
+	Windows []obs.BurnWindow `json:"windows"`
+}
+
+// SLOResponse is the GET /slo body: every configured objective with its
+// multi-window burn rates as of now. Enabled is false when the service
+// runs without objectives (Objectives is then empty).
+type SLOResponse struct {
+	Enabled    bool        `json:"enabled"`
+	Objectives []SLOStatus `json:"objectives"`
+}
+
+// sloStatus assembles the current burn-rate report.
+func (s *Server) sloStatus() SLOResponse {
+	resp := SLOResponse{Enabled: len(s.slos) > 0, Objectives: []SLOStatus{}}
+	now := s.sloNow()
+	for _, m := range s.slos {
+		st := SLOStatus{Objective: m.Objective(), OK: true, Windows: m.Burn(now)}
+		for _, b := range st.Windows {
+			if !b.OK {
+				st.OK = false
+			}
+		}
+		resp.Objectives = append(resp.Objectives, st)
+	}
+	return resp
+}
+
+func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sloStatus())
+}
+
+// sloNow is the SLO engine's time base: wall seconds since the service
+// started (the engine itself reads no clock).
+func (s *Server) sloNow() float64 { return time.Since(s.started).Seconds() }
+
+// statusWriter captures the response status for the per-route
+// availability accounting, passing Flush through so SSE still streams.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// startSnapshots begins the periodic metrics-snapshot journaling: every
+// interval, the registry's JSON view is appended to the recording as a
+// FrameMetrics blob, giving an exported recording its metric timeline.
+func (s *Server) startSnapshots(interval time.Duration) {
+	s.snapStop = make(chan struct{})
+	s.snapDone = make(chan struct{})
+	go func() {
+		defer close(s.snapDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		var buf bytes.Buffer
+		for {
+			select {
+			case <-s.snapStop:
+				return
+			case <-t.C:
+				buf.Reset()
+				if err := s.metrics.WriteJSON(&buf); err == nil {
+					s.recorder.AppendMetrics(buf.Bytes())
+				}
+			}
+		}
+	}()
+}
+
+// stopSnapshots halts the snapshot loop; idempotent.
+func (s *Server) stopSnapshots() {
+	s.snapOnce.Do(func() {
+		if s.snapStop != nil {
+			close(s.snapStop)
+			<-s.snapDone
+		}
+	})
+}

@@ -20,12 +20,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/live"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -76,6 +78,31 @@ type Config struct {
 	// Logger receives the service's structured logs (rebalancer steal
 	// plans at Debug). nil logs nothing from inside the service.
 	Logger *slog.Logger
+	// DisableRecorder turns the always-on flight recorder off. By
+	// default every lifecycle event, completed span, audit decision and
+	// periodic metrics snapshot is journaled into a bounded in-memory
+	// segment ring served raw on GET /flight.
+	DisableRecorder bool
+	// RecordDir, when set, persists sealed flight segments to this
+	// directory as seg-NNNNNNNN.flight files (stale segments are cleared
+	// at startup); empty keeps the recording memory-only.
+	RecordDir string
+	// RecordSegmentBytes and RecordMaxSegments size the recorder's
+	// bounded ring; 0 takes the flight package defaults (1 MiB × 8).
+	RecordSegmentBytes int
+	RecordMaxSegments  int
+	// SnapshotInterval is the cadence at which /debug/vars-style metric
+	// snapshots are journaled into the recording; non-positive means 5s.
+	// Only meaningful with both the recorder and metrics on.
+	SnapshotInterval time.Duration
+	// SLOs configures the burn-rate engine: each objective is tracked
+	// over SLOWindows and surfaced on GET /slo, /metrics and /readyz.
+	// Latency objectives are fed by job completions (wall seconds),
+	// availability objectives by HTTP responses (status < 500 is good).
+	// Empty serves GET /slo with enabled: false.
+	SLOs []obs.Objective
+	// SLOWindows overrides the burn-rate windows (default 5m and 1h).
+	SLOWindows []time.Duration
 }
 
 // Server is a running service: a sharded cluster plus its HTTP surface
@@ -97,6 +124,18 @@ type Server struct {
 	metrics    *obs.Registry
 	jobLatency *obs.Histogram // nil with DisableMetrics
 	migLatency *obs.Histogram
+
+	// recorder is the always-on flight recorder behind GET /flight (nil
+	// with DisableRecorder); watch fans lifecycle events out to GET
+	// /watch subscribers; slos are the configured burn-rate monitors.
+	recorder *flight.Recorder
+	watch    *watchHub
+	slos     []*obs.SLO
+
+	// Periodic metrics-snapshot journaling (see startSnapshots).
+	snapStop chan struct{}
+	snapDone chan struct{}
+	snapOnce sync.Once
 }
 
 // New validates the configuration and starts the cluster (one live
@@ -150,6 +189,39 @@ func New(cfg Config) (*Server, error) {
 	case eventCap < 0:
 		eventCap = 0
 	}
+	s := &Server{cfg: cfg, started: time.Now(), watch: newWatchHub()}
+	// SLO monitors first: the HTTP wrapper and completion hooks feed
+	// them, so they must exist before either is built.
+	windows := make([]float64, 0, len(cfg.SLOWindows))
+	for _, w := range cfg.SLOWindows {
+		if w <= 0 {
+			return nil, fmt.Errorf("schedd: SLO window %v is not positive", w)
+		}
+		windows = append(windows, w.Seconds())
+	}
+	seen := make(map[string]bool, len(cfg.SLOs))
+	for _, o := range cfg.SLOs {
+		if seen[o.Name] {
+			return nil, fmt.Errorf("schedd: duplicate SLO objective %q", o.Name)
+		}
+		seen[o.Name] = true
+		mon, err := obs.NewSLO(o, windows...)
+		if err != nil {
+			return nil, fmt.Errorf("schedd: %w", err)
+		}
+		s.slos = append(s.slos, mon)
+	}
+	if !cfg.DisableRecorder {
+		rec, err := flight.New(flight.Config{
+			Dir:          cfg.RecordDir,
+			SegmentBytes: cfg.RecordSegmentBytes,
+			MaxSegments:  cfg.RecordMaxSegments,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("schedd: %w", err)
+		}
+		s.recorder = rec
+	}
 	// Every shard shares one model-time epoch: cross-shard windows (the
 	// merged first-submission-to-last-completion span in Stats) compare
 	// timestamps across shards, which is only meaningful on one clock.
@@ -163,11 +235,15 @@ func New(cfg Config) (*Server, error) {
 		AuditDepth:   auditDepth,
 		EventLogCap:  eventCap,
 		World:        func(int) live.World { return live.NewRealTimeFrom(cfg.ClockScale, epoch) },
+		// The tap reads s.router, assigned below before any event can
+		// flow (events are job-driven and jobs only arrive over HTTP
+		// after New returns).
+		Observer: s.observeShardEvent,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("schedd: %w", err)
 	}
-	s := &Server{cfg: cfg, router: router, started: time.Now()}
+	s.router = router
 	if cfg.Steal != cluster.StealNone {
 		policy, err := cluster.NewStealPolicy(cfg.Steal)
 		if err != nil {
@@ -181,6 +257,23 @@ func New(cfg Config) (*Server, error) {
 	if !cfg.DisableMetrics {
 		s.registerMetrics()
 	}
+	s.installCompletionHooks()
+	if s.recorder != nil {
+		if a := router.Audit(); a != nil {
+			a.SetSink(s.recorder.AppendDecision)
+		}
+		if meta, err := json.Marshal(map[string]any{
+			"service":     "schedd",
+			"policy":      cfg.Policy,
+			"shards":      cfg.Shards,
+			"slaves":      cfg.Platform.M(),
+			"placement":   cfg.Placement,
+			"partition":   string(cfg.Partition),
+			"clock_scale": cfg.ClockScale,
+		}); err == nil {
+			s.recorder.AppendMeta(meta)
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /jobs", s.counted("jobs", s.handleSubmit))
 	s.mux.HandleFunc("GET /jobs/{id}", s.counted("job", s.handleJob))
@@ -189,6 +282,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /decisions", s.counted("decisions", s.handleDecisions))
 	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /readyz", s.counted("readyz", s.handleReadyz))
+	s.mux.HandleFunc("GET /slo", s.counted("slo", s.handleSLO))
+	s.mux.HandleFunc("GET /watch", s.counted("watch", s.handleWatch))
+	if s.recorder != nil {
+		s.mux.HandleFunc("GET /flight", s.counted("flight", s.handleFlight))
+	}
 	if s.metrics != nil {
 		s.mux.HandleFunc("GET /metrics", s.counted("metrics", s.handleMetrics))
 		s.mux.HandleFunc("GET /debug/vars", s.counted("vars", s.handleVars))
@@ -200,11 +298,49 @@ func New(cfg Config) (*Server, error) {
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
+	if s.recorder != nil && s.metrics != nil {
+		interval := cfg.SnapshotInterval
+		if interval <= 0 {
+			interval = 5 * time.Second
+		}
+		s.startSnapshots(interval)
+	}
 	router.Start()
 	if s.rebalancer != nil {
 		s.rebalancer.Start()
 	}
 	return s, nil
+}
+
+// installCompletionHooks wires the single per-tracker completion hook
+// feeding both the job-latency histogram (when metrics are on) and the
+// latency SLO monitors — one hook because OnComplete replaces, not
+// chains. Called before the cluster starts.
+func (s *Server) installCompletionHooks() {
+	var latSLOs []*obs.SLO
+	for _, m := range s.slos {
+		if m.Objective().Kind == obs.ObjectiveLatency {
+			latSLOs = append(latSLOs, m)
+		}
+	}
+	if s.jobLatency == nil && len(latSLOs) == 0 {
+		return
+	}
+	scale := s.cfg.ClockScale
+	for _, sh := range s.router.Shards() {
+		sh.Tracker().OnComplete(func(latency float64) {
+			wall := latency / scale
+			if s.jobLatency != nil {
+				s.jobLatency.Observe(wall)
+			}
+			if len(latSLOs) > 0 {
+				now := s.sloNow()
+				for _, m := range latSLOs {
+					m.RecordLatency(now, wall)
+				}
+			}
+		})
+	}
 }
 
 // registerMetrics builds the /metrics registry. Called before the
@@ -215,7 +351,6 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) registerMetrics() {
 	r := obs.NewRegistry()
 	s.metrics = r
-	scale := s.cfg.ClockScale
 	s.jobLatency = r.Histogram("schedd_job_latency_seconds",
 		"Completed-job response time (submit to complete) in wall seconds.",
 		"", obs.LatencyBuckets())
@@ -236,9 +371,6 @@ func (s *Server) registerMetrics() {
 			labels, func() float64 { return float64(sh.LiveSlaves()) })
 		r.CounterFunc("schedd_events_dropped_total", "Events overwritten in the bounded per-shard event log.",
 			labels, func() float64 { return float64(sh.Runtime().EventsDropped()) })
-		sh.Tracker().OnComplete(func(latency float64) {
-			s.jobLatency.Observe(latency / scale)
-		})
 	}
 	r.GaugeFunc("schedd_uptime_seconds", "Wall seconds since the service started.",
 		"", func() float64 { return time.Since(s.started).Seconds() })
@@ -275,19 +407,71 @@ func (s *Server) registerMetrics() {
 				return time.Since(last).Seconds()
 			})
 	}
+	for _, m := range s.slos {
+		m := m
+		obj := m.Objective()
+		for _, w := range m.Windows() {
+			w := w
+			r.GaugeFunc("schedd_slo_burn_rate",
+				"Error-budget burn rate, by objective and window (1.0 spends the budget exactly over the window; above 1 the objective is being missed).",
+				obs.Labels("objective", obj.Name, "window_seconds", strconv.FormatFloat(w, 'g', -1, 64)),
+				func() float64 { return m.BurnRate(s.sloNow(), w) })
+		}
+		r.CounterFunc("schedd_slo_events_good_total", "Events within the objective, by objective.",
+			obs.Labels("objective", obj.Name), func() float64 { g, _ := m.Totals(); return float64(g) })
+		r.CounterFunc("schedd_slo_events_total", "Events measured against the objective, by objective.",
+			obs.Labels("objective", obj.Name), func() float64 { _, t := m.Totals(); return float64(t) })
+	}
+	if rec := s.recorder; rec != nil {
+		r.CounterFunc("schedd_flight_frames_total", "Frames journaled by the flight recorder.",
+			"", func() float64 { return float64(rec.Stats().Frames) })
+		r.CounterFunc("schedd_flight_segments_dropped_total", "Sealed flight segments discarded by the bounded ring.",
+			"", func() float64 { return float64(rec.Stats().SegmentsDropped) })
+	}
+	r.CounterFunc("schedd_watch_events_dropped_total", "Watch-stream events dropped on slow subscribers.",
+		"", func() float64 { return float64(s.watch.dropped.Load()) })
 }
 
-// counted wraps a handler with its per-route request counter; with
-// metrics off it returns the handler unchanged.
+// counted wraps a handler with its per-route request counter and
+// latency histogram, and feeds availability SLOs from the captured
+// response status (< 500 is good). With metrics off and no availability
+// objectives it returns the handler unchanged.
 func (s *Server) counted(route string, h http.HandlerFunc) http.HandlerFunc {
-	if s.metrics == nil {
+	var availSLOs []*obs.SLO
+	for _, m := range s.slos {
+		if m.Objective().Kind == obs.ObjectiveAvailability {
+			availSLOs = append(availSLOs, m)
+		}
+	}
+	if s.metrics == nil && len(availSLOs) == 0 {
 		return h
 	}
-	c := s.metrics.Counter("schedd_http_requests_total",
-		"HTTP requests served, by route.", obs.Labels("route", route))
+	var c *obs.Counter
+	var dur *obs.Histogram
+	if s.metrics != nil {
+		labels := obs.Labels("route", route)
+		c = s.metrics.Counter("schedd_http_requests_total",
+			"HTTP requests served, by route.", labels)
+		dur = s.metrics.Histogram("schedd_http_request_duration_seconds",
+			"HTTP request handling latency in wall seconds, by route.", labels,
+			obs.LatencyBuckets())
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
-		c.Inc()
-		h(w, r)
+		if c != nil {
+			c.Inc()
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		begin := time.Now()
+		h(sw, r)
+		if dur != nil {
+			dur.Observe(time.Since(begin).Seconds())
+		}
+		if len(availSLOs) > 0 {
+			now := s.sloNow()
+			for _, m := range availSLOs {
+				m.Record(now, sw.status < http.StatusInternalServerError)
+			}
+		}
 	}
 }
 
@@ -325,10 +509,17 @@ func (s *Server) Counts() live.Counts {
 // every shard completes, the slaves exit. It blocks until all shards
 // have fully drained and returns the joined error, if any.
 func (s *Server) Drain() error {
+	s.stopSnapshots()
 	if s.rebalancer != nil {
 		s.rebalancer.Stop()
 	}
-	return s.router.Drain()
+	err := s.router.Drain()
+	// Close the recorder last so the drain's own completions are the
+	// recording's final frames.
+	if cerr := s.recorder.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // SubmitRequest is the POST /jobs body. An empty body submits one
@@ -427,7 +618,11 @@ type ShardStats struct {
 	Jobs   live.Counts `json:"jobs"`
 	// QueueDepth is the shard's accepted-but-undispatched backlog right
 	// now (live, unlike the completed-job statistics).
-	QueueDepth           int           `json:"queue_depth"`
+	QueueDepth int `json:"queue_depth"`
+	// EventsDropped counts lifecycle events overwritten in the shard's
+	// bounded event ring — nonzero means the retained log (and any trace
+	// built from it) is missing its oldest history.
+	EventsDropped        int64         `json:"events_dropped"`
 	ThroughputJobsPerSec float64       `json:"throughput_jobs_per_sec"`
 	LatencySeconds       *LatencyStats `json:"latency_seconds,omitempty"`
 	// StageSeconds decomposes completed-job latency into the lifecycle
@@ -483,8 +678,27 @@ type StatsResponse struct {
 	// Steal reports the rebalancer's progress; absent when stealing is
 	// off.
 	Steal *StealStats `json:"steal,omitempty"`
+	// Recorder reports the flight recorder's accounting (frames, bytes,
+	// retained and dropped segments); absent with DisableRecorder.
+	Recorder *RecorderStats `json:"recorder,omitempty"`
+	// Watch reports the /watch SSE hub: current subscribers and events
+	// dropped on slow ones.
+	Watch *WatchStats `json:"watch,omitempty"`
 	// PerShard holds one section per shard, in shard order.
 	PerShard []ShardStats `json:"per_shard"`
+}
+
+// RecorderStats is the GET /stats flight-recorder stanza.
+type RecorderStats struct {
+	flight.Stats
+	// Dir is the segment persistence directory ("" when memory-only).
+	Dir string `json:"dir,omitempty"`
+}
+
+// WatchStats is the GET /stats watch-hub stanza.
+type WatchStats struct {
+	Subscribers int    `json:"subscribers"`
+	Dropped     uint64 `json:"dropped"`
 }
 
 // Stats assembles the current service statistics — one consistent
@@ -509,10 +723,11 @@ func (s *Server) Stats() StatsResponse {
 	for _, sh := range s.router.Shards() {
 		snap := sh.Tracker().Stats()
 		sec := ShardStats{
-			Shard:      sh.Index(),
-			Slaves:     sh.Slaves(),
-			Jobs:       snap.Counts,
-			QueueDepth: sh.Runtime().Pending(),
+			Shard:         sh.Index(),
+			Slaves:        sh.Slaves(),
+			Jobs:          snap.Counts,
+			QueueDepth:    sh.Runtime().Pending(),
+			EventsDropped: sh.Runtime().EventsDropped(),
 		}
 		if len(snap.Records) > 0 {
 			// Stage durations are differences of the span timestamps, so
@@ -601,6 +816,13 @@ func (s *Server) Stats() StatsResponse {
 			JobsMoved:       b.Moved(),
 		}
 	}
+	if rec := s.recorder; rec != nil {
+		resp.Recorder = &RecorderStats{Stats: rec.Stats(), Dir: s.cfg.RecordDir}
+	}
+	resp.Watch = &WatchStats{
+		Subscribers: s.watch.subscribers(),
+		Dropped:     s.watch.dropped.Load(),
+	}
 	return resp
 }
 
@@ -658,6 +880,11 @@ type ReadyResponse struct {
 	// stealing is off. A large age under load means the rebalancer loop
 	// is wedged.
 	StealLastPassAgeSeconds *float64 `json:"steal_last_pass_age_seconds,omitempty"`
+	// SLO is the burn-rate report, informational supporting detail:
+	// readiness stays drain-based (a burning SLO is an alert, not a
+	// reason to stop routing — removing capacity would make it worse).
+	// Absent when no objectives are configured.
+	SLO *SLOResponse `json:"slo,omitempty"`
 }
 
 // ShardReady is one shard's row of the readiness report.
@@ -686,6 +913,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 			age = time.Since(last).Seconds()
 		}
 		resp.StealLastPassAgeSeconds = &age
+	}
+	if len(s.slos) > 0 {
+		slo := s.sloStatus()
+		resp.SLO = &slo
 	}
 	status := http.StatusOK
 	if draining {
@@ -778,7 +1009,9 @@ func spanFromInfo(info live.JobInfo) obs.Span {
 
 // DecisionsResponse is the GET /decisions body: the newest audit
 // entries (placements with per-shard scores, steal plans, executed
-// migrations), newest first.
+// migrations), newest first. ?limit= selects how many (default 50,
+// capped at 1000; ?n= is a legacy alias); a value that is not a
+// positive integer is a 400.
 type DecisionsResponse struct {
 	// Enabled is false when the service runs with auditing off
 	// (AuditDepth < 0); Decisions is then always empty.
@@ -789,13 +1022,29 @@ type DecisionsResponse struct {
 	Decisions []obs.Decision `json:"decisions"`
 }
 
+// Bounds on GET /decisions responses: without an explicit limit the
+// newest decisionsDefaultLimit entries come back; an explicit limit is
+// capped at decisionsMaxLimit so a scrape can never ask for an
+// unbounded copy of the ring.
+const (
+	decisionsDefaultLimit = 50
+	decisionsMaxLimit     = 1000
+)
+
 func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
-	n := 50
-	if q := r.URL.Query().Get("n"); q != "" {
+	n := decisionsDefaultLimit
+	q := r.URL.Query().Get("limit")
+	if q == "" {
+		q = r.URL.Query().Get("n") // legacy alias for limit
+	}
+	if q != "" {
 		v, err := strconv.Atoi(q)
 		if err != nil || v < 1 {
-			httpError(w, http.StatusBadRequest, "bad n: want a positive integer")
+			httpError(w, http.StatusBadRequest, "bad limit: want a positive integer")
 			return
+		}
+		if v > decisionsMaxLimit {
+			v = decisionsMaxLimit
 		}
 		n = v
 	}

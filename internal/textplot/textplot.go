@@ -103,6 +103,15 @@ func Gantt(s core.Schedule, maxWidth int) string {
 	paint := func(row []byte, from, to float64, ch byte) {
 		a := int(from * scale)
 		z := int(to * scale)
+		// Clamp both ends into the row: float rounding on long schedules
+		// can push from*scale to maxWidth+1, and defensive inputs
+		// (negative times) must not index below zero.
+		if a < 0 {
+			a = 0
+		}
+		if a >= len(row) {
+			a = len(row) - 1
+		}
 		if z >= len(row) {
 			z = len(row) - 1
 		}
@@ -121,6 +130,10 @@ func Gantt(s core.Schedule, maxWidth int) string {
 	for j := 0; j < m; j++ {
 		fmt.Fprintf(&b, "%-6s |%s|\n", fmt.Sprintf("P%d", j+1), rows[j+1])
 	}
-	fmt.Fprintf(&b, "%-6s 0%s%.3f\n", "", strings.Repeat(" ", maxWidth-len(fmt.Sprintf("%.3f", makespan))+1), makespan)
+	pad := maxWidth - len(fmt.Sprintf("%.3f", makespan)) + 1
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%-6s 0%s%.3f\n", "", strings.Repeat(" ", pad), makespan)
 	return b.String()
 }

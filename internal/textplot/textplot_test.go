@@ -69,6 +69,79 @@ func TestGantt(t *testing.T) {
 	}
 }
 
+// TestGanttWidthClamping pins the paint clamping table-driven: long
+// schedules whose scaled coordinates round past the row, tiny widths
+// where the makespan label outruns the axis, and defensive negative
+// times must all render without panicking and stay within maxWidth+1
+// columns between the row borders.
+func TestGanttWidthClamping(t *testing.T) {
+	pl := core.NewPlatform([]float64{1, 1}, []float64{3, 7})
+	cases := []struct {
+		name     string
+		records  []core.Record
+		maxWidth int
+	}{
+		{
+			"long schedule narrow width",
+			[]core.Record{
+				{Task: 0, Slave: 0, SendStart: 0, Arrive: 10, Start: 10, Complete: 12345.678},
+				{Task: 1, Slave: 1, SendStart: 10, Arrive: 20, Start: 20, Complete: 9999.999},
+			},
+			20,
+		},
+		{
+			"width smaller than makespan label",
+			[]core.Record{
+				{Task: 0, Slave: 0, SendStart: 0, Arrive: 1, Start: 1, Complete: 123456.5},
+			},
+			4,
+		},
+		{
+			"rounding at the right edge",
+			[]core.Record{
+				// Complete == makespan paints exactly the last column; a
+				// send starting at the makespan must clamp, not overflow.
+				{Task: 0, Slave: 0, SendStart: 0, Arrive: 1, Start: 1, Complete: 7},
+				{Task: 1, Slave: 1, SendStart: 7, Arrive: 7, Start: 7, Complete: 7},
+			},
+			50,
+		},
+		{
+			"negative times clamp to column zero",
+			[]core.Record{
+				{Task: 0, Slave: 0, SendStart: -2, Arrive: -1, Start: -1, Complete: 5},
+			},
+			30,
+		},
+		{
+			"width one",
+			[]core.Record{
+				{Task: 0, Slave: 0, SendStart: 0, Arrive: 1, Start: 1, Complete: 4},
+			},
+			1,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := core.Schedule{Instance: core.NewInstance(pl, core.ReleasesAt(0, 1)), Records: c.records}
+			out := Gantt(s, c.maxWidth)
+			for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+				open := strings.Index(line, "|")
+				close := strings.LastIndex(line, "|")
+				if open < 0 || close <= open {
+					continue // axis line
+				}
+				if w := close - open - 1; w != c.maxWidth+1 {
+					t.Fatalf("row width %d, want %d:\n%s", w, c.maxWidth+1, out)
+				}
+			}
+			if !strings.Contains(out, "#") {
+				t.Fatalf("missing computation paint:\n%s", out)
+			}
+		})
+	}
+}
+
 func TestGanttEmpty(t *testing.T) {
 	pl := core.NewPlatform([]float64{1}, []float64{1})
 	out := Gantt(core.Schedule{Instance: core.Instance{Platform: pl}}, 40)
