@@ -29,11 +29,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"log"
-	"net/http"
 	"net/http/httptest"
 	"runtime"
 	"strings"
@@ -44,10 +43,13 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/live"
 	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/schedd"
+	"repro/internal/sim"
+	"repro/pkg/schedclient"
 )
 
 func main() {
@@ -365,6 +367,38 @@ type ObsEntry struct {
 	IngestOverheadRatio float64 `json:"ingest_overhead_ratio"`
 }
 
+// FirehoseLeg is one side of the PR-9 throughput comparison: jobs
+// driven through the 4-shard virtual-clock cluster and the wall window
+// from first submission through a full drain.
+type FirehoseLeg struct {
+	Jobs        int     `json:"jobs"`
+	WallSeconds float64 `json:"wall_seconds"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+}
+
+// FirehoseEntry is the PR-9 firehose stanza: the streaming bulk-ingest
+// endpoint (POST /v1/jobs:stream over the virtual-clock firehose
+// cluster) against the per-job POST /v1/jobs baseline at equal shard
+// count, plus the admission path's steady-state allocation cost. The
+// committed artifact pins the headline: the stream drives ≥1M jobs and
+// beats per-job POST by ≥5× (CI gates ≥3×), at ≤1 alloc per admitted
+// job.
+type FirehoseEntry struct {
+	Shards int `json:"shards"`
+	// Stream is the NDJSON bulk-ingest leg (1M+ jobs).
+	Stream FirehoseLeg `json:"stream"`
+	// PerJob is the baseline: one POST /v1/jobs per job on the identical
+	// cluster (a smaller population — per-request HTTP overhead makes 1M
+	// individual POSTs pointless to wait out; jobs/sec is the comparison).
+	PerJob FirehoseLeg `json:"per_job"`
+	// SpeedupX = Stream.JobsPerSec / PerJob.JobsPerSec.
+	SpeedupX float64 `json:"speedup_x"`
+	// IngestAllocsPerJob is the admission path's steady-state heap cost
+	// (placement + global-ID bookkeeping + intake enqueue), measured on an
+	// unstarted firehose cluster so nothing but admission runs.
+	IngestAllocsPerJob float64 `json:"ingest_allocs_per_job"`
+}
+
 // BenchArtifact is the machine-readable perf record CI uploads
 // (BENCH_PR2.json): wall-clock costs of the headline sweeps at the
 // configured scale, plus enough environment to compare runs honestly.
@@ -391,6 +425,8 @@ type BenchArtifact struct {
 	Steal []StealEntry `json:"steal"`
 	// Obs holds the instrumentation-overhead measurements (PR 7).
 	Obs *ObsEntry `json:"obs"`
+	// Firehose holds the PR-9 bulk-ingest throughput comparison.
+	Firehose *FirehoseEntry `json:"firehose"`
 }
 
 // writeBenchArtifact times the Figure-1 sweep on a one-worker pool and a
@@ -473,6 +509,14 @@ func writeBenchArtifact(path string, cfg experiment.Config) error {
 	log.Printf("obs: record counter %.1f ns, histogram %.1f ns, audit %.1f ns (%d allocs); ingest overhead ×%.3f",
 		obsEntry.CounterNsPerOp, obsEntry.HistogramNsPerOp, obsEntry.AuditNsPerOp,
 		obsEntry.RecordAllocsPerOp, obsEntry.IngestOverheadRatio)
+	fhEntry, err := firehoseBench()
+	if err != nil {
+		return fmt.Errorf("firehose bench: %w", err)
+	}
+	art.Firehose = &fhEntry
+	log.Printf("firehose (%d shards): stream %d jobs in %.2fs → %.0f jobs/s; per-job %d jobs → %.0f jobs/s; speedup ×%.1f, %.3f allocs/job",
+		fhEntry.Shards, fhEntry.Stream.Jobs, fhEntry.Stream.WallSeconds, fhEntry.Stream.JobsPerSec,
+		fhEntry.PerJob.Jobs, fhEntry.PerJob.JobsPerSec, fhEntry.SpeedupX, fhEntry.IngestAllocsPerJob)
 	if err := runner.WriteJSON(path, art); err != nil {
 		return err
 	}
@@ -577,6 +621,158 @@ func obsBench() (ObsEntry, error) {
 	}, nil
 }
 
+// firehoseBench runs the PR-9 throughput comparison. Both legs use the
+// identical service configuration — a 4-shard virtual-clock cluster
+// over the eight-slave heterogeneous platform, least-loaded placement,
+// service-default observability — and both wall windows run from first
+// submission through a full drain, so they measure the same lifecycle
+// and differ only in how jobs arrive: one NDJSON stream of batched
+// lines versus one HTTP round trip per job.
+func firehoseBench() (FirehoseEntry, error) {
+	const (
+		shards     = 4
+		streamJobs = 1_000_000
+		perLine    = 1000
+		perJobJobs = 20_000
+	)
+	platform := core.NewPlatform(
+		[]float64{0.1, 0.1, 0.2, 0.2, 0.3, 0.3, 0.1, 0.2},
+		[]float64{0.4, 0.8, 0.4, 0.8, 0.4, 0.8, 0.4, 0.8})
+	newService := func() (*schedd.Server, *httptest.Server, *schedclient.Client, error) {
+		srv, err := schedd.New(schedd.Config{
+			Platform:     platform,
+			Policy:       "LS",
+			Shards:       shards,
+			Placement:    cluster.PlacementLeastLoaded,
+			Partition:    core.PartitionBalanced,
+			VirtualClock: true,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		return srv, ts, schedclient.New(ts.URL), nil
+	}
+	run := func(jobs int, pump func(*schedclient.Client) error) (FirehoseLeg, error) {
+		srv, ts, cli, err := newService()
+		if err != nil {
+			return FirehoseLeg{}, err
+		}
+		defer ts.Close()
+		start := time.Now()
+		if err := pump(cli); err != nil {
+			return FirehoseLeg{}, err
+		}
+		if err := srv.Drain(); err != nil {
+			return FirehoseLeg{}, err
+		}
+		wall := time.Since(start).Seconds()
+		if c := srv.Counts(); c.Completed != jobs || c.Submitted != jobs {
+			return FirehoseLeg{}, fmt.Errorf("completed %d / submitted %d of %d jobs", c.Completed, c.Submitted, jobs)
+		}
+		return FirehoseLeg{Jobs: jobs, WallSeconds: wall, JobsPerSec: float64(jobs) / wall}, nil
+	}
+
+	stream, err := run(streamJobs, func(cli *schedclient.Client) error {
+		st, err := cli.StreamJobs(context.Background())
+		if err != nil {
+			return err
+		}
+		for sent := 0; sent < streamJobs; sent += perLine {
+			if err := st.Send(schedd.SubmitRequest{Count: perLine}); err != nil {
+				return err
+			}
+		}
+		sum, err := st.Close()
+		if err != nil {
+			return err
+		}
+		if sum.Jobs != streamJobs {
+			return fmt.Errorf("stream acked %d of %d jobs", sum.Jobs, streamJobs)
+		}
+		return nil
+	})
+	if err != nil {
+		return FirehoseEntry{}, fmt.Errorf("stream leg: %w", err)
+	}
+
+	// The baseline keeps the same modest client concurrency the other
+	// load benches use; each of the 4 producers runs a serial
+	// one-job-per-POST loop.
+	perJob, err := run(perJobJobs, func(cli *schedclient.Client) error {
+		const producers = 4
+		var wg sync.WaitGroup
+		errs := make(chan error, producers)
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perJobJobs/producers; i++ {
+					if _, err := cli.SubmitBatch(1); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		return <-errs
+	})
+	if err != nil {
+		return FirehoseEntry{}, fmt.Errorf("per-job leg: %w", err)
+	}
+
+	return FirehoseEntry{
+		Shards:             shards,
+		Stream:             stream,
+		PerJob:             perJob,
+		SpeedupX:           stream.JobsPerSec / perJob.JobsPerSec,
+		IngestAllocsPerJob: firehoseAllocsPerJob(),
+	}, nil
+}
+
+// firehoseAllocsPerJob measures the admission path's steady-state heap
+// cost: SubmitRange batches into an unstarted firehose cluster (the
+// intake holds everything, nothing drains), allocs/op divided by the
+// jobs routed per op. Construction happens outside the timer, so the
+// number is the marginal cost per admitted job — the ≤1 contract CI
+// gates.
+func firehoseAllocsPerJob() float64 {
+	const (
+		batches  = 10
+		perBatch = 1000
+	)
+	pl := core.NewPlatform(
+		[]float64{0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1},
+		[]float64{0.5, 1, 1.5, 2, 0.5, 1, 1.5, 2})
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			r, err := cluster.New(cluster.Config{
+				Platform:     pl,
+				NewScheduler: func() sim.Scheduler { return sched.New("LS") },
+				Shards:       4,
+				Placement:    cluster.PlacementLeastLoaded,
+				Partition:    core.PartitionBalanced,
+				World:        func(int) live.World { return live.NewRealTime(50000) },
+				Firehose:     &cluster.FirehoseConfig{QueueDepth: 2 * batches * perBatch},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			for batch := 0; batch < batches; batch++ {
+				if _, err := r.SubmitRange(live.JobSpec{}, perBatch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	return float64(res.AllocsPerOp()) / (batches * perBatch)
+}
+
 // loadBench is the shared HTTP load generator: it stands up the real
 // service on a loopback listener, slams it with concurrent batched
 // submissions, drains, and reports the wall window plus the service's
@@ -599,24 +795,17 @@ func loadBench(cfg schedd.Config, producers, batches, perBatch int, settle bool)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
+	cli := schedclient.New(ts.URL)
 	start := time.Now()
 	var wg sync.WaitGroup
 	errs := make(chan error, producers)
-	body := fmt.Sprintf(`{"count":%d}`, perBatch)
 	for p := 0; p < producers; p++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for b := 0; b < batches; b++ {
-				resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
-				if err != nil {
+				if _, err := cli.SubmitBatch(perBatch); err != nil {
 					errs <- err
-					return
-				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusAccepted {
-					errs <- fmt.Errorf("POST /jobs: %d", resp.StatusCode)
 					return
 				}
 			}

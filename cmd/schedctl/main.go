@@ -1,19 +1,20 @@
 // Command schedctl is the operator's CLI for the scheduling daemon: it
 // inspects a live schedd over HTTP or a flight recording on disk, and
-// exports recordings to analysis formats.
+// exports recordings to analysis formats. All HTTP goes through the
+// typed client (pkg/schedclient), which targets the versioned /v1 API.
 //
 // Subcommands:
 //
-//	schedctl top    [-addr URL]                 one-shot cluster overview from GET /stats
+//	schedctl top    [-addr URL]                 one-shot cluster overview from GET /v1/stats
 //	schedctl tail   [-addr URL | -dir DIR] [-n N]
-//	                                            follow the live /watch event stream, or
+//	                                            follow the live /v1/watch event stream, or
 //	                                            print a recording's events
 //	schedctl export [-addr URL | -dir DIR] -format perfetto|gantt|jsonl [-o FILE] [-width N]
-//	                                            convert a recording (live GET /flight or
+//	                                            convert a recording (live GET /v1/flight or
 //	                                            on-disk segments) to Chrome trace-event
 //	                                            JSON (load in Perfetto / chrome://tracing),
 //	                                            per-shard Gantt timelines, or JSON lines
-//	schedctl slo    [-addr URL]                 burn-rate report from GET /slo; exits 1
+//	schedctl slo    [-addr URL]                 burn-rate report from GET /v1/slo; exits 1
 //	                                            when any objective is burning (the CI gate)
 //
 // -dir reads seg-*.flight segments written by schedd -record-dir and
@@ -22,18 +23,18 @@
 package main
 
 import (
-	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
-	"strings"
 
 	"repro/internal/obs/flight"
 	"repro/internal/schedd"
 	"repro/internal/textplot"
+	"repro/pkg/schedclient"
 )
 
 func main() {
@@ -69,44 +70,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// normalizeAddr turns host:port into a full http URL and strips any
-// trailing slash so path concatenation is uniform.
-func normalizeAddr(addr string) string {
-	if !strings.Contains(addr, "://") {
-		addr = "http://" + addr
-	}
-	return strings.TrimRight(addr, "/")
-}
-
-// getJSON fetches url and decodes the body into out.
-func getJSON(url string, out any) error {
-	resp, err := http.Get(url)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
-		return fmt.Errorf("GET %s: %s", url, resp.Status)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
-}
-
 // loadRecording reads a flight recording from -dir (on-disk segments)
-// or, when dir is empty, from the live daemon's GET /flight.
+// or, when dir is empty, from the live daemon's GET /v1/flight.
 func loadRecording(dir, addr string) (*flight.Recording, error) {
 	if dir != "" {
 		return flight.ReadDir(dir)
 	}
-	url := normalizeAddr(addr) + "/flight"
-	resp, err := http.Get(url)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET %s: %s (is the daemon running with the recorder on?)", url, resp.Status)
-	}
-	raw, err := io.ReadAll(resp.Body)
+	raw, err := schedclient.New(addr).Flight()
 	if err != nil {
 		return nil, err
 	}
@@ -119,8 +89,8 @@ func cmdTop(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var stats schedd.StatsResponse
-	if err := getJSON(normalizeAddr(*addr)+"/stats", &stats); err != nil {
+	stats, err := schedclient.New(*addr).Stats()
+	if err != nil {
 		return err
 	}
 	renderTop(stdout, stats)
@@ -168,7 +138,7 @@ func cmdTail(args []string, stdout io.Writer) error {
 	fs := newFlagSet("tail")
 	addr := fs.String("addr", "http://127.0.0.1:8080", "schedd address")
 	dir := fs.String("dir", "", "read a recording directory instead of the live stream")
-	n := fs.Int("n", 0, "with -dir: print only the newest n events (0: all)")
+	n := fs.Int("n", 0, "newest n events with -dir, or stop after n live events (0: all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -179,22 +149,21 @@ func cmdTail(args []string, stdout io.Writer) error {
 		}
 		return tailRecording(stdout, rec, *n)
 	}
-	resp, err := http.Get(normalizeAddr(*addr) + "/watch")
+	ws, err := schedclient.New(*addr).Watch(context.Background(), *n)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET /watch: %s", resp.Status)
-	}
-	sc := bufio.NewScanner(resp.Body)
-	for sc.Scan() {
-		line := sc.Text()
-		if strings.HasPrefix(line, "data: ") {
-			fmt.Fprintln(stdout, strings.TrimPrefix(line, "data: "))
+	defer ws.Close()
+	for {
+		line, err := ws.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
 		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", line)
 	}
-	return sc.Err()
 }
 
 // tailRecording prints a recording's events as JSON lines, newest last.
@@ -263,8 +232,8 @@ func cmdSLO(args []string, stdout io.Writer) (breached bool, err error) {
 	if err := fs.Parse(args); err != nil {
 		return false, err
 	}
-	var resp schedd.SLOResponse
-	if err := getJSON(normalizeAddr(*addr)+"/slo", &resp); err != nil {
+	resp, err := schedclient.New(*addr).SLO()
+	if err != nil {
 		return false, err
 	}
 	return renderSLO(stdout, resp), nil

@@ -3,7 +3,6 @@ package main
 import (
 	"bytes"
 	"encoding/json"
-	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
@@ -13,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/schedd"
+	"repro/pkg/schedclient"
 )
 
 // liveDaemon starts an in-process schedd with the recorder persisting
@@ -36,19 +36,14 @@ func liveDaemon(t *testing.T, drain bool) (string, string) {
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 
-	body := strings.NewReader(`{"count":6}`)
-	resp, err := http.Post(ts.URL+"/jobs", "application/json", body)
-	if err != nil {
+	cli := schedclient.New(ts.URL)
+	if _, err := cli.SubmitBatch(6); err != nil {
 		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("POST /jobs: %d", resp.StatusCode)
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		var stats schedd.StatsResponse
-		if err := getJSON(ts.URL+"/stats", &stats); err != nil {
+		stats, err := cli.Stats()
+		if err != nil {
 			t.Fatal(err)
 		}
 		if stats.Jobs.Completed == 6 {
@@ -215,14 +210,40 @@ func TestSLOSubcommand(t *testing.T) {
 	}
 }
 
-func TestNormalizeAddr(t *testing.T) {
-	for in, want := range map[string]string{
-		"127.0.0.1:8080":         "http://127.0.0.1:8080",
-		"http://localhost:9/":    "http://localhost:9",
-		"https://schedd.example": "https://schedd.example",
-	} {
-		if got := normalizeAddr(in); got != want {
-			t.Fatalf("normalizeAddr(%q) = %q, want %q", in, got, want)
+// TestTailLiveStream follows the live /v1/watch stream through the
+// client with a bounded -n, so the subcommand exits on its own.
+func TestTailLiveStream(t *testing.T) {
+	url, _ := liveDaemon(t, false)
+	var out, errb bytes.Buffer
+	// Events already flowed (liveDaemon waits for 6 completions), but the
+	// SSE hub only delivers new ones — submit more after subscribing.
+	done := make(chan int, 1)
+	go func() { done <- run([]string{"tail", "-addr", url, "-n", "2"}, &out, &errb) }()
+	cli := schedclient.New(url)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := cli.SubmitBatch(1); err != nil {
+			t.Error(err)
+			break
+		}
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Fatalf("tail: exit %d: %s", code, errb.String())
+			}
+			lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+			if len(lines) != 2 {
+				t.Fatalf("%d lines, want 2:\n%s", len(lines), out.String())
+			}
+			var ev schedd.WatchEvent
+			if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil || ev.Kind == "" {
+				t.Fatalf("tail line %q: %v", lines[0], err)
+			}
+			return
+		case <-time.After(20 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("tail never delivered 2 events")
 		}
 	}
 }

@@ -7,21 +7,24 @@
 // shard by the -placement policy, multiplying the paper's structural
 // one-port bottleneck by the shard count.
 //
-// Endpoints:
+// Endpoints (versioned under /v1; the unversioned legacy paths still
+// answer identically but carry a Deprecation header):
 //
-//	POST /jobs             {"count":8,"comm_scale":1,"comp_scale":1} → {"ids":[...]}
-//	GET  /jobs/{id}        one job's lifecycle, owning shard and latency
-//	GET  /jobs/{id}/trace  the job's span tree (queue/transfer/slave-wait/service)
-//	GET  /stats            merged cluster view + one section per shard
-//	GET  /decisions        recent placement/steal/migration audit entries
-//	GET  /metrics          Prometheus text exposition (disable with -metrics=false)
-//	GET  /debug/vars       the same registry as flat JSON
-//	GET  /healthz          liveness + cluster and per-shard queue depths
-//	GET  /readyz           readiness: 503 while draining; shard drain state
-//	GET  /slo              SLO burn-rate report (configure with -slo)
-//	GET  /watch            Server-Sent Events stream of lifecycle events
-//	GET  /flight           the flight recorder's raw recording (schedctl export)
-//	GET  /debug/pprof/     Go profiling surface (opt-in via -pprof)
+//	POST /v1/jobs             {"count":8,"comm_scale":1,"comp_scale":1} → {"ids":[...]}
+//	POST /v1/jobs:stream      NDJSON bulk ingest: one SubmitRequest per line,
+//	                          one ack per line back ({"line":N,"base":B,"count":C})
+//	GET  /v1/jobs/{id}        one job's lifecycle, owning shard and latency
+//	GET  /v1/jobs/{id}/trace  the job's span tree (queue/transfer/slave-wait/service)
+//	GET  /v1/stats            merged cluster view + one section per shard
+//	GET  /v1/decisions        recent placement/steal/migration audit entries
+//	GET  /v1/slo              SLO burn-rate report (configure with -slo)
+//	GET  /v1/watch            Server-Sent Events stream of lifecycle events
+//	GET  /v1/flight           the flight recorder's raw recording (schedctl export)
+//	GET  /metrics             Prometheus text exposition (disable with -metrics=false)
+//	GET  /debug/vars          the same registry as flat JSON
+//	GET  /healthz             liveness + cluster and per-shard queue depths
+//	GET  /readyz              readiness: 503 while draining; shard drain state
+//	GET  /debug/pprof/        Go profiling surface (opt-in via -pprof)
 //
 // The platform comes from -slaves "c:p,c:p,..." (explicit per-slave
 // costs) or from -class/-m/-seed (a random platform drawn exactly like
@@ -32,6 +35,10 @@
 // pending jobs from overloaded shards to underloaded ones).
 // -clock-scale compresses model time: at 1000, a platform calibrated in
 // paper seconds serves jobs a thousand times faster than nominal.
+// -virtual goes further: every shard runs on a deterministic virtual
+// clock behind the cluster's firehose intake (pure-throughput mode —
+// ingest is bounded by placement and admission cost alone), with
+// -ingest-queue bounding the enqueued-but-unadmitted backlog.
 //
 // Observability: -metrics (default true) serves the Prometheus text
 // exposition and /debug/vars; -audit-depth sizes the decision-audit
@@ -90,7 +97,11 @@ func main() {
 	partition := flag.String("partition", string(core.PartitionStriped),
 		"partition strategy: striped, balanced")
 	clockScale := flag.Float64("clock-scale", 1, "model seconds per wall second (speedup of the serving clock)")
-	maxBatch := flag.Int("max-batch", 10000, "largest count accepted by one POST /jobs")
+	virtual := flag.Bool("virtual", false,
+		"pure-throughput mode: deterministic virtual clocks behind the firehose intake (forces -clock-scale 1, incompatible with -steal)")
+	ingestQueue := flag.Int("ingest-queue", 0,
+		"bound on the enqueued-but-unadmitted job backlog behind POST /v1/jobs:stream (0: 65536)")
+	maxBatch := flag.Int("max-batch", 10000, "largest count accepted by one POST /v1/jobs and by one jobs:stream line")
 	steal := flag.String("steal", cluster.StealNone,
 		"cross-shard work-stealing policy: "+strings.Join(cluster.StealPolicyNames(), ", "))
 	stealInterval := flag.Duration("steal-interval", 50*time.Millisecond,
@@ -151,6 +162,8 @@ func main() {
 		Partition:          core.PartitionStrategy(*partition),
 		ClockScale:         *clockScale,
 		MaxBatch:           *maxBatch,
+		VirtualClock:       *virtual,
+		IngestQueueDepth:   *ingestQueue,
 		Steal:              *steal,
 		StealInterval:      *stealInterval,
 		DisableMetrics:     !*metrics,
@@ -182,6 +195,7 @@ func main() {
 		"partition", *partition,
 		"steal", *steal,
 		"clock_scale", *clockScale,
+		"virtual", *virtual,
 		"metrics", *metrics,
 		"pprof", *pprofFlag,
 		"audit_depth", *auditDepth,

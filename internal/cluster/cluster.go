@@ -79,6 +79,14 @@ type Config struct {
 	// it must be fast, non-blocking, and must not call back into the
 	// cluster. The flight recorder and /watch stream tap in here.
 	Observer func(shard int, ev live.Event)
+	// Firehose, when set, enables the batched intake path (see
+	// firehose.go): producers enqueue placed batches into per-shard MPSC
+	// queues and one in-world drain source per shard admits them. It is
+	// how external jobs reach virtual-clock shards (whose runtimes panic
+	// on external Submit) and the pure-throughput mode on any clock.
+	// Mutually exclusive with Sources; Migrate is disabled while it is
+	// on (the drain source must stay each shard's only submitter).
+	Firehose *FirehoseConfig
 }
 
 // Shard is one master–slave runtime owning a slice of the platform.
@@ -189,6 +197,28 @@ type Router struct {
 	// onMigrate, if set (before Start; see OnMigrate), observes each
 	// successful migration's realized size and wall latency.
 	onMigrate func(moved int, latencySeconds float64)
+
+	// Batched-admission scratch, all guarded by mu: loadsBuf backs
+	// loadsInto, outBuf holds PickBatch's placements, shardBufs gathers
+	// each shard's slice of a batch for direct admission, shardBase and
+	// shardCursor map placement order back to runtime-local IDs.
+	loadsBuf    []live.Load
+	outBuf      []int
+	shardBufs   [][]live.JobSpec
+	shardBase   []int
+	shardCursor []int
+
+	// Firehose state (nil/unused without Config.Firehose): fhNextLocal
+	// predicts each shard's next runtime-local ID at enqueue time (the
+	// drain source is the shard's sole submitter, so local IDs are
+	// exactly enqueue order); the drivers run each shard's Wait so the
+	// worlds execute while producers feed, and fhJoin collects them once.
+	fh          *intake
+	fhNextLocal []int
+	fhStart     sync.Once
+	fhJoin      sync.Once
+	fhErrs      chan error
+	fhErr       error
 }
 
 // New partitions the platform, builds one live runtime per shard and
@@ -217,15 +247,26 @@ func New(cfg Config) (*Router, error) {
 	if len(cfg.Sources) > 0 && k != 1 {
 		return nil, fmt.Errorf("cluster: sources require a single shard (got %d): in-world submissions bypass the router", k)
 	}
+	if cfg.Firehose != nil && len(cfg.Sources) > 0 {
+		return nil, fmt.Errorf("cluster: firehose and sources are mutually exclusive: the drain source must be each shard's only submitter")
+	}
 	parts, err := cfg.Platform.Partition(k, strategy)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	r := &Router{
-		placement: placement,
-		partition: strategy,
-		staged:    make([]int, k),
-		local2g:   make([][]int, k),
+		placement:   placement,
+		partition:   strategy,
+		staged:      make([]int, k),
+		local2g:     make([][]int, k),
+		loadsBuf:    make([]live.Load, k),
+		shardBufs:   make([][]live.JobSpec, k),
+		shardBase:   make([]int, k),
+		shardCursor: make([]int, k),
+	}
+	if cfg.Firehose != nil {
+		r.fh = newIntake(*cfg.Firehose, k)
+		r.fhNextLocal = make([]int, k)
 	}
 	if cfg.AuditDepth > 0 {
 		r.audit = obs.NewAuditRing(cfg.AuditDepth, k)
@@ -253,6 +294,12 @@ func New(cfg Config) (*Router, error) {
 		if i == 0 {
 			lcfg.Sources = cfg.Sources
 		}
+		if r.fh != nil {
+			shard := i
+			lcfg.Sources = []func(*live.Source){func(src *live.Source) {
+				r.fh.drainLoop(r, shard, src)
+			}}
+		}
 		rt, err := live.New(lcfg)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
@@ -272,10 +319,21 @@ func New(cfg Config) (*Router, error) {
 	return r, nil
 }
 
-// Start launches every shard's runtime.
+// Start launches every shard's runtime. In firehose mode it also starts
+// one driver goroutine per shard running the shard's Wait — a virtual
+// world only executes inside Wait, so the drivers are what make the
+// cluster serve while producers feed the intake. Drain joins them.
 func (r *Router) Start() {
 	for _, s := range r.shards {
 		s.rt.Start()
+	}
+	if r.fh != nil {
+		r.fhStart.Do(func() {
+			r.fhErrs = make(chan error, len(r.shards))
+			for _, s := range r.shards {
+				go func(s *Shard) { r.fhErrs <- s.rt.Wait() }(s)
+			}
+		})
 	}
 }
 
@@ -314,6 +372,20 @@ func (r *Router) Submit(spec live.JobSpec) (int, error) {
 func (r *Router) SubmitBatch(spec live.JobSpec, count int) ([]int, error) {
 	if count <= 0 {
 		return nil, nil
+	}
+	if r.fh != nil {
+		// Firehose mode: every admission goes through the intake (the
+		// drain source must stay each shard's sole submitter), and the
+		// batched path guarantees consecutive global IDs.
+		base, err := r.submitBatched(nil, spec, count)
+		if err != nil {
+			return nil, err
+		}
+		ids := make([]int, count)
+		for i := range ids {
+			ids[i] = base + i
+		}
+		return ids, nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -375,6 +447,173 @@ func (r *Router) SubmitBatch(spec live.JobSpec, count int) ([]int, error) {
 		cursor[s]++
 	}
 	return gids, nil
+}
+
+// SubmitRange places count identical jobs through the batched admission
+// path and returns the first global ID; the batch occupies the
+// consecutive range [base, base+count). One PickBatch call scores the
+// whole batch, one decision is audited for it, and nothing per-job is
+// allocated — the firehose's jobs-in-IDs-out contract.
+func (r *Router) SubmitRange(spec live.JobSpec, count int) (int, error) {
+	if count <= 0 {
+		return 0, nil
+	}
+	return r.submitBatched(nil, spec, count)
+}
+
+// SubmitSpecs places a batch of heterogeneous jobs through the batched
+// admission path and returns the first global ID (the batch occupies
+// [base, base+len(specs))). The caller keeps ownership of specs; any
+// IDs in them are ignored.
+func (r *Router) SubmitSpecs(specs []live.JobSpec) (int, error) {
+	if len(specs) == 0 {
+		return 0, nil
+	}
+	return r.submitBatched(specs, live.JobSpec{}, len(specs))
+}
+
+// submitBatched is the shared batched-admission core behind SubmitRange
+// and SubmitSpecs (and SubmitBatch in firehose mode): one PickBatch per
+// batch, one audited decision amortized over the batch, global IDs
+// assigned consecutively. In firehose mode the placed specs go to the
+// intake queues (blocking first on the depth bound, before the router
+// lock, so backpressure never stalls lookups); otherwise each shard
+// receives its slice of the batch as one direct batched admission.
+func (r *Router) submitBatched(specs []live.JobSpec, spec live.JobSpec, count int) (int, error) {
+	if r.fh != nil {
+		if err := r.fh.reserve(count); err != nil {
+			return 0, err
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.draining {
+		if r.fh != nil {
+			r.fh.release(count)
+		}
+		return 0, ErrDraining
+	}
+	for i := range r.staged {
+		r.staged[i] = 0
+	}
+	loads := r.loadsInto()
+	if cap(r.outBuf) < count {
+		r.outBuf = make([]int, count)
+	}
+	out := r.outBuf[:count]
+	if r.scoreBuf != nil {
+		for j := range r.scoreBuf {
+			r.scoreBuf[j] = math.NaN()
+		}
+	}
+	if specs != nil {
+		spec = specs[0]
+	}
+	r.placement.PickBatch(r.shards, loads, r.staged, spec, count, out, r.scoreBuf)
+	base := len(r.refs)
+	if r.audit != nil {
+		r.audit.Record(obs.Decision{
+			Wall:    time.Now().UnixNano(),
+			Kind:    obs.DecisionPlace,
+			Policy:  r.placement.Name(),
+			Job:     base,
+			From:    -1,
+			To:      out[0],
+			Planned: count,
+			N:       count,
+			Scores:  sanitizeBatchScores(r.scoreBuf),
+		})
+	}
+	if out[0] < 0 || out[0] >= len(r.shards) {
+		panic(fmt.Sprintf("cluster: placement %s batch-picked shard %d of %d", r.placement.Name(), out[0], len(r.shards)))
+	}
+	if r.fh != nil {
+		for i := 0; i < count; i++ {
+			s := out[i]
+			sp := spec
+			if specs != nil {
+				sp = specs[i]
+			}
+			local := r.fhNextLocal[s]
+			r.fhNextLocal[s]++
+			r.refs = append(r.refs, jobRef{shard: int32(s), local: int32(local)})
+			r.indexLocal(s, local, base+i)
+			r.fh.enqueue(s, sp)
+		}
+		r.fh.flushStaged()
+		return base, nil
+	}
+	for s, n := range r.staged {
+		if n > 0 {
+			if cap(r.shardBufs[s]) < n {
+				r.shardBufs[s] = make([]live.JobSpec, 0, max(n, 256))
+			}
+			r.shardBufs[s] = r.shardBufs[s][:0]
+		}
+	}
+	for i := 0; i < count; i++ {
+		s := out[i]
+		sp := spec
+		if specs != nil {
+			sp = specs[i]
+		}
+		r.shardBufs[s] = append(r.shardBufs[s], sp)
+	}
+	for s, n := range r.staged {
+		r.shardCursor[s] = 0
+		if n > 0 {
+			r.shardBase[s] = r.shards[s].rt.SubmitSpecs(r.shardBufs[s])
+		}
+	}
+	for i := 0; i < count; i++ {
+		s := out[i]
+		local := r.shardBase[s] + r.shardCursor[s]
+		r.shardCursor[s]++
+		r.refs = append(r.refs, jobRef{shard: int32(s), local: int32(local)})
+		r.indexLocal(s, local, base+i)
+	}
+	return base, nil
+}
+
+// loadsInto snapshots every shard's progress into the router's scratch
+// (the placement path's Loads without the allocation). In firehose mode
+// each shard's intake backlog is folded into Submitted, so
+// load-sensitive policies see the queued-but-unadmitted jobs they
+// themselves placed. Caller holds r.mu.
+func (r *Router) loadsInto() []live.Load {
+	for i, s := range r.shards {
+		r.loadsBuf[i] = s.rt.Load()
+		if r.fh != nil {
+			r.loadsBuf[i].Submitted += int(r.fh.shards[i].queued.Load())
+		}
+	}
+	return r.loadsBuf
+}
+
+// sanitizeBatchScores prepares a PickBatch score snapshot for the
+// audit: nil when the policy ranked nothing (the buffer is still all
+// NaN sentinels), otherwise remaining NaN slots (shards the policy
+// skipped as dead) become -1, as in sanitizeScores.
+func sanitizeBatchScores(scores []float64) []float64 {
+	if scores == nil {
+		return nil
+	}
+	any := false
+	for _, v := range scores {
+		if !math.IsNaN(v) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	for i, v := range scores {
+		if math.IsNaN(v) {
+			scores[i] = -1
+		}
+	}
+	return scores
 }
 
 // sanitizeScores prepares a Pick score buffer for the audit: a policy
@@ -473,11 +712,14 @@ func (r *Router) Loads() []live.Load {
 }
 
 // Pending returns the cluster-wide queue depth (accepted, undispatched
-// jobs summed over shards).
+// jobs summed over shards, plus any intake backlog in firehose mode).
 func (r *Router) Pending() int {
 	total := 0
 	for _, s := range r.shards {
 		total += s.rt.Pending()
+	}
+	if r.fh != nil {
+		total += r.fh.depth()
 	}
 	return total
 }
@@ -534,6 +776,13 @@ func (r *Router) Stolen() int { return int(r.stolen.Load()) }
 func (r *Router) Migrate(from, to, n int) int {
 	if from == to || n <= 0 ||
 		from < 0 || from >= len(r.shards) || to < 0 || to >= len(r.shards) {
+		return 0
+	}
+	if r.fh != nil {
+		// Firehose mode disables migration: local IDs are predicted at
+		// enqueue time under the sole-submitter invariant, and a re-homed
+		// job would make the destination's drain source no longer the
+		// only submitter.
 		return 0
 	}
 	r.mu.Lock()
@@ -612,6 +861,16 @@ func (r *Router) Drain() error {
 	// finish — otherwise a job stolen from a draining shard could be
 	// submitted to a master that already exited.
 	r.migrations.Wait()
+	if r.fh != nil {
+		// Firehose drain: make sure the shard drivers exist, close the
+		// intake (waking blocked producers with ErrDraining and parked
+		// drain sources), and join the drivers. Each drain source submits
+		// its remaining slabs and then drains its runtime from inside the
+		// world — the only legal drain on a virtual clock.
+		r.Start()
+		r.fh.close()
+		return r.joinFirehose()
+	}
 	errs := make([]error, len(r.shards))
 	var wg sync.WaitGroup
 	for i, s := range r.shards {
@@ -626,10 +885,32 @@ func (r *Router) Drain() error {
 	return errors.Join(errs...)
 }
 
+// joinFirehose collects the shard drivers' results exactly once.
+func (r *Router) joinFirehose() error {
+	r.fhJoin.Do(func() {
+		var errs []error
+		for range r.shards {
+			if err := <-r.fhErrs; err != nil {
+				errs = append(errs, err)
+			}
+		}
+		r.fhErr = errors.Join(errs...)
+	})
+	return r.fhErr
+}
+
 // Wait blocks until every shard's run completes without initiating a
 // drain — for clusters whose sources end the run from inside the world
 // (the virtual-clock conformance path).
 func (r *Router) Wait() error {
+	if r.fh != nil {
+		// The shard drivers own the runtimes' Wait in firehose mode (a
+		// second concurrent Wait on a virtual world is not allowed);
+		// joining them is the wait. It returns once Drain has closed the
+		// intake and every shard has finished.
+		r.Start()
+		return r.joinFirehose()
+	}
 	errs := make([]error, len(r.shards))
 	var wg sync.WaitGroup
 	for i, s := range r.shards {

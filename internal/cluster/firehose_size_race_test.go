@@ -1,0 +1,7 @@
+//go:build race
+
+package cluster
+
+// firehoseSmokeJobs under the race detector: a 100k subset — the same
+// intake/drain interleavings at a wall cost CI can afford.
+const firehoseSmokeJobs = 100_000

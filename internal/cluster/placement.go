@@ -29,6 +29,20 @@ type Placement interface {
 	// untouched; the router passes nil when auditing is off, so scoring
 	// costs nothing on unaudited ingest.
 	Pick(shards []*Shard, loads []live.Load, staged []int, spec live.JobSpec, scores []float64) int
+
+	// PickBatch places count jobs at once, filling out[:count] with shard
+	// indices and advancing staged as it goes — the firehose admission
+	// path. It must produce the same placement sequence as count
+	// successive Picks over the same state, but may amortize whatever the
+	// per-job path recomputes: het-aware takes each shard's tracker lock
+	// once per batch (serviceRate) instead of once per job per shard, and
+	// no per-job interface dispatch or score buffer touches remain.
+	//
+	// scores, when non-nil, is filled once with the per-shard ranking as
+	// of the top of the batch (the state the whole batch was scored
+	// against) — one audited decision amortized over count jobs. Policies
+	// that rank nothing leave it untouched.
+	PickBatch(shards []*Shard, loads []live.Load, staged []int, spec live.JobSpec, count int, out []int, scores []float64)
 }
 
 // Registered placement policy names.
@@ -82,7 +96,7 @@ func NewPlacement(name string) (Placement, error) {
 	case PlacementLeastLoaded:
 		return leastLoaded{}, nil
 	case PlacementHetAware:
-		return hetAware{}, nil
+		return &hetAware{}, nil
 	case PlacementPinned:
 		return pinned{}, nil
 	}
@@ -114,6 +128,37 @@ func (p *roundRobin) Pick(shards []*Shard, _ []live.Load, _ []int, _ live.JobSpe
 	return s
 }
 
+// PickBatch cycles exactly as count successive Picks would, skipping
+// dead shards; when every shard is down it degrades to the same blind
+// cycle as Pick.
+func (p *roundRobin) PickBatch(shards []*Shard, _ []live.Load, staged []int, _ live.JobSpec, count int, out []int, _ []float64) {
+	k := len(shards)
+	for n := 0; n < count; n++ {
+		anyLive := false
+		for i := range shards {
+			if shards[i].LiveSlaves() > 0 {
+				anyLive = true
+				break
+			}
+		}
+		if !anyLive {
+			out[n] = p.next
+			p.next = (p.next + 1) % k
+			staged[out[n]]++
+			continue
+		}
+		for {
+			s := p.next
+			p.next = (s + 1) % k
+			if shards[s].LiveSlaves() > 0 {
+				out[n] = s
+				staged[s]++
+				break
+			}
+		}
+	}
+}
+
 type leastLoaded struct{}
 
 func (leastLoaded) Name() string { return PlacementLeastLoaded }
@@ -137,16 +182,47 @@ func (leastLoaded) Pick(shards []*Shard, loads []live.Load, staged []int, _ live
 	return best
 }
 
-type hetAware struct{}
+// PickBatch is the argmin loop of Pick run count times with the staged
+// counters advanced in place — Outstanding() is pure arithmetic on the
+// batch-top snapshot, so there is nothing per-job to amortize beyond
+// dropping the interface dispatch and score writes.
+func (leastLoaded) PickBatch(shards []*Shard, loads []live.Load, staged []int, _ live.JobSpec, count int, out []int, scores []float64) {
+	if scores != nil {
+		for i := range loads {
+			scores[i] = float64(loads[i].Outstanding() + staged[i])
+		}
+	}
+	for n := 0; n < count; n++ {
+		best, bestLoad := -1, 0
+		for pass := 0; pass < 2 && best < 0; pass++ {
+			for i := range loads {
+				if pass == 0 && shards[i].LiveSlaves() == 0 {
+					continue
+				}
+				load := loads[i].Outstanding() + staged[i]
+				if best < 0 || load < bestLoad {
+					best, bestLoad = i, load
+				}
+			}
+		}
+		out[n] = best
+		staged[best]++
+	}
+}
 
-func (hetAware) Name() string { return PlacementHetAware }
+// hetAware carries a per-batch scratch of learned service rates; the
+// Router serializes all placement under its lock, so the scratch needs
+// no synchronization.
+type hetAware struct{ rates []float64 }
+
+func (*hetAware) Name() string { return PlacementHetAware }
 
 // Pick minimizes expected completion time (outstanding + 1) / rate_i.
 // The job's own scale knobs multiply its cost identically on every
 // shard, so they never change the argmin and are ignored. Ties break on
 // the lowest shard index, keeping placement deterministic for a given
 // load state.
-func (hetAware) Pick(shards []*Shard, loads []live.Load, staged []int, _ live.JobSpec, scores []float64) int {
+func (*hetAware) Pick(shards []*Shard, loads []live.Load, staged []int, _ live.JobSpec, scores []float64) int {
 	best, bestECT := -1, 0.0
 	for pass := 0; pass < 2 && best < 0; pass++ {
 		for i, sh := range shards {
@@ -166,6 +242,44 @@ func (hetAware) Pick(shards []*Shard, loads []live.Load, staged []int, _ live.Jo
 	return best
 }
 
+// PickBatch is where batching pays for het-aware: serviceRate takes the
+// shard tracker's lock, and the per-job path pays that lock k times per
+// job. Here every rate is sampled once at the top of the batch — count
+// jobs then place against pure arithmetic. Rates drift only with
+// completions, so a batch scored against one sample places exactly as
+// count Picks against an unchanged snapshot would.
+func (h *hetAware) PickBatch(shards []*Shard, loads []live.Load, staged []int, _ live.JobSpec, count int, out []int, scores []float64) {
+	k := len(shards)
+	if cap(h.rates) < k {
+		h.rates = make([]float64, k)
+	}
+	rates := h.rates[:k]
+	for i, sh := range shards {
+		rates[i] = sh.serviceRate(loads[i])
+	}
+	if scores != nil {
+		for i := range shards {
+			scores[i] = float64(loads[i].Outstanding()+staged[i]+1) / rates[i]
+		}
+	}
+	for n := 0; n < count; n++ {
+		best, bestECT := -1, 0.0
+		for pass := 0; pass < 2 && best < 0; pass++ {
+			for i, sh := range shards {
+				if pass == 0 && sh.LiveSlaves() == 0 {
+					continue
+				}
+				ect := float64(loads[i].Outstanding()+staged[i]+1) / rates[i]
+				if best < 0 || ect < bestECT {
+					best, bestECT = i, ect
+				}
+			}
+		}
+		out[n] = best
+		staged[best]++
+	}
+}
+
 type pinned struct{}
 
 func (pinned) Name() string { return PlacementPinned }
@@ -177,6 +291,17 @@ func (pinned) Pick(shards []*Shard, _ []live.Load, _ []int, _ live.JobSpec, _ []
 		}
 	}
 	return 0
+}
+
+// PickBatch pins the whole batch on the first live shard (re-resolved
+// once per batch, not per job — the diagnostic skew is per-batch
+// faithful).
+func (pinned) PickBatch(shards []*Shard, loads []live.Load, staged []int, spec live.JobSpec, count int, out []int, _ []float64) {
+	s := pinned{}.Pick(shards, loads, staged, spec, nil)
+	for n := 0; n < count; n++ {
+		out[n] = s
+	}
+	staged[s] += count
 }
 
 // serviceRate is the shard's estimated sustainable throughput in tasks

@@ -183,6 +183,37 @@ func (rt *Runtime) SubmitBatch(spec JobSpec, count int) []int {
 	return ids
 }
 
+// SubmitSpecs injects a batch of heterogeneous jobs under one lock
+// acquisition and returns the first assigned ID; the batch occupies the
+// consecutive range [base, base+len(specs)) in submission order. This is
+// the firehose admission path: a drained intake slab becomes exactly one
+// runtime critical section, and returning only the range base keeps the
+// call allocation-free regardless of batch size. The caller keeps
+// ownership of specs; per-spec IDs are stamped on posted copies only.
+// Only real worlds accept external submissions; virtual worlds panic
+// (use Source.SubmitSpecs).
+func (rt *Runtime) SubmitSpecs(specs []JobSpec) int {
+	return rt.submitSpecs(rt.world.Post, specs)
+}
+
+// submitSpecs is the shared batched-admission core: one lock held across
+// every post so concurrent submitters cannot interleave IDs mid-batch.
+func (rt *Runtime) submitSpecs(post func(dst int, m Msg), specs []JobSpec) int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.draining {
+		panic("live: Submit after Drain")
+	}
+	base := rt.nextID
+	for i := range specs {
+		sp := specs[i]
+		sp.ID = rt.nextID
+		rt.nextID++
+		post(rt.prog.masterID, Msg{Kind: msgSubmit, Task: sp.ID, Job: sp})
+	}
+	return base
+}
+
 // Load is a point-in-time progress snapshot of a runtime, cheap enough
 // to poll per placement decision: Submitted counts jobs accepted by
 // Submit/SubmitBatch/sources, Admitted those the master has enqueued
@@ -399,6 +430,16 @@ func (s *Source) SleepUntil(t float64) {
 
 // Submit submits one job at the current instant and returns its ID.
 func (s *Source) Submit(spec JobSpec) int { return s.rt.submitFrom(s.n, spec) }
+
+// SubmitSpecs submits a batch of heterogeneous jobs at the current
+// instant under one runtime lock acquisition and returns the first
+// assigned ID (the batch is [base, base+len(specs))). On a virtual
+// world each post is a synchronous mailbox append — the whole batch is
+// admitted without yielding, which is what makes the firehose drain
+// cheap: one kernel wake absorbs an arbitrarily large slab.
+func (s *Source) SubmitSpecs(specs []JobSpec) int {
+	return s.rt.submitSpecs(s.n.Post, specs)
+}
 
 // Drain tells the master no more jobs are coming (from any source or
 // external submitter).

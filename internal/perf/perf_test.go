@@ -47,7 +47,18 @@
 //   - BenchmarkFlightAppend — the PR-8 flight recorder's append path
 //     (event, span and decision frames into a memory-only segment
 //     ring), CPU-bound and hard-gated: the contract is 0 allocs/op at
-//     steady state, rotation included (sealed buffers are recycled).
+//     steady state, rotation included (sealed buffers are recycled);
+//   - BenchmarkFirehoseIngest — the PR-9 firehose admission path:
+//     SubmitRange batches into an unstarted cluster's intake queues
+//     (one PickBatch, global-ID bookkeeping, slab enqueue; nothing
+//     drains), CPU-bound and hard-gated. The steady-state contract is
+//     at most 1 alloc per job — BENCH_PR9.json's ingest_allocs_per_job
+//     gate pins the same number from paperbench;
+//   - BenchmarkPickBatch — the batched placement decision alone (one
+//     PickBatch call scoring a 1000-job batch, per policy), CPU-bound
+//     and hard-gated: the per-job cost here is what amortizing one
+//     decision over a batch buys over BenchmarkClusterPlacement's
+//     per-job Pick loop.
 //
 // Keep these benchmarks deterministic in their workloads (fixed seeds,
 // fixed scales): the gate compares ns/op and allocs/op across commits,
@@ -463,6 +474,95 @@ func BenchmarkInstrumentedIngest(b *testing.B) {
 				if r.Jobs() != 1000 {
 					b.Fatalf("routed %d of 1000", r.Jobs())
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkFirehoseIngest isolates the firehose admission path: 10
+// SubmitRange batches of 1000 jobs into an unstarted 4-shard cluster
+// whose intake queues are deep enough to hold everything (nothing
+// drains, nothing sleeps). One op pays one PickBatch, the global-ID
+// bookkeeping and the slab enqueue per batch — the exact work the
+// 1M-job stream endpoint repeats per NDJSON line. CPU-bound, fully
+// gated; the allocs/op column divided by 10000 jobs is the ≤1 alloc/job
+// contract.
+func BenchmarkFirehoseIngest(b *testing.B) {
+	pl := core.NewPlatform(
+		[]float64{0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1},
+		[]float64{0.5, 1, 1.5, 2, 0.5, 1, 1.5, 2})
+	for _, placement := range []string{"round-robin", "least-loaded", "het-aware"} {
+		b.Run(placement, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := cluster.New(cluster.Config{
+					Platform:     pl,
+					NewScheduler: func() sim.Scheduler { return sched.New("LS") },
+					Shards:       4,
+					Placement:    placement,
+					Partition:    core.PartitionBalanced,
+					World:        func(int) live.World { return live.NewRealTime(50000) },
+					Firehose:     &cluster.FirehoseConfig{QueueDepth: 16384},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for batch := 0; batch < 10; batch++ {
+					if _, err := r.SubmitRange(live.JobSpec{}, 1000); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if r.Jobs() != 10000 {
+					b.Fatalf("routed %d of 10000", r.Jobs())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPickBatch measures the batched placement decision alone: one
+// PickBatch call scoring a 1000-job batch against a fixed 4-shard
+// cluster with synthetic skewed loads. This is the decision SubmitRange
+// amortizes over a whole batch; compare against
+// BenchmarkClusterPlacement (per-job Pick) to see what the batching
+// buys. CPU-bound, fully gated.
+func BenchmarkPickBatch(b *testing.B) {
+	pl := core.NewPlatform(
+		[]float64{0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1},
+		[]float64{0.5, 1, 1.5, 2, 0.5, 1, 1.5, 2})
+	r, err := cluster.New(cluster.Config{
+		Platform:     pl,
+		NewScheduler: func() sim.Scheduler { return sched.New("LS") },
+		Shards:       4,
+		Partition:    core.PartitionBalanced,
+		World:        func(int) live.World { return live.NewRealTime(50000) },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	shards := r.Shards()
+	loads := []live.Load{
+		{Submitted: 900, Admitted: 900, Completed: 100},
+		{Submitted: 400, Admitted: 400, Completed: 200},
+		{Submitted: 100, Admitted: 100, Completed: 90},
+		{Submitted: 600, Admitted: 600, Completed: 50},
+	}
+	staged := make([]int, len(shards))
+	out := make([]int, 1000)
+	scores := make([]float64, len(shards))
+	for _, name := range []string{"round-robin", "least-loaded", "het-aware"} {
+		policy, err := cluster.NewPlacement(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range staged {
+					staged[j] = 0
+				}
+				policy.PickBatch(shards, loads, staged, live.JobSpec{}, len(out), out, scores)
 			}
 		})
 	}

@@ -119,12 +119,23 @@ func (h *watchHub) unsubscribe(id int) {
 
 func (h *watchHub) subscribers() int { return int(h.nsubs.Load()) }
 
+// watchMaxLimit caps an explicit ?limit= on GET /watch: a bounded
+// subscription can still be generous, but never unbounded by accident.
+const watchMaxLimit = 1 << 20
+
 // handleWatch serves GET /watch: a Server-Sent Events stream of every
 // lifecycle event on every shard (data: one WatchEvent JSON object per
-// event), until the client disconnects. A slow client loses events (the
+// event), until the client disconnects — or, with ?limit=N, until N
+// events have been delivered (a bounded tail for scripts that cannot
+// hold a connection open). A slow client loses events (the
 // per-subscriber buffer is bounded; drops are counted in /stats), never
 // slows the cluster.
 func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	limit, err := queryLimit(r, 0, watchMaxLimit, "limit")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		httpError(w, http.StatusInternalServerError, "streaming unsupported")
@@ -138,6 +149,7 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	defer s.watch.unsubscribe(id)
 	keepalive := time.NewTicker(15 * time.Second)
 	defer keepalive.Stop()
+	sent := 0
 	for {
 		select {
 		case <-r.Context().Done():
@@ -151,6 +163,9 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			fl.Flush()
+			if sent++; limit > 0 && sent >= limit {
+				return
+			}
 		case <-keepalive.C:
 			if _, err := w.Write([]byte(": keepalive\n\n")); err != nil {
 				return
@@ -205,8 +220,13 @@ func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
 }
 
 // sloNow is the SLO engine's time base: wall seconds since the service
-// started (the engine itself reads no clock).
-func (s *Server) sloNow() float64 { return time.Since(s.started).Seconds() }
+// started (the engine itself reads no clock). It shares the injectable
+// server clock with uptime so frozen-clock tests see stable bodies.
+func (s *Server) sloNow() float64 { return s.uptime() }
+
+// uptime is wall seconds since the service started, on the injectable
+// server clock.
+func (s *Server) uptime() float64 { return s.now().Sub(s.started).Seconds() }
 
 // statusWriter captures the response status for the per-route
 // availability accounting, passing Flush through so SSE still streams.
@@ -234,6 +254,11 @@ func (w *statusWriter) Flush() {
 		f.Flush()
 	}
 }
+
+// Unwrap exposes the wrapped writer to http.ResponseController, so
+// handlers behind the counted wrapper can still reach controls the
+// wrapper doesn't forward (the stream endpoint's full-duplex switch).
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // startSnapshots begins the periodic metrics-snapshot journaling: every
 // interval, the registry's JSON view is appended to the recording as a

@@ -52,9 +52,25 @@ type Config struct {
 	// ClockScale is the speedup of the serving clock (model seconds per
 	// wall second); non-positive means 1. A platform calibrated in paper
 	// seconds can be served thousands of times faster than nominal.
+	// Ignored (forced to 1) in VirtualClock mode.
 	ClockScale float64
-	// MaxBatch caps the count accepted by one POST /jobs (default 10000).
+	// MaxBatch caps the count accepted by one POST /jobs and by one line
+	// of POST /v1/jobs:stream (default 10000).
 	MaxBatch int
+	// VirtualClock switches the service into pure-throughput mode: every
+	// shard runs on a deterministic virtual clock (live.NewVirtual) behind
+	// the cluster's firehose intake, so ingest is bounded by placement and
+	// admission cost alone, never by wall-clock pacing. ClockScale is
+	// forced to 1 (virtual model seconds have no wall anchor) and Steal
+	// must be off — migration is incompatible with the firehose's
+	// sole-submitter invariant (see cluster.FirehoseConfig).
+	VirtualClock bool
+	// IngestQueueDepth bounds the enqueued-but-not-yet-admitted backlog
+	// behind POST /v1/jobs:stream. In VirtualClock mode it is the firehose
+	// intake's QueueDepth (0 means that mode's 65536 default); on a real
+	// clock the stream handler throttles while the cluster's pending
+	// population is at or above it (0 means 65536).
+	IngestQueueDepth int
 	// Steal names the cross-shard work-stealing policy; empty or "none"
 	// serves without a rebalancer (the PR-5 cluster, bit for bit).
 	Steal string
@@ -115,6 +131,17 @@ type Server struct {
 	mux        *http.ServeMux
 	started    time.Time
 
+	// now is the server's wall clock (time.Now in production). Uptime and
+	// the SLO time base flow through it so tests can freeze the clock and
+	// compare response bodies byte for byte.
+	now func() time.Time
+
+	// ingestDepth is the resolved IngestQueueDepth; firehose is true in
+	// VirtualClock mode, where backpressure comes from the cluster intake
+	// itself rather than the stream handler's pending-population throttle.
+	ingestDepth int
+	firehose    bool
+
 	// metrics is the zero-dependency registry behind GET /metrics and
 	// GET /debug/vars (nil with DisableMetrics). Almost everything in it
 	// is a Func metric sampled at scrape time from counters the stack
@@ -170,6 +197,14 @@ func New(cfg Config) (*Server, error) {
 	if err := cluster.ValidateStealPolicy(cfg.Steal); err != nil {
 		return nil, fmt.Errorf("schedd: %w", err)
 	}
+	if cfg.VirtualClock {
+		if cfg.Steal != cluster.StealNone {
+			return nil, fmt.Errorf("schedd: virtual-clock mode cannot steal (firehose admission predicts runtime-local IDs, so each shard must have exactly one submitter)")
+		}
+		// Virtual model seconds have no wall anchor: latency conversions
+		// divide by the scale, and 1 keeps them in model seconds.
+		cfg.ClockScale = 1
+	}
 	// Observability defaults: audit and a bounded event log are on
 	// unless explicitly turned off (negative). The event-log cap is the
 	// satellite fix for unbounded growth in long-running serving mode —
@@ -189,7 +224,12 @@ func New(cfg Config) (*Server, error) {
 	case eventCap < 0:
 		eventCap = 0
 	}
-	s := &Server{cfg: cfg, started: time.Now(), watch: newWatchHub()}
+	s := &Server{cfg: cfg, started: time.Now(), now: time.Now, watch: newWatchHub()}
+	s.firehose = cfg.VirtualClock
+	s.ingestDepth = cfg.IngestQueueDepth
+	if s.ingestDepth <= 0 {
+		s.ingestDepth = 65536
+	}
 	// SLO monitors first: the HTTP wrapper and completion hooks feed
 	// them, so they must exist before either is built.
 	windows := make([]float64, 0, len(cfg.SLOWindows))
@@ -225,7 +265,16 @@ func New(cfg Config) (*Server, error) {
 	// Every shard shares one model-time epoch: cross-shard windows (the
 	// merged first-submission-to-last-completion span in Stats) compare
 	// timestamps across shards, which is only meaningful on one clock.
+	// Virtual mode replaces the scaled wall clock with a deterministic
+	// vclock per shard and routes all admission through the firehose
+	// intake (bounded MPSC queues drained in slab-sized batches).
 	epoch := time.Now()
+	world := func(int) live.World { return live.NewRealTimeFrom(cfg.ClockScale, epoch) }
+	var firehose *cluster.FirehoseConfig
+	if cfg.VirtualClock {
+		world = func(int) live.World { return live.NewVirtual() }
+		firehose = &cluster.FirehoseConfig{QueueDepth: s.ingestDepth}
+	}
 	router, err := cluster.New(cluster.Config{
 		Platform:     cfg.Platform,
 		NewScheduler: func() sim.Scheduler { return sched.New(cfg.Policy) },
@@ -234,7 +283,8 @@ func New(cfg Config) (*Server, error) {
 		Partition:    cfg.Partition,
 		AuditDepth:   auditDepth,
 		EventLogCap:  eventCap,
-		World:        func(int) live.World { return live.NewRealTimeFrom(cfg.ClockScale, epoch) },
+		World:        world,
+		Firehose:     firehose,
 		// The tap reads s.router, assigned below before any event can
 		// flow (events are job-driven and jobs only arrive over HTTP
 		// after New returns).
@@ -275,29 +325,7 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /jobs", s.counted("jobs", s.handleSubmit))
-	s.mux.HandleFunc("GET /jobs/{id}", s.counted("job", s.handleJob))
-	s.mux.HandleFunc("GET /jobs/{id}/trace", s.counted("trace", s.handleTrace))
-	s.mux.HandleFunc("GET /stats", s.counted("stats", s.handleStats))
-	s.mux.HandleFunc("GET /decisions", s.counted("decisions", s.handleDecisions))
-	s.mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealthz))
-	s.mux.HandleFunc("GET /readyz", s.counted("readyz", s.handleReadyz))
-	s.mux.HandleFunc("GET /slo", s.counted("slo", s.handleSLO))
-	s.mux.HandleFunc("GET /watch", s.counted("watch", s.handleWatch))
-	if s.recorder != nil {
-		s.mux.HandleFunc("GET /flight", s.counted("flight", s.handleFlight))
-	}
-	if s.metrics != nil {
-		s.mux.HandleFunc("GET /metrics", s.counted("metrics", s.handleMetrics))
-		s.mux.HandleFunc("GET /debug/vars", s.counted("vars", s.handleVars))
-	}
-	if cfg.Pprof {
-		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
-		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
+	s.registerRoutes()
 	if s.recorder != nil && s.metrics != nil {
 		interval := cfg.SnapshotInterval
 		if interval <= 0 {
@@ -373,7 +401,7 @@ func (s *Server) registerMetrics() {
 			labels, func() float64 { return float64(sh.Runtime().EventsDropped()) })
 	}
 	r.GaugeFunc("schedd_uptime_seconds", "Wall seconds since the service started.",
-		"", func() float64 { return time.Since(s.started).Seconds() })
+		"", s.uptime)
 	r.GaugeFunc("schedd_draining", "1 while the service is draining, else 0.",
 		"", func() float64 {
 			if s.router.Draining() {
@@ -472,6 +500,92 @@ func (s *Server) counted(route string, h http.HandlerFunc) http.HandlerFunc {
 				m.Record(now, sw.status < http.StatusInternalServerError)
 			}
 		}
+	}
+}
+
+// route is one row of the service's HTTP surface. The canonical pattern
+// is method+" "+path; rows with an alias also serve the pre-/v1
+// unversioned path, marked deprecated via response headers.
+type route struct {
+	// method is the HTTP method ("" registers the bare path, matching
+	// every method — only the pprof prefix handler needs that).
+	method string
+	// path is the canonical pattern (versioned rows live under /v1).
+	path string
+	// name labels the route in per-route metrics; "" skips the counted
+	// wrapper (pprof brings its own handlers).
+	name string
+	h    http.HandlerFunc
+	// alias is the legacy unversioned path served as a deprecated alias
+	// of a /v1 row ("" for none). Alias bodies are byte-identical to the
+	// canonical route's; only the deprecation headers differ.
+	alias string
+}
+
+// routes assembles the route table: the /v1 surface with its legacy
+// aliases, the infra probes (never versioned — load balancers and
+// scrapers hardcode them), and the opt-in surfaces present only when
+// their subsystem is on.
+func (s *Server) routes() []route {
+	rs := []route{
+		{"POST", "/v1/jobs", "jobs", s.handleSubmit, "/jobs"},
+		{"POST", "/v1/jobs:stream", "stream", s.handleStream, ""},
+		{"GET", "/v1/jobs/{id}", "job", s.handleJob, "/jobs/{id}"},
+		{"GET", "/v1/jobs/{id}/trace", "trace", s.handleTrace, "/jobs/{id}/trace"},
+		{"GET", "/v1/stats", "stats", s.handleStats, "/stats"},
+		{"GET", "/v1/decisions", "decisions", s.handleDecisions, "/decisions"},
+		{"GET", "/v1/slo", "slo", s.handleSLO, "/slo"},
+		{"GET", "/v1/watch", "watch", s.handleWatch, "/watch"},
+		{"GET", "/healthz", "healthz", s.handleHealthz, ""},
+		{"GET", "/readyz", "readyz", s.handleReadyz, ""},
+	}
+	if s.recorder != nil {
+		rs = append(rs, route{"GET", "/v1/flight", "flight", s.handleFlight, "/flight"})
+	}
+	if s.metrics != nil {
+		rs = append(rs,
+			route{"GET", "/metrics", "metrics", s.handleMetrics, ""},
+			route{"GET", "/debug/vars", "vars", s.handleVars, ""})
+	}
+	if s.cfg.Pprof {
+		rs = append(rs,
+			route{"", "/debug/pprof/", "", pprof.Index, ""},
+			route{"", "/debug/pprof/cmdline", "", pprof.Cmdline, ""},
+			route{"", "/debug/pprof/profile", "", pprof.Profile, ""},
+			route{"", "/debug/pprof/symbol", "", pprof.Symbol, ""},
+			route{"", "/debug/pprof/trace", "", pprof.Trace, ""})
+	}
+	return rs
+}
+
+// registerRoutes mounts the route table on the mux: each row's canonical
+// pattern, plus — for aliased rows — the legacy path wrapped with the
+// standard deprecation headers pointing at the /v1 successor.
+func (s *Server) registerRoutes() {
+	for _, rt := range s.routes() {
+		h := rt.h
+		if rt.name != "" {
+			h = s.counted(rt.name, h)
+		}
+		pattern := rt.path
+		if rt.method != "" {
+			pattern = rt.method + " " + rt.path
+		}
+		s.mux.HandleFunc(pattern, h)
+		if rt.alias != "" {
+			s.mux.HandleFunc(rt.method+" "+rt.alias, deprecated(rt.path, h))
+		}
+	}
+}
+
+// deprecated wraps a legacy alias: the response carries a Deprecation
+// header and a successor-version Link to the /v1 route, and is otherwise
+// byte-identical to the canonical one.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h(w, r)
 	}
 }
 
@@ -712,7 +826,7 @@ func (s *Server) Stats() StatsResponse {
 		Placement:     s.cfg.Placement,
 		Partition:     string(s.cfg.Partition),
 		ClockScale:    s.cfg.ClockScale,
-		UptimeSeconds: time.Since(s.started).Seconds(),
+		UptimeSeconds: s.uptime(),
 		Draining:      s.router.Draining(),
 	}
 	var latParts []stats.Summary
@@ -857,7 +971,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		OK:               true,
 		Policy:           s.cfg.Policy,
 		Shards:           len(s.router.Shards()),
-		UptimeSeconds:    time.Since(s.started).Seconds(),
+		UptimeSeconds:    s.uptime(),
 		Draining:         s.router.Draining(),
 		QueueDepth:       total,
 		ShardQueueDepths: depths,
@@ -1031,22 +1145,32 @@ const (
 	decisionsMaxLimit     = 1000
 )
 
-func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
-	n := decisionsDefaultLimit
-	q := r.URL.Query().Get("limit")
-	if q == "" {
-		q = r.URL.Query().Get("n") // legacy alias for limit
-	}
-	if q != "" {
+// queryLimit parses a bounds-checked list limit from the first of the
+// named query parameters that is present (earlier names win — the
+// canonical name goes first, legacy aliases after). An absent value
+// yields def; a value above max is silently capped; anything that is not
+// a positive integer is an error naming the offending parameter. Shared
+// by every list endpoint so "?limit=" means one thing service-wide.
+func queryLimit(r *http.Request, def, max int, names ...string) (int, error) {
+	for _, name := range names {
+		q := r.URL.Query().Get(name)
+		if q == "" {
+			continue
+		}
 		v, err := strconv.Atoi(q)
 		if err != nil || v < 1 {
-			httpError(w, http.StatusBadRequest, "bad limit: want a positive integer")
-			return
+			return 0, fmt.Errorf("bad %s: want a positive integer", name)
 		}
-		if v > decisionsMaxLimit {
-			v = decisionsMaxLimit
-		}
-		n = v
+		return min(v, max), nil
+	}
+	return def, nil
+}
+
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	n, err := queryLimit(r, decisionsDefaultLimit, decisionsMaxLimit, "limit", "n")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
 	}
 	a := s.router.Audit()
 	resp := DecisionsResponse{Enabled: a != nil, Dropped: a.Dropped()}

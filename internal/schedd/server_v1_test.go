@@ -1,0 +1,464 @@
+package schedd
+
+// Tests for the /v1 API surface: golden byte-identity between legacy
+// aliases and their /v1 successors, the shared list-limit helper, the
+// NDJSON bulk-ingest stream (happy path and every error path), and the
+// virtual-clock pure-throughput mode.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// fetch does one GET and returns status, body and headers.
+func fetch(t *testing.T, url string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body, resp.Header
+}
+
+// TestV1AliasGolden pins the compatibility contract of the API
+// versioning: every legacy route is an alias of its /v1 successor with a
+// byte-identical body — only the deprecation headers differ. The server
+// clock is frozen so time-bearing fields (uptime, SLO burn windows)
+// cannot drift between the paired requests, and the comparison runs
+// after Drain so every body is stable.
+func TestV1AliasGolden(t *testing.T) {
+	s, err := New(Config{
+		Platform: core.NewPlatform(
+			[]float64{0.2, 0.4, 0.2, 0.4},
+			[]float64{1, 2, 1, 2}),
+		Policy:     "LS",
+		Shards:     2,
+		ClockScale: 8000,
+		SLOs:       []obs.Objective{{Name: "p99", Kind: obs.ObjectiveLatency, ThresholdSeconds: 0.5, Target: 0.99}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// Freeze the injectable clock before any comparison; completions may
+	// still be recorded against it, so freeze after the traffic drains.
+	if code := postJSON(t, ts.URL+"/jobs", SubmitRequest{Count: 20}, nil); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d", code)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	frozen := s.started.Add(3 * time.Second)
+	s.now = func() time.Time { return frozen }
+
+	pairs := []string{
+		"/stats",
+		"/decisions",
+		"/decisions?limit=5",
+		"/slo",
+		"/flight",
+		"/jobs/0",
+		"/jobs/0/trace",
+		"/jobs/99999", // 404 bodies are part of the contract too
+	}
+	for _, p := range pairs {
+		legacyCode, legacyBody, legacyHdr := fetch(t, ts.URL+p)
+		v1Code, v1Body, v1Hdr := fetch(t, ts.URL+"/v1"+p)
+		if legacyCode != v1Code {
+			t.Fatalf("%s: legacy status %d, v1 status %d", p, legacyCode, v1Code)
+		}
+		if !bytes.Equal(legacyBody, v1Body) {
+			t.Fatalf("%s: legacy and /v1 bodies differ:\n%s\n---\n%s", p, legacyBody, v1Body)
+		}
+		if legacyHdr.Get("Deprecation") != "true" {
+			t.Fatalf("%s: legacy response missing Deprecation header", p)
+		}
+		if link := legacyHdr.Get("Link"); !strings.Contains(link, "/v1/") || !strings.Contains(link, `rel="successor-version"`) {
+			t.Fatalf("%s: legacy Link header %q", p, link)
+		}
+		if v1Hdr.Get("Deprecation") != "" {
+			t.Fatalf("%s: /v1 response carries a Deprecation header", p)
+		}
+	}
+
+	// The drained POST path: both routes refuse with the same 503 body.
+	for _, p := range []string{"/jobs", "/v1/jobs"} {
+		resp, err := http.Post(ts.URL+p, "application/json", strings.NewReader(`{"count":1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("POST %s after drain: %d", p, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), "draining") {
+			t.Fatalf("POST %s body %q", p, body)
+		}
+	}
+}
+
+// TestQueryLimit is the table test for the shared list-limit helper:
+// default, cap, alias order and garbage handling must be uniform across
+// every list endpoint that uses it.
+func TestQueryLimit(t *testing.T) {
+	cases := []struct {
+		query   string
+		want    int
+		wantErr string
+	}{
+		{"", 50, ""},                 // absent: default
+		{"limit=7", 7, ""},           // plain
+		{"limit=1000", 1000, ""},     // at the cap
+		{"limit=5000", 1000, ""},     // above the cap: silently capped
+		{"n=9", 9, ""},               // legacy alias
+		{"limit=2&n=9", 2, ""},       // canonical name wins
+		{"n=2&limit=9", 9, ""},       // ...regardless of query order
+		{"limit=0", 0, "bad limit"},  // zero is not a positive integer
+		{"limit=-3", 0, "bad limit"}, // negative
+		{"limit=abc", 0, "bad limit"},
+		{"n=abc", 0, "bad n"}, // errors name the offending parameter
+		{"limit=abc&n=5", 0, "bad limit"},
+	}
+	for _, tc := range cases {
+		r := httptest.NewRequest("GET", "/decisions?"+tc.query, nil)
+		got, err := queryLimit(r, 50, 1000, "limit", "n")
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("query %q: err %v, want %q", tc.query, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil || got != tc.want {
+			t.Fatalf("query %q: got %d, %v; want %d", tc.query, got, err, tc.want)
+		}
+	}
+}
+
+// TestListLimitEndpoints pins the helper's wiring: /decisions and /watch
+// reject garbage limits the same way, and the ?n= alias still works.
+func TestListLimitEndpoints(t *testing.T) {
+	s, ts := testServer(t, "LS")
+	defer func() {
+		if err := s.Drain(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if code := postJSON(t, ts.URL+"/v1/jobs", SubmitRequest{Count: 4}, nil); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: %d", code)
+	}
+	waitCompleted(t, ts, 4)
+	for _, p := range []string{"/decisions?limit=0", "/v1/decisions?limit=oops", "/watch?limit=-1", "/v1/watch?limit=x"} {
+		if code := getJSON(t, ts.URL+p, nil); code != http.StatusBadRequest {
+			t.Fatalf("GET %s: %d, want 400", p, code)
+		}
+	}
+	var dec DecisionsResponse
+	if code := getJSON(t, ts.URL+"/v1/decisions?n=2", &dec); code != http.StatusOK || len(dec.Decisions) != 2 {
+		t.Fatalf("GET /v1/decisions?n=2: %d, %d decisions", code, len(dec.Decisions))
+	}
+}
+
+// TestWatchLimit pins ?limit= on the SSE stream: the subscription ends
+// by itself after exactly N events — a bounded tail, no client-side cut.
+func TestWatchLimit(t *testing.T) {
+	s, ts := testServer(t, "LS")
+	type result struct {
+		lines int
+		err   error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/watch?limit=3")
+		if err != nil {
+			done <- result{0, err}
+			return
+		}
+		defer resp.Body.Close()
+		lines := 0
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "data: ") {
+				lines++
+			}
+		}
+		done <- result{lines, sc.Err()}
+	}()
+	// Submit only after the watcher is subscribed, so at least 3 events
+	// are guaranteed to flow past it.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.watch.subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never subscribed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code := postJSON(t, ts.URL+"/v1/jobs", SubmitRequest{Count: 8}, nil); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: %d", code)
+	}
+	res := <-done
+	if res.err != nil || res.lines != 3 {
+		t.Fatalf("watch limit: %d lines, err %v; want exactly 3", res.lines, res.err)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// virtualServer builds a pure-throughput (virtual-clock, firehose)
+// service.
+func virtualServer(t *testing.T, shards int) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(Config{
+		Platform: core.NewPlatform(
+			[]float64{0.1, 0.1, 0.2, 0.2, 0.3, 0.3, 0.1, 0.2},
+			[]float64{0.4, 0.8, 0.4, 0.8, 0.4, 0.8, 0.4, 0.8}),
+		Policy:           "LS",
+		Shards:           shards,
+		Placement:        "least-loaded",
+		VirtualClock:     true,
+		IngestQueueDepth: 4096,
+		EventLogCap:      4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// streamLines POSTs raw NDJSON to /v1/jobs:stream and decodes every ack.
+func streamLines(t *testing.T, ts *httptest.Server, body string) []StreamAck {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs:stream", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/jobs:stream: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var acks []StreamAck
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var a StreamAck
+		if err := dec.Decode(&a); err == io.EOF {
+			return acks
+		} else if err != nil {
+			t.Fatalf("decoding ack: %v", err)
+		}
+		acks = append(acks, a)
+	}
+}
+
+// TestStreamEndToEnd drives the bulk path on a virtual-clock service:
+// NDJSON in, consecutive ID ranges out, everything completes on drain.
+func TestStreamEndToEnd(t *testing.T) {
+	s, ts := virtualServer(t, 4)
+	var body strings.Builder
+	const lines, per = 10, 100
+	for i := 0; i < lines; i++ {
+		fmt.Fprintf(&body, "{\"count\":%d}\n", per)
+	}
+	acks := streamLines(t, ts, body.String())
+	if len(acks) != lines {
+		t.Fatalf("%d acks for %d lines", len(acks), lines)
+	}
+	next := 0
+	for i, a := range acks {
+		if a.Error != "" {
+			t.Fatalf("ack %d error %q", i, a.Error)
+		}
+		if a.Line != i+1 || a.Base != next || a.Count != per {
+			t.Fatalf("ack %d: %+v (want line %d base %d count %d)", i, a, i+1, next, per)
+		}
+		next += per
+	}
+	// The legacy batch path must coexist with the stream in firehose mode.
+	var batch SubmitResponse
+	if code := postJSON(t, ts.URL+"/jobs", SubmitRequest{Count: 5}, &batch); code != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d", code)
+	}
+	if len(batch.IDs) != 5 || batch.IDs[0] != lines*per {
+		t.Fatalf("batch ids %v", batch.IDs)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("GET /v1/stats: %d", code)
+	}
+	want := lines*per + 5
+	if stats.Jobs.Submitted != want || stats.Jobs.Completed != want {
+		t.Fatalf("jobs %+v, want %d", stats.Jobs, want)
+	}
+	if stats.ClockScale != 1 {
+		t.Fatalf("virtual mode clock scale %v, want forced 1", stats.ClockScale)
+	}
+	// Streaming into a drained service gets a terminal draining ack.
+	acks = streamLines(t, ts, "{\"count\":1}\n")
+	if len(acks) != 1 || acks[0].Error == "" || !strings.Contains(acks[0].Error, "draining") {
+		t.Fatalf("drained stream acks %+v", acks)
+	}
+}
+
+// TestStreamRealClock pins the non-firehose stream path: SubmitRange
+// places directly into the runtimes and the acks carry the same
+// consecutive-range contract.
+func TestStreamRealClock(t *testing.T) {
+	s, ts := testServer(t, "LS")
+	acks := streamLines(t, ts, "{\"count\":4}\n{}\n{\"count\":2,\"comp_scale\":2}\n")
+	if len(acks) != 3 {
+		t.Fatalf("%d acks", len(acks))
+	}
+	wantCounts := []int{4, 1, 2}
+	next := 0
+	for i, a := range acks {
+		if a.Error != "" || a.Base != next || a.Count != wantCounts[i] {
+			t.Fatalf("ack %d: %+v (want base %d count %d)", i, a, next, wantCounts[i])
+		}
+		next += wantCounts[i]
+	}
+	waitCompleted(t, ts, next)
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamMalformedLine pins partial-accept on a mid-stream protocol
+// error: the first line is accepted and served, the bad second line gets
+// a terminal error ack naming the line, and the third line is never read.
+func TestStreamMalformedLine(t *testing.T) {
+	s, ts := virtualServer(t, 2)
+	acks := streamLines(t, ts, "{\"count\":3}\n{not json\n{\"count\":5}\n")
+	if len(acks) != 2 {
+		t.Fatalf("%d acks, want 2 (one good, one terminal error)", len(acks))
+	}
+	if acks[0].Error != "" || acks[0].Count != 3 {
+		t.Fatalf("first ack %+v", acks[0])
+	}
+	if acks[1].Line != 2 || !strings.Contains(acks[1].Error, "bad request line") ||
+		!strings.Contains(acks[1].Error, "remain accepted") {
+		t.Fatalf("error ack %+v", acks[1])
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if c := s.Counts(); c.Submitted != 3 || c.Completed != 3 {
+		t.Fatalf("counts %+v, want the 3 accepted jobs served", c)
+	}
+}
+
+// TestStreamOversizedBatch pins the bounds check: a line whose count
+// exceeds MaxBatch is rejected with a terminal ack documenting the
+// partial-accept semantics, and earlier lines stay accepted.
+func TestStreamOversizedBatch(t *testing.T) {
+	s, ts := virtualServer(t, 2)
+	acks := streamLines(t, ts, "{\"count\":2}\n{\"count\":20000}\n")
+	if len(acks) != 2 {
+		t.Fatalf("%d acks", len(acks))
+	}
+	if acks[1].Line != 2 || !strings.Contains(acks[1].Error, "outside [1, 10000]") ||
+		!strings.Contains(acks[1].Error, "remain accepted") {
+		t.Fatalf("error ack %+v", acks[1])
+	}
+	acks = streamLines(t, ts, "{\"count\":1,\"comm_scale\":-1}\n")
+	if len(acks) != 1 || !strings.Contains(acks[0].Error, "non-negative") {
+		t.Fatalf("negative-scale ack %+v", acks)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if c := s.Counts(); c.Submitted != 2 || c.Completed != 2 {
+		t.Fatalf("counts %+v, want the 2 accepted jobs served", c)
+	}
+}
+
+// TestStreamClientDisconnect pins the half-stream case: a client that
+// dies mid-stream keeps every acked line (the jobs are already admitted)
+// and loses nothing else — the service drains to exactly the acked
+// population. The request runs over a raw connection with hand-rolled
+// chunked encoding: net/http's client buffers small request-body writes,
+// so only a raw conn can interleave "send a line, read its ack" and then
+// die without sending the terminal chunk.
+func TestStreamClientDisconnect(t *testing.T) {
+	s, ts := virtualServer(t, 2)
+	u, err := url.Parse(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", u.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "POST /v1/jobs:stream HTTP/1.1\r\nHost: %s\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\n\r\n", u.Host); err != nil {
+		t.Fatal(err)
+	}
+	chunk := func(line string) {
+		t.Helper()
+		if _, err := fmt.Fprintf(conn, "%x\r\n%s\r\n", len(line), line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chunk("{\"count\":3}\n")
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var a1, a2 StreamAck
+	if err := dec.Decode(&a1); err != nil || a1.Error != "" || a1.Count != 3 {
+		t.Fatalf("ack 1 %+v err %v", a1, err)
+	}
+	chunk("{\"count\":3}\n")
+	if err := dec.Decode(&a2); err != nil || a2.Error != "" || a2.Count != 3 {
+		t.Fatalf("ack 2 %+v err %v", a2, err)
+	}
+	// Die mid-request: close without the terminal 0-length chunk.
+	conn.Close()
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if c := s.Counts(); c.Submitted != 6 || c.Completed != 6 {
+		t.Fatalf("counts %+v, want exactly the 6 acked jobs", c)
+	}
+}
+
+// TestVirtualClockConfig pins the mode's validation: stealing is
+// structurally incompatible with firehose admission.
+func TestVirtualClockConfig(t *testing.T) {
+	pl := core.NewPlatform([]float64{0.2, 0.4}, []float64{1, 2})
+	if _, err := New(Config{Platform: pl, Policy: "LS", Shards: 2, VirtualClock: true, Steal: "threshold"}); err == nil {
+		t.Fatal("virtual clock with stealing accepted")
+	}
+}

@@ -1,0 +1,133 @@
+package schedd
+
+// POST /v1/jobs:stream — the bulk-ingest firehose endpoint. The request
+// body is NDJSON: one SubmitRequest per line, each placed as a single
+// batched routing decision (cluster.Router.SubmitRange — one scored
+// placement pass and one intake flush per line, never per job). The
+// response streams back one StreamAck per line as it is admitted, so a
+// client always knows exactly which jobs the service accepted.
+//
+// Error semantics are partial-accept: the first bad line (malformed
+// JSON, out-of-bounds count, negative scales, service draining) produces
+// a terminal ack carrying the error and the stream stops — but every
+// previously acked line stays accepted and will be served to completion.
+// The HTTP status is always 200: per-line status lives in the acks,
+// which is the only place it can live once the header has been sent.
+//
+// Backpressure: in virtual-clock mode the router's firehose intake
+// blocks SubmitRange while the bounded queue is full, which propagates
+// to the client as TCP backpressure; on a real clock the handler
+// throttles while the cluster's pending population sits at or above
+// Config.IngestQueueDepth.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/live"
+)
+
+// StreamAck is one line of the POST /v1/jobs:stream response: the
+// submitted line's consecutive global ID range [Base, Base+Count), or a
+// terminal error. An ack with Error set ends the stream; lines acked
+// before it remain accepted (partial-accept), lines after it were never
+// read.
+type StreamAck struct {
+	// Line is the 1-based NDJSON line this ack answers.
+	Line int `json:"line"`
+	// Base and Count give the accepted jobs' global IDs: Count jobs with
+	// consecutive IDs starting at Base. Both are 0 on an error ack.
+	Base  int `json:"base"`
+	Count int `json:"count"`
+	// Error, when set, makes this ack terminal.
+	Error string `json:"error,omitempty"`
+}
+
+// streamMaxLine bounds one NDJSON request line (a SubmitRequest is tens
+// of bytes; a megabyte line is a protocol error, not a big batch).
+const streamMaxLine = 1 << 20
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	// Interactive clients interleave "send a line, read its ack", so the
+	// response must start while the request body is still open. Without
+	// full duplex the HTTP/1.x server drains the remaining body before
+	// the first response byte — a deadlock against a client that is
+	// waiting for an ack before sending more. Best-effort: transports
+	// that don't support the knob (HTTP/2) are duplex natively.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ack := func(a StreamAck) bool {
+		if err := enc.Encode(a); err != nil {
+			return false
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		return true
+	}
+	fail := func(line int, msg string) {
+		ack(StreamAck{Line: line, Error: msg + " (stream aborted; earlier acked lines remain accepted)"})
+	}
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), streamMaxLine)
+	line := 0
+	for sc.Scan() {
+		raw := sc.Bytes()
+		line++
+		if len(raw) == 0 {
+			continue // blank separator lines are tolerated, not acked
+		}
+		req := SubmitRequest{Count: 1}
+		if err := json.Unmarshal(raw, &req); err != nil {
+			fail(line, "bad request line: "+err.Error())
+			return
+		}
+		if req.Count == 0 {
+			req.Count = 1
+		}
+		if req.Count < 0 || req.Count > s.cfg.MaxBatch {
+			fail(line, fmt.Sprintf("count %d outside [1, %d]", req.Count, s.cfg.MaxBatch))
+			return
+		}
+		if req.CommScale < 0 || req.CompScale < 0 {
+			fail(line, "scales must be non-negative")
+			return
+		}
+		// Real-clock backpressure: hold the line while the cluster's
+		// pending population is at the bound. The firehose intake does its
+		// own (blocking) admission control inside SubmitRange.
+		for !s.firehose && s.router.Pending() >= s.ingestDepth {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+		base, err := s.router.SubmitRange(live.JobSpec{CommScale: req.CommScale, CompScale: req.CompScale}, req.Count)
+		if err != nil {
+			if errors.Is(err, cluster.ErrDraining) {
+				fail(line, "draining: no new jobs accepted")
+				return
+			}
+			fail(line, err.Error())
+			return
+		}
+		if !ack(StreamAck{Line: line, Base: base, Count: req.Count}) {
+			// The client is gone; jobs already admitted stay admitted.
+			return
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// Disconnect mid-line or an oversized line: a best-effort terminal
+		// ack (the connection may already be dead). Everything acked so
+		// far remains accepted.
+		fail(line+1, "reading stream: "+err.Error())
+	}
+}

@@ -1,0 +1,356 @@
+// Package schedclient is the typed Go client for the schedd service's
+// versioned /v1 HTTP API. It speaks the same wire types the service
+// defines (internal/schedd), so the client and server can never drift:
+// a response-shape change is a compile error here, not a runtime
+// surprise in an operator tool.
+//
+// The client targets the /v1 routes exclusively. One-shot calls
+// (Submit, Stats, SLO, ...) are plain request/response; the two
+// streaming surfaces get dedicated handles: Watch returns a WatchStream
+// over the SSE lifecycle feed, and StreamJobs returns a pipelined
+// JobStream over the POST /v1/jobs:stream bulk-ingest firehose.
+//
+// JobStream is pipelined by design: Send writes an NDJSON line into the
+// request body (the HTTP transport may buffer a few KB before it hits
+// the wire) while a background goroutine consumes acks as the service
+// emits them. Close flushes, waits for every ack, and returns the
+// summary. This is the only sound shape over net/http — the client
+// transport does not flush small request-body writes mid-stream, so a
+// synchronous send-line-then-read-ack loop would deadlock; bulk pumping
+// neither needs nor wants per-line round trips.
+package schedclient
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/schedd"
+)
+
+// Client talks to one schedd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for the daemon at addr. A bare host:port gets an
+// http:// scheme; a trailing slash is stripped, so path concatenation
+// is uniform. The zero http.Client (no timeout) backs it — streaming
+// calls hold connections open indefinitely by design.
+func New(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{base: strings.TrimRight(addr, "/"), hc: &http.Client{}}
+}
+
+// Addr returns the normalized base URL the client targets.
+func (c *Client) Addr() string { return c.base }
+
+// errorBody decodes the service's {"error": msg} body into a Go error;
+// when the body is not that shape, the raw status line stands in.
+func errorBody(resp *http.Response, what string) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil && e.Error != "" {
+		return fmt.Errorf("%s: %s: %s", what, resp.Status, e.Error)
+	}
+	return fmt.Errorf("%s: %s", what, resp.Status)
+}
+
+// getJSON fetches base+path and decodes the body into out. With
+// okDrained, a 503 body is decoded too — a draining daemon still serves
+// valid stats and SLO reports, and operator tools want them.
+func (c *Client) getJSON(path string, out any, okDrained bool) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && !(okDrained && resp.StatusCode == http.StatusServiceUnavailable) {
+		return errorBody(resp, "GET "+path)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts one submission request (POST /v1/jobs) and returns the
+// assigned cluster-global job IDs.
+func (c *Client) Submit(req schedd.SubmitRequest) (schedd.SubmitResponse, error) {
+	var out schedd.SubmitResponse
+	body, err := json.Marshal(req)
+	if err != nil {
+		return out, err
+	}
+	resp, err := c.hc.Post(c.base+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return out, errorBody(resp, "POST /v1/jobs")
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// SubmitBatch submits count nominal jobs in one request and returns
+// their IDs.
+func (c *Client) SubmitBatch(count int) ([]int, error) {
+	resp, err := c.Submit(schedd.SubmitRequest{Count: count})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// Stats fetches GET /v1/stats. A draining daemon's stats still decode.
+func (c *Client) Stats() (schedd.StatsResponse, error) {
+	var out schedd.StatsResponse
+	err := c.getJSON("/v1/stats", &out, true)
+	return out, err
+}
+
+// Job fetches GET /v1/jobs/{id}.
+func (c *Client) Job(id int) (schedd.JobResponse, error) {
+	var out schedd.JobResponse
+	err := c.getJSON("/v1/jobs/"+strconv.Itoa(id), &out, false)
+	return out, err
+}
+
+// Trace fetches GET /v1/jobs/{id}/trace.
+func (c *Client) Trace(id int) (schedd.TraceResponse, error) {
+	var out schedd.TraceResponse
+	err := c.getJSON("/v1/jobs/"+strconv.Itoa(id)+"/trace", &out, false)
+	return out, err
+}
+
+// Decisions fetches GET /v1/decisions; limit <= 0 takes the service
+// default.
+func (c *Client) Decisions(limit int) (schedd.DecisionsResponse, error) {
+	path := "/v1/decisions"
+	if limit > 0 {
+		path += "?limit=" + strconv.Itoa(limit)
+	}
+	var out schedd.DecisionsResponse
+	err := c.getJSON(path, &out, false)
+	return out, err
+}
+
+// SLO fetches the burn-rate report from GET /v1/slo. A draining
+// daemon's report still decodes.
+func (c *Client) SLO() (schedd.SLOResponse, error) {
+	var out schedd.SLOResponse
+	err := c.getJSON("/v1/slo", &out, true)
+	return out, err
+}
+
+// Health fetches GET /healthz (the probes are unversioned by design).
+func (c *Client) Health() (schedd.HealthResponse, error) {
+	var out schedd.HealthResponse
+	err := c.getJSON("/healthz", &out, true)
+	return out, err
+}
+
+// Flight fetches the flight recorder's retained recording (GET
+// /v1/flight) as raw wire-format bytes, ready for flight.Parse.
+func (c *Client) Flight() ([]byte, error) {
+	resp, err := c.hc.Get(c.base + "/v1/flight")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/flight: %s (is the daemon running with the recorder on?)", resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// WatchStream is an open GET /v1/watch SSE subscription. Next returns
+// one event payload at a time; Close tears the subscription down.
+type WatchStream struct {
+	body io.ReadCloser
+	sc   *bufio.Scanner
+}
+
+// Watch subscribes to the lifecycle event stream. limit > 0 bounds the
+// subscription to that many events (the stream then ends with io.EOF);
+// 0 follows until Close or ctx cancellation.
+func (c *Client) Watch(ctx context.Context, limit int) (*WatchStream, error) {
+	path := "/v1/watch"
+	if limit > 0 {
+		path += "?limit=" + strconv.Itoa(limit)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, errorBody(resp, "GET "+path)
+	}
+	return &WatchStream{body: resp.Body, sc: bufio.NewScanner(resp.Body)}, nil
+}
+
+// Next blocks for the next event and returns its raw JSON payload (one
+// schedd.WatchEvent). io.EOF means the stream ended (the ?limit= bound
+// was reached or the daemon went away). Keepalive comments are skipped.
+func (w *WatchStream) Next() ([]byte, error) {
+	for w.sc.Scan() {
+		if line, ok := strings.CutPrefix(w.sc.Text(), "data: "); ok {
+			return []byte(line), nil
+		}
+	}
+	if err := w.sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.EOF
+}
+
+// NextEvent decodes the next event.
+func (w *WatchStream) NextEvent() (schedd.WatchEvent, error) {
+	var ev schedd.WatchEvent
+	raw, err := w.Next()
+	if err != nil {
+		return ev, err
+	}
+	return ev, json.Unmarshal(raw, &ev)
+}
+
+// Close ends the subscription.
+func (w *WatchStream) Close() error { return w.body.Close() }
+
+// StreamSummary is what a completed JobStream accepted: Lines acked
+// NDJSON lines carrying Jobs jobs in total. On a partial-accept error
+// it counts exactly the lines the service acked before aborting.
+type StreamSummary struct {
+	Lines int
+	Jobs  int
+}
+
+// JobStream is an open POST /v1/jobs:stream bulk-ingest session. Send
+// queues submission lines (single goroutine only); a background reader
+// tallies the service's acks; Close finishes the stream and returns the
+// summary. The first error — a terminal ack from the service, a
+// transport failure, a non-200 status — sticks and surfaces from Send
+// and Close.
+type JobStream struct {
+	pw   *io.PipeWriter
+	pr   *io.PipeReader
+	enc  *json.Encoder
+	done chan struct{}
+
+	mu  sync.Mutex
+	sum StreamSummary
+	err error
+}
+
+// StreamJobs opens a bulk-ingest stream. The request runs until Close
+// (or ctx cancellation); backpressure from the service's bounded intake
+// propagates as blocking Send calls.
+func (c *Client) StreamJobs(ctx context.Context) (*JobStream, error) {
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs:stream", pr)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	st := &JobStream{pw: pw, pr: pr, enc: json.NewEncoder(pw), done: make(chan struct{})}
+	go st.readAcks(c.hc, req)
+	return st, nil
+}
+
+// readAcks drives the request and consumes the ack stream. The
+// transport reads the request body (our pipe) concurrently with the
+// response, which is what makes the pipelined shape work.
+func (s *JobStream) readAcks(hc *http.Client, req *http.Request) {
+	defer close(s.done)
+	resp, err := hc.Do(req)
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		s.fail(errorBody(resp, "POST /v1/jobs:stream"))
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	for sc.Scan() {
+		var ack schedd.StreamAck
+		if err := json.Unmarshal(sc.Bytes(), &ack); err != nil {
+			s.fail(fmt.Errorf("bad ack line: %w", err))
+			return
+		}
+		if ack.Error != "" {
+			s.fail(fmt.Errorf("line %d: %s", ack.Line, ack.Error))
+			return
+		}
+		s.mu.Lock()
+		s.sum.Lines++
+		s.sum.Jobs += ack.Count
+		s.mu.Unlock()
+	}
+	if err := sc.Err(); err != nil {
+		s.fail(err)
+	}
+}
+
+// fail records the stream's first error and unblocks any Send stuck
+// writing into the pipe (the write returns the same error).
+func (s *JobStream) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.pr.CloseWithError(err)
+}
+
+// Send queues one submission line. It may block — that is the intake
+// backpressure reaching the producer. After a terminal error it returns
+// that error instead.
+func (s *JobStream) Send(req schedd.SubmitRequest) error {
+	select {
+	case <-s.done:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.err != nil {
+			return s.err
+		}
+		return fmt.Errorf("schedclient: stream closed")
+	default:
+	}
+	if err := s.enc.Encode(req); err != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.err != nil {
+			return s.err
+		}
+		return err
+	}
+	return nil
+}
+
+// Close finishes the request body, waits for every outstanding ack, and
+// returns the summary. The summary is valid even on error: it counts
+// the lines the service acked before the stream broke (partial-accept).
+func (s *JobStream) Close() (StreamSummary, error) {
+	s.pw.Close()
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sum, s.err
+}
