@@ -33,8 +33,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http/httptest"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -67,6 +69,10 @@ func main() {
 	classesFlag := flag.String("classes", "", "comma-separated platform-class filter for the class-parameterized artifacts (default: all four)")
 	schedulersFlag := flag.String("schedulers", "", "comma-separated scheduler filter for the figure sweeps (default: the full registry)")
 	benchJSON := flag.String("bench-json", "", "time the headline sweeps instead and write the ns/op perf artifact to this file")
+	streamWorkers := flag.Int("stream-workers", 0,
+		"parallel NDJSON decode workers for the firehose bench's concurrent legs (0: service default — GOMAXPROCS capped at 8)")
+	producersFlag := flag.String("producers", "1,2,4",
+		"comma-separated producer counts for the firehose bench's concurrent-ingest sweep")
 	flag.Parse()
 
 	classes, err := parseClasses(*classesFlag)
@@ -86,7 +92,14 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		if err := writeBenchArtifact(*benchJSON, cfg); err != nil {
+		producerCounts, err := parseProducers(*producersFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeBenchArtifact(*benchJSON, cfg, firehoseOpts{
+			StreamWorkers: *streamWorkers,
+			Producers:     producerCounts,
+		}); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -376,16 +389,32 @@ type FirehoseLeg struct {
 	JobsPerSec  float64 `json:"jobs_per_sec"`
 }
 
-// FirehoseEntry is the PR-9 firehose stanza: the streaming bulk-ingest
+// FirehoseProducerLeg is one point of the PR-10 concurrent-ingest
+// sweep: Producers concurrent stream connections (each its own NDJSON
+// session) into a service decoding with StreamWorkers parse workers per
+// connection, driving Jobs jobs end to end (submission through drain).
+type FirehoseProducerLeg struct {
+	Producers     int     `json:"producers"`
+	StreamWorkers int     `json:"stream_workers"`
+	Jobs          int     `json:"jobs"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	JobsPerSec    float64 `json:"jobs_per_sec"`
+}
+
+// FirehoseEntry is the firehose stanza: the streaming bulk-ingest
 // endpoint (POST /v1/jobs:stream over the virtual-clock firehose
 // cluster) against the per-job POST /v1/jobs baseline at equal shard
-// count, plus the admission path's steady-state allocation cost. The
-// committed artifact pins the headline: the stream drives ≥1M jobs and
-// beats per-job POST by ≥5× (CI gates ≥3×), at ≤1 alloc per admitted
-// job.
+// count, plus the admission path's steady-state allocation cost and the
+// PR-10 concurrency trajectory (serial single-producer decode vs a
+// producer sweep over the lock-free router). The committed artifact
+// pins the headlines: the stream drives ≥1M jobs and beats per-job POST
+// by ≥5× (CI gates ≥3×) at ≤1 alloc per admitted job, and on a
+// multi-core runner the concurrent path beats the serial PR-9 path by
+// ≥1.5× (CI-gated via ConcurrentSpeedupX at GOMAXPROCS ≥ 4).
 type FirehoseEntry struct {
 	Shards int `json:"shards"`
-	// Stream is the NDJSON bulk-ingest leg (1M+ jobs).
+	// Stream is the NDJSON bulk-ingest leg (1M+ jobs, one producer,
+	// service-default decode workers).
 	Stream FirehoseLeg `json:"stream"`
 	// PerJob is the baseline: one POST /v1/jobs per job on the identical
 	// cluster (a smaller population — per-request HTTP overhead makes 1M
@@ -397,6 +426,52 @@ type FirehoseEntry struct {
 	// (placement + global-ID bookkeeping + intake enqueue), measured on an
 	// unstarted firehose cluster so nothing but admission runs.
 	IngestAllocsPerJob float64 `json:"ingest_allocs_per_job"`
+	// Serial is the PR-9 reference leg: one producer through the serial
+	// single-goroutine decoder (StreamWorkers < 0) — the path the
+	// concurrent spine is measured against, on this same machine. Unlike
+	// Stream/PerJob, Serial and ProducerSweep time ADMISSION only (first
+	// line sent through last ack received, with the intake bound lifted
+	// above the leg's population so execution never throttles ingest):
+	// the full lifecycle is dominated by the virtual-clock kernel
+	// executing the jobs, identical in every leg, which would bury the
+	// ingest-path comparison these legs exist to make.
+	Serial FirehoseLeg `json:"serial"`
+	// ProducerSweep records admission jobs/s vs producer count with the
+	// parallel decoder on (the -producers × -stream-workers sweep).
+	ProducerSweep []FirehoseProducerLeg `json:"producer_sweep"`
+	// ConcurrentSpeedupX is the best ProducerSweep leg's jobs/s over
+	// Serial's. GOMAXPROCS (recorded at the artifact's top level) gives
+	// the honest context: on a single-core host the ratio hovers near 1
+	// by construction; the CI gate runs on a ≥4-vCPU runner.
+	ConcurrentSpeedupX float64 `json:"concurrent_speedup_x"`
+}
+
+// firehoseOpts carries the -stream-workers and -producers flags into
+// the firehose bench.
+type firehoseOpts struct {
+	StreamWorkers int
+	Producers     []int
+}
+
+// parseProducers parses the -producers flag: a comma-separated list of
+// positive producer counts.
+func parseProducers(s string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		n, err := strconv.Atoi(tok)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("-producers entry %q: want a positive integer", tok)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-producers %q names no producer counts", s)
+	}
+	return out, nil
 }
 
 // BenchArtifact is the machine-readable perf record CI uploads
@@ -432,7 +507,7 @@ type BenchArtifact struct {
 // writeBenchArtifact times the Figure-1 sweep on a one-worker pool and a
 // GOMAXPROCS-wide pool (the serial/parallel scaling headline) and the
 // scenario study, via testing.Benchmark, and writes the artifact.
-func writeBenchArtifact(path string, cfg experiment.Config) error {
+func writeBenchArtifact(path string, cfg experiment.Config, fh firehoseOpts) error {
 	serial := cfg
 	serial.Workers = 1
 	wide := cfg
@@ -509,7 +584,7 @@ func writeBenchArtifact(path string, cfg experiment.Config) error {
 	log.Printf("obs: record counter %.1f ns, histogram %.1f ns, audit %.1f ns (%d allocs); ingest overhead ×%.3f",
 		obsEntry.CounterNsPerOp, obsEntry.HistogramNsPerOp, obsEntry.AuditNsPerOp,
 		obsEntry.RecordAllocsPerOp, obsEntry.IngestOverheadRatio)
-	fhEntry, err := firehoseBench()
+	fhEntry, err := firehoseBench(fh)
 	if err != nil {
 		return fmt.Errorf("firehose bench: %w", err)
 	}
@@ -517,6 +592,9 @@ func writeBenchArtifact(path string, cfg experiment.Config) error {
 	log.Printf("firehose (%d shards): stream %d jobs in %.2fs → %.0f jobs/s; per-job %d jobs → %.0f jobs/s; speedup ×%.1f, %.3f allocs/job",
 		fhEntry.Shards, fhEntry.Stream.Jobs, fhEntry.Stream.WallSeconds, fhEntry.Stream.JobsPerSec,
 		fhEntry.PerJob.Jobs, fhEntry.PerJob.JobsPerSec, fhEntry.SpeedupX, fhEntry.IngestAllocsPerJob)
+	log.Printf("firehose concurrency: serial %.0f jobs/s, best sweep %.0f jobs/s → ×%.2f at GOMAXPROCS=%d",
+		fhEntry.Serial.JobsPerSec, fhEntry.Serial.JobsPerSec*fhEntry.ConcurrentSpeedupX,
+		fhEntry.ConcurrentSpeedupX, art.GOMAXPROCS)
 	if err := runner.WriteJSON(path, art); err != nil {
 		return err
 	}
@@ -621,31 +699,41 @@ func obsBench() (ObsEntry, error) {
 	}, nil
 }
 
-// firehoseBench runs the PR-9 throughput comparison. Both legs use the
-// identical service configuration — a 4-shard virtual-clock cluster
-// over the eight-slave heterogeneous platform, least-loaded placement,
-// service-default observability — and both wall windows run from first
-// submission through a full drain, so they measure the same lifecycle
+// firehoseBench runs the streamed-ingest throughput comparisons. Every
+// leg uses the identical service configuration — a 4-shard
+// virtual-clock cluster over the eight-slave heterogeneous platform,
+// least-loaded placement, service-default observability. The Stream and
+// PerJob legs time the full lifecycle (first submission through drain)
 // and differ only in how jobs arrive: one NDJSON stream of batched
-// lines versus one HTTP round trip per job.
-func firehoseBench() (FirehoseEntry, error) {
+// lines versus one HTTP round trip per job (the PR-9 comparison). The
+// Serial and ProducerSweep legs time admission only — the wall window
+// closes at the last ack, the intake bound is lifted above the leg's
+// population, and the lines are small — because the lifecycle is
+// dominated by the virtual kernel executing the jobs, identical in
+// every leg, and the serial-versus-concurrent comparison is about the
+// decode → placement → intake path the PR-10 spine parallelised.
+func firehoseBench(opts firehoseOpts) (FirehoseEntry, error) {
 	const (
 		shards     = 4
 		streamJobs = 1_000_000
+		sweepJobs  = 1_000_000
 		perLine    = 1000
+		sweepLine  = 50
 		perJobJobs = 20_000
 	)
 	platform := core.NewPlatform(
 		[]float64{0.1, 0.1, 0.2, 0.2, 0.3, 0.3, 0.1, 0.2},
 		[]float64{0.4, 0.8, 0.4, 0.8, 0.4, 0.8, 0.4, 0.8})
-	newService := func() (*schedd.Server, *httptest.Server, *schedclient.Client, error) {
+	newService := func(streamWorkers, queueDepth int) (*schedd.Server, *httptest.Server, *schedclient.Client, error) {
 		srv, err := schedd.New(schedd.Config{
-			Platform:     platform,
-			Policy:       "LS",
-			Shards:       shards,
-			Placement:    cluster.PlacementLeastLoaded,
-			Partition:    core.PartitionBalanced,
-			VirtualClock: true,
+			Platform:         platform,
+			Policy:           "LS",
+			Shards:           shards,
+			Placement:        cluster.PlacementLeastLoaded,
+			Partition:        core.PartitionBalanced,
+			VirtualClock:     true,
+			StreamWorkers:    streamWorkers,
+			IngestQueueDepth: queueDepth,
 		})
 		if err != nil {
 			return nil, nil, nil, err
@@ -653,8 +741,8 @@ func firehoseBench() (FirehoseEntry, error) {
 		ts := httptest.NewServer(srv.Handler())
 		return srv, ts, schedclient.New(ts.URL), nil
 	}
-	run := func(jobs int, pump func(*schedclient.Client) error) (FirehoseLeg, error) {
-		srv, ts, cli, err := newService()
+	run := func(jobs, streamWorkers int, pump func(*schedclient.Client) error) (FirehoseLeg, error) {
+		srv, ts, cli, err := newService(streamWorkers, 0)
 		if err != nil {
 			return FirehoseLeg{}, err
 		}
@@ -672,34 +760,111 @@ func firehoseBench() (FirehoseEntry, error) {
 		}
 		return FirehoseLeg{Jobs: jobs, WallSeconds: wall, JobsPerSec: float64(jobs) / wall}, nil
 	}
-
-	stream, err := run(streamJobs, func(cli *schedclient.Client) error {
-		st, err := cli.StreamJobs(context.Background())
-		if err != nil {
-			return err
-		}
-		for sent := 0; sent < streamJobs; sent += perLine {
-			if err := st.Send(schedd.SubmitRequest{Count: perLine}); err != nil {
-				return err
+	// streamPump drives one bulk-ingest session with total jobs split
+	// across producers concurrent connections, perLineN jobs per NDJSON
+	// line.
+	streamPump := func(total, producers, perLineN int) func(*schedclient.Client) error {
+		return func(cli *schedclient.Client) error {
+			per := total / producers
+			var wg sync.WaitGroup
+			errs := make(chan error, producers)
+			for p := 0; p < producers; p++ {
+				share := per
+				if p == producers-1 {
+					share = total - per*(producers-1)
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					st, err := cli.StreamJobs(context.Background())
+					if err != nil {
+						errs <- err
+						return
+					}
+					for sent := 0; sent < share; sent += perLineN {
+						n := min(perLineN, share-sent)
+						if err := st.Send(schedd.SubmitRequest{Count: n}); err != nil {
+							errs <- err
+							return
+						}
+					}
+					sum, err := st.Close()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if sum.Jobs != share {
+						errs <- fmt.Errorf("stream acked %d of %d jobs", sum.Jobs, share)
+					}
+				}()
 			}
+			wg.Wait()
+			close(errs)
+			return <-errs
 		}
-		sum, err := st.Close()
+	}
+
+	// runIngest times admission only: the wall window closes when the
+	// last ack arrives, before the drain. The intake bound is lifted
+	// above the leg's population so the kernel's execution rate never
+	// throttles the producers, and the sweepLine-sized lines keep the
+	// per-line decode/ack work non-trivial. The drain still runs and the
+	// counts are still verified — they are just outside the window.
+	runIngest := func(jobs, streamWorkers, producers int) (FirehoseLeg, error) {
+		srv, ts, cli, err := newService(streamWorkers, jobs)
 		if err != nil {
-			return err
+			return FirehoseLeg{}, err
 		}
-		if sum.Jobs != streamJobs {
-			return fmt.Errorf("stream acked %d of %d jobs", sum.Jobs, streamJobs)
+		defer ts.Close()
+		start := time.Now()
+		if err := streamPump(jobs, producers, sweepLine)(cli); err != nil {
+			return FirehoseLeg{}, err
 		}
-		return nil
-	})
+		wall := time.Since(start).Seconds()
+		if err := srv.Drain(); err != nil {
+			return FirehoseLeg{}, err
+		}
+		if c := srv.Counts(); c.Completed != jobs || c.Submitted != jobs {
+			return FirehoseLeg{}, fmt.Errorf("completed %d / submitted %d of %d jobs", c.Completed, c.Submitted, jobs)
+		}
+		return FirehoseLeg{Jobs: jobs, WallSeconds: wall, JobsPerSec: float64(jobs) / wall}, nil
+	}
+
+	stream, err := run(streamJobs, opts.StreamWorkers, streamPump(streamJobs, 1, perLine))
 	if err != nil {
 		return FirehoseEntry{}, fmt.Errorf("stream leg: %w", err)
+	}
+
+	// The PR-9 reference: the same single-producer stream through the
+	// serial decoder (StreamWorkers < 0) — what admission looked like
+	// before the concurrent spine, measured on this machine.
+	serial, err := runIngest(sweepJobs, -1, 1)
+	if err != nil {
+		return FirehoseEntry{}, fmt.Errorf("serial leg: %w", err)
+	}
+
+	var sweep []FirehoseProducerLeg
+	best := 0.0
+	for _, producers := range opts.Producers {
+		leg, err := runIngest(sweepJobs, opts.StreamWorkers, producers)
+		if err != nil {
+			return FirehoseEntry{}, fmt.Errorf("sweep leg (%d producers): %w", producers, err)
+		}
+		sweep = append(sweep, FirehoseProducerLeg{
+			Producers:     producers,
+			StreamWorkers: opts.StreamWorkers,
+			Jobs:          leg.Jobs,
+			WallSeconds:   leg.WallSeconds,
+			JobsPerSec:    leg.JobsPerSec,
+		})
+		best = math.Max(best, leg.JobsPerSec)
+		log.Printf("firehose sweep: %d producers → %.0f jobs/s", producers, leg.JobsPerSec)
 	}
 
 	// The baseline keeps the same modest client concurrency the other
 	// load benches use; each of the 4 producers runs a serial
 	// one-job-per-POST loop.
-	perJob, err := run(perJobJobs, func(cli *schedclient.Client) error {
+	perJob, err := run(perJobJobs, opts.StreamWorkers, func(cli *schedclient.Client) error {
 		const producers = 4
 		var wg sync.WaitGroup
 		errs := make(chan error, producers)
@@ -729,6 +894,9 @@ func firehoseBench() (FirehoseEntry, error) {
 		PerJob:             perJob,
 		SpeedupX:           stream.JobsPerSec / perJob.JobsPerSec,
 		IngestAllocsPerJob: firehoseAllocsPerJob(),
+		Serial:             serial,
+		ProducerSweep:      sweep,
+		ConcurrentSpeedupX: best / serial.JobsPerSec,
 	}, nil
 }
 

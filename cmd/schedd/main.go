@@ -38,7 +38,9 @@
 // -virtual goes further: every shard runs on a deterministic virtual
 // clock behind the cluster's firehose intake (pure-throughput mode —
 // ingest is bounded by placement and admission cost alone), with
-// -ingest-queue bounding the enqueued-but-unadmitted backlog.
+// -ingest-queue bounding the enqueued-but-unadmitted backlog and
+// -stream-workers sizing the per-connection parallel NDJSON decode
+// stage (negative selects the serial decoder).
 //
 // Observability: -metrics (default true) serves the Prometheus text
 // exposition and /debug/vars; -audit-depth sizes the decision-audit
@@ -47,8 +49,11 @@
 // -record-segments bound the ring, -snapshot-interval paces journaled
 // metric snapshots); -slo configures burn-rate objectives (e.g.
 // -slo p99=latency:0.5:0.99,avail=availability:0.999); -pprof opts into
-// the Go profiling surface; -log-level/-log-format configure structured
-// logging (steal plans are logged at debug).
+// the Go profiling surface, and -mutexprofile N additionally samples
+// lock contention into /debug/pprof/{mutex,block} — the knob that makes
+// the router's lock-free read path verifiable against a live daemon;
+// -log-level/-log-format configure structured logging (steal plans are
+// logged at debug).
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: new submissions get
 // 503, every accepted job on every shard completes, the slaves shut
@@ -72,6 +77,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -101,6 +107,8 @@ func main() {
 		"pure-throughput mode: deterministic virtual clocks behind the firehose intake (forces -clock-scale 1, incompatible with -steal)")
 	ingestQueue := flag.Int("ingest-queue", 0,
 		"bound on the enqueued-but-unadmitted job backlog behind POST /v1/jobs:stream (0: 65536)")
+	streamWorkers := flag.Int("stream-workers", 0,
+		"parallel NDJSON decode workers per jobs:stream connection (0: GOMAXPROCS capped at 8; negative: serial decoder)")
 	maxBatch := flag.Int("max-batch", 10000, "largest count accepted by one POST /v1/jobs and by one jobs:stream line")
 	steal := flag.String("steal", cluster.StealNone,
 		"cross-shard work-stealing policy: "+strings.Join(cluster.StealPolicyNames(), ", "))
@@ -108,6 +116,8 @@ func main() {
 		"rebalancer pass interval (with -steal threshold|het-aware)")
 	metrics := flag.Bool("metrics", true, "serve GET /metrics (Prometheus text) and GET /debug/vars")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in)")
+	mutexProfile := flag.Int("mutexprofile", 0,
+		"mutex/block profile sampling rate for /debug/pprof/{mutex,block} (0 off; requires -pprof; 1 samples every contention event)")
 	auditDepth := flag.Int("audit-depth", 256,
 		"decision-audit ring depth behind GET /decisions (0 disables auditing)")
 	record := flag.Bool("record", true, "run the flight recorder (GET /flight; export with schedctl)")
@@ -148,6 +158,20 @@ func main() {
 		fatal("invalid -slo", "err", err)
 	}
 
+	// Mutex/block profiling rides behind the -pprof gate: the samples are
+	// only reachable through /debug/pprof/, so a rate without the surface
+	// is a misconfiguration, not a silent no-op.
+	if *mutexProfile < 0 {
+		fatal("-mutexprofile must be non-negative", "mutexprofile", *mutexProfile)
+	}
+	if *mutexProfile > 0 {
+		if !*pprofFlag {
+			fatal("-mutexprofile requires -pprof (the samples are served under /debug/pprof/)")
+		}
+		runtime.SetMutexProfileFraction(*mutexProfile)
+		runtime.SetBlockProfileRate(*mutexProfile)
+	}
+
 	// The flag semantics invert into the config's zero-value defaults:
 	// -metrics=false disables, -audit-depth 0 disables (config -1).
 	cfgAudit := *auditDepth
@@ -164,6 +188,7 @@ func main() {
 		MaxBatch:           *maxBatch,
 		VirtualClock:       *virtual,
 		IngestQueueDepth:   *ingestQueue,
+		StreamWorkers:      *streamWorkers,
 		Steal:              *steal,
 		StealInterval:      *stealInterval,
 		DisableMetrics:     !*metrics,

@@ -161,25 +161,31 @@ func (s *Shard) setSlaveLive(local int, up bool) {
 // has drained.
 func (s *Shard) Result() live.Result { return s.rt.Result() }
 
-// jobRef locates one globally-numbered job on its shard.
-type jobRef struct {
-	shard int32
-	local int32
-}
-
 // Router is a running sharded cluster: the shards plus the placement
-// state and the global job-ID table. All routing goes through one
-// mutex; the per-shard runtimes do their own (finer-grained) locking.
+// state and the global job-ID table. The table (idx) is lock-free for
+// readers — Job, ShardOf and Jobs never take a mutex. Writers split by
+// mode: the direct (non-firehose) submission path and migration
+// serialize on mu; the firehose path serializes only the placement
+// decision on the narrow placeMu and fans the rest out over per-shard
+// intake locks, so concurrent producers targeting different shards
+// never contend. The per-shard runtimes do their own (finer-grained)
+// locking.
 type Router struct {
 	shards    []*Shard
 	placement Placement
 	partition core.PartitionStrategy
 
-	mu       sync.Mutex
-	refs     []jobRef
-	local2g  [][]int // per shard: local job ID → global ID, -1 gaps
-	staged   []int   // scratch: per-shard count of the batch being placed
-	draining bool
+	// idx is the chunked, atomically published global job table
+	// (index.go): gid → (shard, runtime-local ID), plus the global-ID
+	// allocator. Reads are lock-free.
+	idx jobIndex
+	// draining flips once under both submission locks; readers
+	// (Draining, the firehose fast path) load it lock-free.
+	draining atomic.Bool
+
+	mu      sync.Mutex
+	local2g [][]int // per shard: local job ID → global ID, -1 gaps
+	staged  []int   // scratch: per-shard count of the batch being placed
 
 	// migrations counts in-flight Migrate calls. A migration registers
 	// itself under mu while not draining; Drain flips the flag and then
@@ -208,17 +214,40 @@ type Router struct {
 	shardBase   []int
 	shardCursor []int
 
-	// Firehose state (nil/unused without Config.Firehose): fhNextLocal
-	// predicts each shard's next runtime-local ID at enqueue time (the
-	// drain source is the shard's sole submitter, so local IDs are
-	// exactly enqueue order); the drivers run each shard's Wait so the
-	// worlds execute while producers feed, and fhJoin collects them once.
+	// Firehose state (nil/unused without Config.Firehose). placeMu is
+	// the concurrent ingest path's only cluster-wide lock, and it covers
+	// nothing but the placement decision: the draining check, the
+	// epoch-cached load snapshot, one PickBatch, the audit record and
+	// the global-ID allocation. Local-ID prediction and slab fills
+	// happen after it, under per-shard intake locks (intake.appendRun).
+	// enqueues counts batches between that decision and their last slab
+	// flush; Drain waits it out before closing the intake so the final
+	// take sees every slab. The drivers run each shard's Wait so the
+	// worlds execute while producers feed, and fhJoin collects them
+	// once.
 	fh          *intake
-	fhNextLocal []int
+	placeMu     sync.Mutex
+	enqueues    sync.WaitGroup
+	fhStaged    []int       // per-shard count of the batch being placed
+	fhScores    []float64   // audit score scratch (nil without auditing)
+	fhLoads     []live.Load // epoch-cached load snapshot (see refreshLoads)
+	fhLoadsLeft int         // jobs until the cache refreshes (one slab window)
+	fhBatchPool sync.Pool   // *fhBatch scratch carried past placeMu
 	fhStart     sync.Once
 	fhJoin      sync.Once
 	fhErrs      chan error
 	fhErr       error
+}
+
+// fhBatch is one firehose batch's scratch: the placement vector and the
+// per-shard bookkeeping a producer carries from the placement critical
+// section into the per-shard append stage. Pooled so the steady-state
+// ingest path allocates nothing.
+type fhBatch struct {
+	out    []int // placement per job, batch order
+	counts []int // per shard: jobs this batch placed there
+	bases  []int // per shard: the batch's runtime-local ID base
+	cursor []int // per shard: scratch for index publication
 }
 
 // New partitions the platform, builds one live runtime per shard and
@@ -266,11 +295,22 @@ func New(cfg Config) (*Router, error) {
 	}
 	if cfg.Firehose != nil {
 		r.fh = newIntake(*cfg.Firehose, k)
-		r.fhNextLocal = make([]int, k)
+		r.fhStaged = make([]int, k)
+		r.fhLoads = make([]live.Load, k)
+		r.fhBatchPool.New = func() any {
+			return &fhBatch{
+				counts: make([]int, k),
+				bases:  make([]int, k),
+				cursor: make([]int, k),
+			}
+		}
 	}
 	if cfg.AuditDepth > 0 {
 		r.audit = obs.NewAuditRing(cfg.AuditDepth, k)
 		r.scoreBuf = make([]float64, k)
+		if r.fh != nil {
+			r.fhScores = make([]float64, k)
+		}
 	}
 	for i, part := range parts {
 		tracker := live.NewTracker()
@@ -347,11 +387,10 @@ func (r *Router) Placement() string { return r.placement.Name() }
 // Partition returns the partition strategy the cluster was built with.
 func (r *Router) Partition() core.PartitionStrategy { return r.partition }
 
-// Jobs returns the number of jobs routed so far.
+// Jobs returns the number of jobs routed so far. Lock-free: one atomic
+// load of the global-ID allocator.
 func (r *Router) Jobs() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.refs)
+	return r.idx.count()
 }
 
 // Submit places one job and returns its global ID.
@@ -389,7 +428,7 @@ func (r *Router) SubmitBatch(spec live.JobSpec, count int) ([]int, error) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.draining {
+	if r.draining.Load() {
 		return nil, ErrDraining
 	}
 	for i := range r.staged {
@@ -402,7 +441,7 @@ func (r *Router) SubmitBatch(spec live.JobSpec, count int) ([]int, error) {
 	// When auditing, one wall timestamp per batch (not per job) and the
 	// global ID base every decision in this batch counts up from.
 	var wall int64
-	gidBase := len(r.refs)
+	gidBase := r.idx.alloc(count)
 	if r.audit != nil {
 		wall = time.Now().UnixNano()
 	}
@@ -441,8 +480,8 @@ func (r *Router) SubmitBatch(spec live.JobSpec, count int) ([]int, error) {
 	cursor := make([]int, len(r.shards))
 	for i, s := range placements {
 		local := locals[s][cursor[s]]
-		gids[i] = len(r.refs)
-		r.refs = append(r.refs, jobRef{shard: int32(s), local: int32(local)})
+		gids[i] = gidBase + i
+		r.idx.set(gids[i], s, local)
 		r.indexLocal(s, local, gids[i])
 		cursor[s]++
 	}
@@ -475,22 +514,17 @@ func (r *Router) SubmitSpecs(specs []live.JobSpec) (int, error) {
 // submitBatched is the shared batched-admission core behind SubmitRange
 // and SubmitSpecs (and SubmitBatch in firehose mode): one PickBatch per
 // batch, one audited decision amortized over the batch, global IDs
-// assigned consecutively. In firehose mode the placed specs go to the
-// intake queues (blocking first on the depth bound, before the router
-// lock, so backpressure never stalls lookups); otherwise each shard
-// receives its slice of the batch as one direct batched admission.
+// assigned consecutively. In firehose mode the batch goes through the
+// concurrent intake path (submitFirehose); otherwise each shard
+// receives its slice of the batch as one direct batched admission under
+// the router lock.
 func (r *Router) submitBatched(specs []live.JobSpec, spec live.JobSpec, count int) (int, error) {
 	if r.fh != nil {
-		if err := r.fh.reserve(count); err != nil {
-			return 0, err
-		}
+		return r.submitFirehose(specs, spec, count)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.draining {
-		if r.fh != nil {
-			r.fh.release(count)
-		}
+	if r.draining.Load() {
 		return 0, ErrDraining
 	}
 	for i := range r.staged {
@@ -510,7 +544,7 @@ func (r *Router) submitBatched(specs []live.JobSpec, spec live.JobSpec, count in
 		spec = specs[0]
 	}
 	r.placement.PickBatch(r.shards, loads, r.staged, spec, count, out, r.scoreBuf)
-	base := len(r.refs)
+	base := r.idx.alloc(count)
 	if r.audit != nil {
 		r.audit.Record(obs.Decision{
 			Wall:    time.Now().UnixNano(),
@@ -526,22 +560,6 @@ func (r *Router) submitBatched(specs []live.JobSpec, spec live.JobSpec, count in
 	}
 	if out[0] < 0 || out[0] >= len(r.shards) {
 		panic(fmt.Sprintf("cluster: placement %s batch-picked shard %d of %d", r.placement.Name(), out[0], len(r.shards)))
-	}
-	if r.fh != nil {
-		for i := 0; i < count; i++ {
-			s := out[i]
-			sp := spec
-			if specs != nil {
-				sp = specs[i]
-			}
-			local := r.fhNextLocal[s]
-			r.fhNextLocal[s]++
-			r.refs = append(r.refs, jobRef{shard: int32(s), local: int32(local)})
-			r.indexLocal(s, local, base+i)
-			r.fh.enqueue(s, sp)
-		}
-		r.fh.flushStaged()
-		return base, nil
 	}
 	for s, n := range r.staged {
 		if n > 0 {
@@ -569,23 +587,147 @@ func (r *Router) submitBatched(specs []live.JobSpec, spec live.JobSpec, count in
 		s := out[i]
 		local := r.shardBase[s] + r.shardCursor[s]
 		r.shardCursor[s]++
-		r.refs = append(r.refs, jobRef{shard: int32(s), local: int32(local)})
+		r.idx.set(base+i, s, local)
 		r.indexLocal(s, local, base+i)
 	}
 	return base, nil
 }
 
+// submitFirehose is the concurrent intake path: the only cluster-wide
+// serialization a batch pays is the placement decision itself. The
+// stages, in order:
+//
+//  1. reserve — block on the intake's depth bound, before any lock, so
+//     backpressure never stalls lookups or other producers.
+//  2. placeMu — the draining check, an epoch-cached load snapshot
+//     (refreshed once per slab window, not re-read per batch), one
+//     PickBatch, the audit record and the atomic global-ID range
+//     allocation. Because every batch allocates its ID range inside
+//     the same critical section that ordered its placement, ID order
+//     is exactly arrival order — the sequencer contract the stream
+//     endpoint's acks rely on.
+//  3. per-shard appendRun — for each shard the batch touches, one
+//     intake-lock hold reserves the shard's next runtime-local IDs and
+//     appends the batch's specs in batch order. Reserving and
+//     appending under the same shard lock is what keeps the drain
+//     loop's local-ID prediction exact: a shard's queue order is its
+//     local-ID order by construction, whatever the interleaving of
+//     producers across shards.
+//  4. publish — the global table entries are stored (lock-free) and
+//     the batch's base returns to the caller. A concurrent Job lookup
+//     between allocation and publication sees "queued", never
+//     "unknown".
+func (r *Router) submitFirehose(specs []live.JobSpec, spec live.JobSpec, count int) (int, error) {
+	if err := r.fh.reserve(count); err != nil {
+		return 0, err
+	}
+	b := r.fhBatchPool.Get().(*fhBatch)
+	if cap(b.out) < count {
+		b.out = make([]int, count)
+	}
+	out := b.out[:count]
+	if specs != nil {
+		spec = specs[0]
+	}
+
+	r.placeMu.Lock()
+	if r.draining.Load() {
+		r.placeMu.Unlock()
+		r.fhBatchPool.Put(b)
+		r.fh.release(count)
+		return 0, ErrDraining
+	}
+	// Registering under placeMu while not draining is what lets Drain
+	// wait out every in-flight append before closing the intake.
+	r.enqueues.Add(1)
+	if r.fhLoadsLeft <= 0 {
+		r.refreshLoadsLocked()
+	}
+	r.fhLoadsLeft -= count
+	for i := range r.fhStaged {
+		r.fhStaged[i] = 0
+	}
+	if r.fhScores != nil {
+		for j := range r.fhScores {
+			r.fhScores[j] = math.NaN()
+		}
+	}
+	r.placement.PickBatch(r.shards, r.fhLoads, r.fhStaged, spec, count, out, r.fhScores)
+	if out[0] < 0 || out[0] >= len(r.shards) {
+		panic(fmt.Sprintf("cluster: placement %s batch-picked shard %d of %d", r.placement.Name(), out[0], len(r.shards)))
+	}
+	base := r.idx.alloc(count)
+	for s, n := range r.fhStaged {
+		b.counts[s] = n
+		// Keep the cached snapshot causal inside its window: later
+		// batches see this batch's placements without re-reading loads.
+		if n > 0 {
+			r.fhLoads[s].Submitted += n
+		}
+	}
+	if r.audit != nil {
+		r.audit.Record(obs.Decision{
+			Wall:    time.Now().UnixNano(),
+			Kind:    obs.DecisionPlace,
+			Policy:  r.placement.Name(),
+			Job:     base,
+			From:    -1,
+			To:      out[0],
+			Planned: count,
+			N:       count,
+			Scores:  sanitizeBatchScores(r.fhScores),
+		})
+	}
+	r.placeMu.Unlock()
+
+	// Per-shard stage: one intake-lock hold per touched shard reserves
+	// its local-ID run and appends this batch's specs in batch order.
+	// Producers whose batches land on disjoint shards run this stage
+	// fully in parallel.
+	for s, n := range b.counts {
+		if n > 0 {
+			b.bases[s] = r.fh.appendRun(s, n, out, specs, spec)
+		}
+	}
+	// Publish the global table entries (lock-free stores). The i-th job
+	// of the batch placed on shard s is the batch's cursor[s]-th job
+	// there, so its runtime-local ID is the shard's reserved base plus
+	// that cursor — the same arithmetic the drain loop's sole-submitter
+	// invariant pins.
+	for i := range b.cursor {
+		b.cursor[i] = 0
+	}
+	for i, s := range out {
+		r.idx.set(base+i, s, b.bases[s]+b.cursor[s])
+		b.cursor[s]++
+	}
+	r.enqueues.Done()
+	r.fhBatchPool.Put(b)
+	return base, nil
+}
+
+// refreshLoadsLocked re-reads every shard's load into the epoch cache
+// and folds in the intake backlog, arming the cache for one slab window
+// of placements. Between refreshes, placement scores against the cache
+// plus its own accumulated decisions — the snapshot drifts by at most
+// one window from the runtimes' ground truth, which load-sensitive
+// policies tolerate by design (they already raced completions under the
+// old always-fresh snapshot). Caller holds placeMu.
+func (r *Router) refreshLoadsLocked() {
+	for i, s := range r.shards {
+		r.fhLoads[i] = s.rt.Load()
+		r.fhLoads[i].Submitted += int(r.fh.shards[i].queued.Load())
+	}
+	r.fhLoadsLeft = r.fh.slabSize
+}
+
 // loadsInto snapshots every shard's progress into the router's scratch
-// (the placement path's Loads without the allocation). In firehose mode
-// each shard's intake backlog is folded into Submitted, so
-// load-sensitive policies see the queued-but-unadmitted jobs they
-// themselves placed. Caller holds r.mu.
+// (the placement path's Loads without the allocation). Caller holds
+// r.mu; firehose batches use the epoch-cached snapshot instead (see
+// refreshLoadsLocked).
 func (r *Router) loadsInto() []live.Load {
 	for i, s := range r.shards {
 		r.loadsBuf[i] = s.rt.Load()
-		if r.fh != nil {
-			r.loadsBuf[i].Submitted += int(r.fh.shards[i].queued.Load())
-		}
 	}
 	return r.loadsBuf
 }
@@ -661,17 +803,22 @@ func (r *Router) indexLocal(shard, local, gid int) {
 
 // Job returns a routed job's lifecycle with global identifiers: the ID
 // is the global one and Slave (once dispatched) is the platform-global
-// slave index.
+// slave index. The lookup never takes a router lock: the global table
+// resolves with atomic loads, so a million concurrent GET /jobs/{id}
+// readers cost the ingest path nothing.
 func (r *Router) Job(gid int) (live.JobInfo, bool) {
-	r.mu.Lock()
-	if gid < 0 || gid >= len(r.refs) {
-		r.mu.Unlock()
+	shard, local, pending, routed := r.idx.lookup(gid)
+	if !routed {
 		return live.JobInfo{}, false
 	}
-	ref := r.refs[gid]
-	r.mu.Unlock()
-	sh := r.shards[ref.shard]
-	info, ok := sh.tracker.Job(int(ref.local))
+	if pending {
+		// ID allocated, entry not yet published (its producer is between
+		// placement and publication): the router's accept is the accept —
+		// report the job queued, as a lookup a moment later would.
+		return live.JobInfo{ID: gid, State: live.StateQueued, Slave: -1}, true
+	}
+	sh := r.shards[shard]
+	info, ok := sh.tracker.Job(local)
 	if !ok {
 		// Accepted but not yet observed by the shard's master: report it
 		// queued rather than unknown — the router's accept is the accept.
@@ -692,14 +839,17 @@ func (r *Router) Job(gid int) (live.JobInfo, bool) {
 	return info, true
 }
 
-// ShardOf returns which shard a global job ID was placed on.
+// ShardOf returns which shard a global job ID was placed on. Lock-free.
+// During the sub-microsecond window between a batch's ID allocation and
+// its table publication the placement is not yet knowable and ShardOf
+// reports false — callers that learned the ID from a submission return
+// or ack never see that window (publication happens before the return).
 func (r *Router) ShardOf(gid int) (int, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if gid < 0 || gid >= len(r.refs) {
+	shard, _, pending, routed := r.idx.lookup(gid)
+	if !routed || pending {
 		return 0, false
 	}
-	return int(r.refs[gid].shard), true
+	return shard, true
 }
 
 // Loads snapshots every shard's progress, indexed by shard.
@@ -724,11 +874,9 @@ func (r *Router) Pending() int {
 	return total
 }
 
-// Draining reports whether Drain has begun.
+// Draining reports whether Drain has begun. Lock-free.
 func (r *Router) Draining() bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.draining
+	return r.draining.Load()
 }
 
 // SetSlaveLive declares a platform-global slave up or down for
@@ -759,11 +907,12 @@ func (r *Router) Stolen() int { return int(r.stolen.Load()) }
 //   - The source master retracts the jobs inside its own actor loop
 //     (live.Runtime.StealPending), so a stolen job was never dispatched
 //     at the source and can never be — no double-dispatch window.
-//   - The global job table is re-pointed under the router lock in the
-//     same critical section that submits to the destination, so
-//     GET /jobs/{id} resolves to the old home, then (briefly) to a
-//     "queued" placeholder while the source tracker reports the job
-//     stolen, then to the new home — never to "unknown".
+//   - The global job table entry is atomically re-pointed (under its
+//     chunk's write lock) in the same router critical section that
+//     submits to the destination, so GET /jobs/{id} resolves to the old
+//     home, then (briefly) to a "queued" placeholder while the source
+//     tracker reports the job stolen, then to the new home — never to
+//     "unknown". Readers stay lock-free throughout.
 //   - Migration and Drain exclude each other through the migrations
 //     WaitGroup: a migration only begins while not draining, and Drain
 //     waits out in-flight migrations before any shard is drained, so a
@@ -786,7 +935,7 @@ func (r *Router) Migrate(from, to, n int) int {
 		return 0
 	}
 	r.mu.Lock()
-	if r.draining {
+	if r.draining.Load() {
 		r.mu.Unlock()
 		return 0
 	}
@@ -823,7 +972,10 @@ func (r *Router) Migrate(from, to, n int) int {
 			}
 		}
 		if gid >= 0 {
-			r.refs[gid] = jobRef{shard: int32(to), local: int32(local)}
+			// Re-point the global table entry at the job's new home under
+			// the owning chunk's narrow write lock; concurrent lock-free
+			// readers see the old home, then the new one — never garbage.
+			r.idx.repoint(gid, to, local)
 			r.indexLocal(to, local, gid)
 		}
 		r.stolen.Add(1)
@@ -852,8 +1004,14 @@ func (r *Router) Migrate(from, to, n int) int {
 // drained and returns the first shard error, if any. Safe to call more
 // than once.
 func (r *Router) Drain() error {
+	// Flip the flag under both submission locks: a direct submission
+	// holding mu (or a firehose batch inside its placement section)
+	// completes first, and everything after sees the flag. The two locks
+	// are never held together anywhere else, so the nesting is safe.
 	r.mu.Lock()
-	r.draining = true
+	r.placeMu.Lock()
+	r.draining.Store(true)
+	r.placeMu.Unlock()
 	r.mu.Unlock()
 	// Migrations registered before the flag flipped may still be
 	// re-homing stolen jobs; new ones can no longer begin. Wait them out
@@ -862,6 +1020,13 @@ func (r *Router) Drain() error {
 	// submitted to a master that already exited.
 	r.migrations.Wait()
 	if r.fh != nil {
+		// Wait out in-flight firehose batches (registered under placeMu
+		// before the flag flipped): every one of their slab flushes
+		// happens-before the close below, so the drain sources' final
+		// post-close take observes every enqueued job. Producers still
+		// blocked in reserve never registered — close wakes them with
+		// ErrDraining.
+		r.enqueues.Wait()
 		// Firehose drain: make sure the shard drivers exist, close the
 		// intake (waking blocked producers with ErrDraining and parked
 		// drain sources), and join the drivers. Each drain source submits

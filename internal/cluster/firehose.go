@@ -1,21 +1,26 @@
 package cluster
 
 // Firehose intake: the pure-throughput admission path. Producers never
-// touch a shard runtime directly — they place a whole batch under one
-// router lock, append the specs to per-shard MPSC queues built from
-// pooled slabs, and return. One in-world drain source per shard moves
-// the queued slabs into its runtime with a single lock acquisition per
-// slab (live.Source.SubmitSpecs), so the virtual-clock kernel absorbs an
+// touch a shard runtime directly — they place a whole batch under the
+// router's narrow placement lock, then append the specs to per-shard
+// MPSC queues built from pooled slabs under per-shard intake locks
+// (appendRun), and return. Producers whose batches land on disjoint
+// shards only meet at the placement decision; the append stage runs in
+// parallel. One in-world drain source per shard moves the queued slabs
+// into its runtime with a single lock acquisition per slab
+// (live.Source.SubmitSpecs), so the virtual-clock kernel absorbs an
 // arbitrarily large backlog in one wake.
 //
 // The intake preserves the router's global-ID contract without any
 // feedback channel: in firehose mode each drain source is its shard's
 // ONLY submitter, so a shard's runtime-local job IDs are exactly the
-// per-shard enqueue order. The router predicts them with a plain
-// counter at placement time (fhNextLocal) and the drain loop asserts
-// the prediction against the base ID the runtime actually assigned.
-// This is also why firehose mode excludes migration and in-world
-// sources: any other submitter would desynchronize the prediction.
+// per-shard enqueue order. appendRun reserves each shard's next local
+// IDs and appends the batch's specs under one hold of that shard's
+// lock, so queue order is local-ID order by construction, and the
+// drain loop asserts the prediction against the base ID the runtime
+// actually assigned. This is also why firehose mode excludes migration
+// and in-world sources: any other submitter would desynchronize the
+// prediction.
 //
 // Backpressure is a bounded total queue depth: a producer whose batch
 // finds the intake full blocks (before taking the router lock) until
@@ -78,6 +83,15 @@ type fhShard struct {
 	// is added to the shard's Load at placement time so load-sensitive
 	// policies see the intake backlog they themselves created.
 	queued atomic.Int64
+
+	// emu is the shard's intake lock: appendRun holds it while reserving
+	// the shard's next runtime-local IDs (nextLocal) and appending one
+	// batch's specs, which is exactly what keeps queue order equal to
+	// local-ID order under concurrent producers. It is distinct from mu
+	// so the drain source's takeInto never waits behind a producer
+	// filling slabs.
+	emu       sync.Mutex
+	nextLocal int
 }
 
 // intake is the cluster-wide firehose state.
@@ -94,14 +108,15 @@ type intake struct {
 	queued int
 	closed bool
 
-	// pmu guards the recycled-slab stack.
-	pmu  sync.Mutex
-	pool [][]live.JobSpec
-
-	// cur holds each shard's partially-filled staging slab. It is only
-	// touched while the producer holds the router lock, which serializes
-	// all enqueues, so it needs no lock of its own.
-	cur [][]live.JobSpec
+	// pmu guards the recycled-slab stack; the counters alongside it make
+	// the pool's effectiveness observable (poolGets checkouts, of which
+	// poolHits came recycled; poolDrops slabs fell to the GC because the
+	// stack was full).
+	pmu       sync.Mutex
+	pool      [][]live.JobSpec
+	poolGets  atomic.Int64
+	poolHits  atomic.Int64
+	poolDrops atomic.Int64
 
 	shards []fhShard
 }
@@ -112,7 +127,6 @@ func newIntake(cfg FirehoseConfig, shards int) *intake {
 		slabSize: cfg.SlabSize,
 		poll:     cfg.PollModelSeconds,
 		window:   cfg.AdmitWindow,
-		cur:      make([][]live.JobSpec, shards),
 		shards:   make([]fhShard, shards),
 	}
 	if fh.bound <= 0 {
@@ -199,12 +213,14 @@ func (fh *intake) isClosed() bool {
 
 // getSlab pops a recycled slab or allocates a fresh one.
 func (fh *intake) getSlab() []live.JobSpec {
+	fh.poolGets.Add(1)
 	fh.pmu.Lock()
 	if n := len(fh.pool); n > 0 {
 		s := fh.pool[n-1]
 		fh.pool[n-1] = nil
 		fh.pool = fh.pool[:n-1]
 		fh.pmu.Unlock()
+		fh.poolHits.Add(1)
 		return s[:0]
 	}
 	fh.pmu.Unlock()
@@ -216,39 +232,57 @@ func (fh *intake) putSlab(s []live.JobSpec) {
 	fh.pmu.Lock()
 	if len(fh.pool) < slabPoolCap {
 		fh.pool = append(fh.pool, s)
+		fh.pmu.Unlock()
+		return
 	}
 	fh.pmu.Unlock()
+	fh.poolDrops.Add(1)
 }
 
-// enqueue appends one placed spec to its shard's staging slab, flushing
-// the slab to the shard queue when full. Caller holds the router lock.
-func (fh *intake) enqueue(shard int, spec live.JobSpec) {
-	cur := fh.cur[shard]
-	if cur == nil {
-		cur = fh.getSlab()
-	}
-	cur = append(cur, spec)
-	if len(cur) >= fh.slabSize {
-		fh.flush(shard, cur)
-		cur = nil
-	}
-	fh.cur[shard] = cur
-}
-
-// flushStaged pushes every shard's partial staging slab to its queue —
-// called at the end of each placed batch so the drain sources see the
-// complete batch. Caller holds the router lock.
-func (fh *intake) flushStaged() {
-	for s, cur := range fh.cur {
-		if len(cur) > 0 {
+// appendRun admits one batch's slice for a single shard: under one hold
+// of the shard's intake lock it reserves the shard's next n
+// runtime-local IDs and appends the batch's n specs for that shard
+// (those with out[i] == s, in batch order) to the shard queue, flushing
+// a slab per slabSize jobs and the partial remainder at the end (so the
+// drain source always sees whole batches). Returns the reserved local
+// base. The reserve and the append sharing one critical section is the
+// sole-submitter invariant's load-bearing wall: whatever order
+// concurrent producers reach a shard, each batch's specs land in the
+// queue in exactly the order its local IDs were reserved.
+func (fh *intake) appendRun(s, n int, out []int, specs []live.JobSpec, spec live.JobSpec) int {
+	sq := &fh.shards[s]
+	sq.emu.Lock()
+	base := sq.nextLocal
+	sq.nextLocal += n
+	var cur []live.JobSpec
+	for i, sh := range out {
+		if sh != s {
+			continue
+		}
+		if cur == nil {
+			cur = fh.getSlab()
+		}
+		sp := spec
+		if specs != nil {
+			sp = specs[i]
+		}
+		cur = append(cur, sp)
+		if len(cur) >= fh.slabSize {
 			fh.flush(s, cur)
-			fh.cur[s] = nil
+			cur = nil
 		}
 	}
+	if len(cur) > 0 {
+		fh.flush(s, cur)
+	}
+	sq.emu.Unlock()
+	return base
 }
 
 // flush appends one filled slab to the shard queue and wakes its drain
-// source. Caller holds the router lock (so no flush can race close).
+// source. Caller holds the shard's intake lock; flush-vs-close ordering
+// is the router's enqueues WaitGroup (every registered batch's flushes
+// complete before Drain closes the intake).
 func (fh *intake) flush(shard int, slab []live.JobSpec) {
 	sq := &fh.shards[shard]
 	sq.mu.Lock()
@@ -342,4 +376,72 @@ func (fh *intake) drainLoop(r *Router, shard int, src *live.Source) {
 		}
 		src.Sleep(fh.poll)
 	}
+}
+
+// FirehoseStats is a point-in-time snapshot of the intake's
+// backpressure state, exposed through /v1/stats and /v1/metrics: how
+// much backlog producers have parked in the queues, and how the slab
+// pool is holding up (drops were previously silent).
+type FirehoseStats struct {
+	// QueueBound is the configured depth bound producers block on.
+	QueueBound int
+	// Queued is the total enqueued-but-not-yet-admitted job count.
+	Queued int
+	// ShardQueued is Queued broken down by shard.
+	ShardQueued []int64
+	// SlabGets counts slab checkouts; SlabHits of them were served from
+	// the recycle pool; SlabDrops counts drained slabs discarded because
+	// the pool was full.
+	SlabGets  int64
+	SlabHits  int64
+	SlabDrops int64
+}
+
+// FirehoseStats snapshots the intake's backpressure state; ok is false
+// when the cluster is not in firehose mode.
+func (r *Router) FirehoseStats() (FirehoseStats, bool) {
+	if r.fh == nil {
+		return FirehoseStats{}, false
+	}
+	fs := FirehoseStats{
+		QueueBound:  r.fh.bound,
+		Queued:      r.fh.depth(),
+		ShardQueued: make([]int64, len(r.fh.shards)),
+		SlabGets:    r.fh.poolGets.Load(),
+		SlabHits:    r.fh.poolHits.Load(),
+		SlabDrops:   r.fh.poolDrops.Load(),
+	}
+	for i := range r.fh.shards {
+		fs.ShardQueued[i] = r.fh.shards[i].queued.Load()
+	}
+	return fs, true
+}
+
+// FirehoseDepth returns the intake's total queued job count (0 outside
+// firehose mode) — an allocation-free gauge reader.
+func (r *Router) FirehoseDepth() int {
+	if r.fh == nil {
+		return 0
+	}
+	return r.fh.depth()
+}
+
+// FirehoseShardQueued returns one shard's enqueued-but-unadmitted job
+// count (0 outside firehose mode) — the allocation-free per-shard gauge
+// reader behind /v1/metrics.
+func (r *Router) FirehoseShardQueued(shard int) int64 {
+	if r.fh == nil || shard < 0 || shard >= len(r.fh.shards) {
+		return 0
+	}
+	return r.fh.shards[shard].queued.Load()
+}
+
+// FirehoseSlabStats returns the slab pool's counters (all 0 outside
+// firehose mode): gets checkouts, hits of them recycled, drops slabs
+// discarded to the GC on a full pool.
+func (r *Router) FirehoseSlabStats() (gets, hits, drops int64) {
+	if r.fh == nil {
+		return 0, 0, 0
+	}
+	return r.fh.poolGets.Load(), r.fh.poolHits.Load(), r.fh.poolDrops.Load()
 }

@@ -1,0 +1,161 @@
+package cluster
+
+// The global job index: a chunked, append-only table mapping global job
+// IDs to their (shard, runtime-local) location, built so the read path
+// never takes a lock.
+//
+// Memory model. The table is a spine of fixed-size chunks. The spine —
+// a []*indexChunk — is published as a whole through an atomic.Pointer:
+// growth builds a longer copy and stores it, so a reader's Load always
+// observes a fully-formed slice whose chunks were zeroed before the
+// publishing Store (release/acquire pairing on the spine pointer).
+// Entries are single atomic words: a packed (shard+1, local) pair, with
+// the zero word reserved to mean "ID allocated, entry not yet
+// published". Three actor classes touch the structure:
+//
+//   - Allocation (alloc) bumps the atomic next-ID counter and grows the
+//     spine under growMu if the new range outruns it. IDs are therefore
+//     issued in one atomic step — the order-preserving global-ID
+//     allocator the concurrent intake path relies on.
+//   - Publication (set) stores each entry's packed word exactly once,
+//     by the producer that allocated the range. No lock: distinct
+//     producers own distinct IDs.
+//   - Re-pointing (repoint, migration only) rewrites an existing entry
+//     under the owning chunk's narrow mutex, serializing concurrent
+//     migrations of neighboring jobs without ever blocking a reader.
+//
+// Readers (lookup) load the counter, the spine and the entry word —
+// three atomic loads, zero locks, zero allocations. An allocated ID
+// whose word is still zero (its producer is between alloc and set) is
+// reported as pending: the router answers "queued" for it, the same
+// placeholder it uses for accepted-but-not-yet-observed jobs.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// indexChunkBits sizes a chunk at 4096 entries (32 KiB of packed
+	// words): large enough that a million-job run touches the grow path
+	// ~250 times, small enough that an idle cluster pays one chunk.
+	indexChunkBits = 12
+	indexChunkSize = 1 << indexChunkBits
+	indexChunkMask = indexChunkSize - 1
+)
+
+// indexChunk is one fixed-size run of packed entries. The mutex guards
+// writers that mutate existing entries (migration re-pointing) against
+// each other; readers and first-time publication never take it.
+type indexChunk struct {
+	mu      sync.Mutex
+	entries [indexChunkSize]atomic.Uint64
+}
+
+// packRef encodes a (shard, local) pair into one non-zero word. Shard
+// is biased by one so the zero word stays free as the "not yet
+// published" sentinel (shard 0, local 0 is a real location).
+func packRef(shard, local int) uint64 {
+	return uint64(shard+1)<<32 | uint64(uint32(local))
+}
+
+// unpackRef inverts packRef.
+func unpackRef(p uint64) (shard, local int) {
+	return int(p>>32) - 1, int(uint32(p))
+}
+
+// jobIndex is the lock-free global job table. The zero value is ready
+// to use.
+type jobIndex struct {
+	// next is the global-ID allocator: IDs [0, next) have been issued.
+	next atomic.Int64
+	// spine is the atomically published chunk table.
+	spine atomic.Pointer[[]*indexChunk]
+	// growMu serializes spine growth (allocation-path only).
+	growMu sync.Mutex
+}
+
+// count returns how many global IDs have been issued.
+func (x *jobIndex) count() int { return int(x.next.Load()) }
+
+// alloc issues a contiguous range of count global IDs and returns its
+// base, growing the spine to cover the range. Safe for concurrent use.
+func (x *jobIndex) alloc(count int) int {
+	base := int(x.next.Add(int64(count))) - count
+	x.ensure(base + count)
+	return base
+}
+
+// ensure grows the spine until it covers IDs [0, n). The spine is
+// copied and republished whole so readers never see a partially built
+// table.
+func (x *jobIndex) ensure(n int) {
+	need := (n + indexChunkSize - 1) >> indexChunkBits
+	if sp := x.spine.Load(); sp != nil && len(*sp) >= need {
+		return
+	}
+	x.growMu.Lock()
+	defer x.growMu.Unlock()
+	var cur []*indexChunk
+	if sp := x.spine.Load(); sp != nil {
+		cur = *sp
+	}
+	if len(cur) >= need {
+		return
+	}
+	// Grow geometrically so a steady allocator republishes the spine
+	// O(log n) times, not once per chunk.
+	grown := make([]*indexChunk, need, max(need, 2*len(cur)))
+	grown = grown[:cap(grown)]
+	copy(grown, cur)
+	for i := len(cur); i < len(grown); i++ {
+		grown[i] = new(indexChunk)
+	}
+	x.spine.Store(&grown)
+}
+
+// chunks returns the current spine. The caller must only index chunks
+// covering IDs it knows are allocated (alloc's ensure ran first).
+func (x *jobIndex) chunks() []*indexChunk {
+	return *x.spine.Load()
+}
+
+// set publishes a freshly allocated ID's location. Call exactly once
+// per ID, by the producer that allocated it, after alloc returned.
+func (x *jobIndex) set(gid, shard, local int) {
+	sp := x.chunks()
+	sp[gid>>indexChunkBits].entries[gid&indexChunkMask].Store(packRef(shard, local))
+}
+
+// repoint rewrites an existing entry when a migration re-homes the job,
+// under the owning chunk's write lock. Readers stay lock-free.
+func (x *jobIndex) repoint(gid, shard, local int) {
+	sp := x.chunks()
+	c := sp[gid>>indexChunkBits]
+	c.mu.Lock()
+	c.entries[gid&indexChunkMask].Store(packRef(shard, local))
+	c.mu.Unlock()
+}
+
+// lookup resolves a global ID with three atomic loads and no locks.
+// ok is false for IDs the allocator never issued. pending is true for
+// issued IDs whose entry has not been published yet (mid-batch window;
+// the job is accepted, report it queued).
+func (x *jobIndex) lookup(gid int) (shard, local int, pending, ok bool) {
+	if gid < 0 || int64(gid) >= x.next.Load() {
+		return 0, 0, false, false
+	}
+	sp := x.spine.Load()
+	ci := gid >> indexChunkBits
+	if sp == nil || ci >= len(*sp) {
+		// Allocated, but the covering chunk is not published yet: the
+		// producer is between alloc and ensure's store becoming visible.
+		return 0, 0, true, true
+	}
+	p := (*sp)[ci].entries[gid&indexChunkMask].Load()
+	if p == 0 {
+		return 0, 0, true, true
+	}
+	shard, local = unpackRef(p)
+	return shard, local, false, true
+}

@@ -27,6 +27,7 @@ package live
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -88,8 +89,12 @@ type Runtime struct {
 	world World
 	prog  *program
 
-	mu       sync.Mutex
-	nextID   int
+	mu sync.Mutex
+	// nextID is the submission-order ID allocator. It only advances under
+	// mu (submitters must not interleave IDs mid-batch), but it is an
+	// atomic so Load can read it without the lock — the one field that
+	// used to force the progress snapshot through the runtime mutex.
+	nextID   atomic.Int64
 	draining bool
 	started  bool
 	waited   bool
@@ -152,8 +157,7 @@ func (rt *Runtime) Submit(spec JobSpec) int {
 	if rt.draining {
 		panic("live: Submit after Drain")
 	}
-	spec.ID = rt.nextID
-	rt.nextID++
+	spec.ID = int(rt.nextID.Add(1)) - 1
 	rt.world.Post(rt.prog.masterID, Msg{Kind: msgSubmit, Task: spec.ID, Job: spec})
 	return spec.ID
 }
@@ -175,8 +179,7 @@ func (rt *Runtime) SubmitBatch(spec JobSpec, count int) []int {
 	}
 	ids := make([]int, count)
 	for i := range ids {
-		spec.ID = rt.nextID
-		rt.nextID++
+		spec.ID = int(rt.nextID.Add(1)) - 1
 		rt.world.Post(rt.prog.masterID, Msg{Kind: msgSubmit, Task: spec.ID, Job: spec})
 		ids[i] = spec.ID
 	}
@@ -204,11 +207,10 @@ func (rt *Runtime) submitSpecs(post func(dst int, m Msg), specs []JobSpec) int {
 	if rt.draining {
 		panic("live: Submit after Drain")
 	}
-	base := rt.nextID
+	base := int(rt.nextID.Load())
 	for i := range specs {
 		sp := specs[i]
-		sp.ID = rt.nextID
-		rt.nextID++
+		sp.ID = int(rt.nextID.Add(1)) - 1
 		post(rt.prog.masterID, Msg{Kind: msgSubmit, Task: sp.ID, Job: sp})
 	}
 	return base
@@ -238,14 +240,15 @@ func (l Load) QueueDepth() int { return l.Submitted - l.Retracted - l.Dispatched
 // shard's total in-system population, the least-loaded placement signal.
 func (l Load) Outstanding() int { return l.Submitted - l.Retracted - l.Completed }
 
-// Load returns the current progress snapshot. The counters are advanced
-// atomically (submission side under the runtime lock, master side
-// lock-free), so Load is safe to call from any goroutine at any moment.
-// Reading them in reverse causal order — completed, dispatched,
-// admitted, submitted — makes every snapshot internally monotone
-// (Completed ≤ Dispatched ≤ Admitted ≤ Submitted): each counter only
-// grows, and a job reaches a later stage only after the earlier ones,
-// so a stage read later can never be smaller than one read earlier.
+// Load returns the current progress snapshot. Every counter is an
+// atomic, so Load takes no lock at all and is safe to call from any
+// goroutine at any moment — including per placement decision on a hot
+// ingest path. Reading them in reverse causal order — completed,
+// dispatched, admitted, submitted — makes every snapshot internally
+// monotone (Completed ≤ Dispatched ≤ Admitted ≤ Submitted): each
+// counter only grows, and a job reaches a later stage only after the
+// earlier ones, so a stage read later can never be smaller than one
+// read earlier.
 func (rt *Runtime) Load() Load {
 	// Retracted is read first: it only grows, and a stale (smaller) value
 	// overstates QueueDepth/Outstanding — placement and steal policies
@@ -254,9 +257,7 @@ func (rt *Runtime) Load() Load {
 	completed := int(rt.prog.completed.Load())
 	dispatched := int(rt.prog.dispatched.Load())
 	admitted := int(rt.prog.admitted.Load())
-	rt.mu.Lock()
-	submitted := rt.nextID
-	rt.mu.Unlock()
+	submitted := int(rt.nextID.Load())
 	return Load{
 		Submitted:  submitted,
 		Admitted:   admitted,
@@ -347,8 +348,7 @@ func (rt *Runtime) submitFrom(n Node, spec JobSpec) int {
 	if rt.draining {
 		panic("live: Submit after Drain")
 	}
-	spec.ID = rt.nextID
-	rt.nextID++
+	spec.ID = int(rt.nextID.Add(1)) - 1
 	n.Post(rt.prog.masterID, Msg{Kind: msgSubmit, Task: spec.ID, Job: spec})
 	return spec.ID
 }

@@ -58,7 +58,14 @@
 //     PickBatch call scoring a 1000-job batch, per policy), CPU-bound
 //     and hard-gated: the per-job cost here is what amortizing one
 //     decision over a batch buys over BenchmarkClusterPlacement's
-//     per-job Pick loop.
+//     per-job Pick loop;
+//   - BenchmarkJobIndexRead — the PR-10 lock-free read path (ShardOf +
+//     Job through the chunked global index), CPU-bound, gated, and
+//     hard-gated at 0 allocs/op: a lock or allocation returning to the
+//     read path fails CI;
+//   - BenchmarkConcurrentFirehose — the PR-10 sharded intake under 4
+//     concurrent producers (alloc column gated; the throughput claim
+//     lives in the committed BENCH artifact's concurrent_speedup_x).
 //
 // Keep these benchmarks deterministic in their workloads (fixed seeds,
 // fixed scales): the gate compares ns/op and allocs/op across commits,
@@ -69,6 +76,7 @@ import (
 	"math/rand"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -603,5 +611,98 @@ func BenchmarkClusterPlacement(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkJobIndexRead measures the router's lock-free read path: Job
+// and ShardOf against a populated (unstarted) firehose cluster. One op
+// is one lookup pair — three atomic loads through the chunked global
+// index and a tracker probe, no mutex anywhere. CPU-bound, fully gated,
+// and additionally hard-gated at 0 allocs/op in CI: a regression that
+// puts an allocation (or a lock) back on the read path fails the build.
+func BenchmarkJobIndexRead(b *testing.B) {
+	pl := core.NewPlatform(
+		[]float64{0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1},
+		[]float64{0.5, 1, 1.5, 2, 0.5, 1, 1.5, 2})
+	r, err := cluster.New(cluster.Config{
+		Platform:     pl,
+		NewScheduler: func() sim.Scheduler { return sched.New("LS") },
+		Shards:       4,
+		Placement:    "least-loaded",
+		Partition:    core.PartitionBalanced,
+		World:        func(int) live.World { return live.NewRealTime(50000) },
+		Firehose:     &cluster.FirehoseConfig{QueueDepth: 16384},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const jobs = 10000
+	for batch := 0; batch < 10; batch++ {
+		if _, err := r.SubmitRange(live.JobSpec{}, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gid := i % jobs
+		if _, ok := r.ShardOf(gid); !ok {
+			b.Fatalf("gid %d unrouted", gid)
+		}
+		if _, ok := r.Job(gid); !ok {
+			b.Fatalf("gid %d missing", gid)
+		}
+	}
+}
+
+// BenchmarkConcurrentFirehose measures the sharded intake under
+// contention: 4 producer goroutines each pushing 16 SubmitRange batches
+// of 256 jobs into a fresh unstarted cluster (intake deep enough that
+// nothing blocks). One op is the whole 16384-job burst — the workload
+// the per-shard intake locks were split for; compare its per-job cost
+// against single-producer BenchmarkFirehoseIngest to see the remaining
+// serialization (placement only). CPU-bound; ns/op is machine-load
+// sensitive under parallelism, so CI gates allocs/op only (via the
+// standard gate's alloc column) and the committed BENCH artifact's
+// concurrent_speedup_x carries the throughput claim.
+func BenchmarkConcurrentFirehose(b *testing.B) {
+	pl := core.NewPlatform(
+		[]float64{0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1},
+		[]float64{0.5, 1, 1.5, 2, 0.5, 1, 1.5, 2})
+	const producers, batches, per = 4, 16, 256
+	const total = producers * batches * per
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		r, err := cluster.New(cluster.Config{
+			Platform:     pl,
+			NewScheduler: func() sim.Scheduler { return sched.New("LS") },
+			Shards:       4,
+			Placement:    "least-loaded",
+			Partition:    core.PartitionBalanced,
+			World:        func(int) live.World { return live.NewRealTime(50000) },
+			Firehose:     &cluster.FirehoseConfig{QueueDepth: 2 * total},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for batch := 0; batch < batches; batch++ {
+					if _, err := r.SubmitRange(live.JobSpec{}, per); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if r.Jobs() != total {
+			b.Fatalf("routed %d of %d", r.Jobs(), total)
+		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
@@ -71,6 +72,13 @@ type Config struct {
 	// clock the stream handler throttles while the cluster's pending
 	// population is at or above it (0 means 65536).
 	IngestQueueDepth int
+	// StreamWorkers sizes the parallel NDJSON decode stage behind
+	// POST /v1/jobs:stream: 0 picks GOMAXPROCS capped at 8, n > 0 runs
+	// exactly n parse workers, negative selects the serial single-
+	// goroutine decoder (the pre-pipeline path, useful as a baseline and
+	// on single-core hosts). Ordering is identical either way: the
+	// sequencer places and acks lines strictly in wire order.
+	StreamWorkers int
 	// Steal names the cross-shard work-stealing policy; empty or "none"
 	// serves without a rebalancer (the PR-5 cluster, bit for bit).
 	Steal string
@@ -141,6 +149,10 @@ type Server struct {
 	// itself rather than the stream handler's pending-population throttle.
 	ingestDepth int
 	firehose    bool
+
+	// streamWorkers is the resolved StreamWorkers: ≥ 1 runs the decode
+	// pipeline with that many parse workers, < 1 the serial decoder.
+	streamWorkers int
 
 	// metrics is the zero-dependency registry behind GET /metrics and
 	// GET /debug/vars (nil with DisableMetrics). Almost everything in it
@@ -229,6 +241,14 @@ func New(cfg Config) (*Server, error) {
 	s.ingestDepth = cfg.IngestQueueDepth
 	if s.ingestDepth <= 0 {
 		s.ingestDepth = 65536
+	}
+	switch {
+	case cfg.StreamWorkers > 0:
+		s.streamWorkers = cfg.StreamWorkers
+	case cfg.StreamWorkers < 0:
+		s.streamWorkers = 0 // serial decoder
+	default:
+		s.streamWorkers = min(runtime.GOMAXPROCS(0), 8)
 	}
 	// SLO monitors first: the HTTP wrapper and completion hooks feed
 	// them, so they must exist before either is built.
@@ -458,6 +478,22 @@ func (s *Server) registerMetrics() {
 	}
 	r.CounterFunc("schedd_watch_events_dropped_total", "Watch-stream events dropped on slow subscribers.",
 		"", func() float64 { return float64(s.watch.dropped.Load()) })
+	if _, ok := s.router.FirehoseStats(); ok {
+		r.GaugeFunc("schedd_firehose_queue_depth", "Enqueued-but-not-yet-admitted jobs across all firehose intake shards.",
+			"", func() float64 { return float64(s.router.FirehoseDepth()) })
+		for _, sh := range s.router.Shards() {
+			idx := sh.Index()
+			r.GaugeFunc("schedd_firehose_shard_queued", "Enqueued-but-not-yet-admitted jobs, by intake shard.",
+				obs.Labels("shard", strconv.Itoa(idx)),
+				func() float64 { return float64(s.router.FirehoseShardQueued(idx)) })
+		}
+		r.CounterFunc("schedd_firehose_slab_gets_total", "Admission-slab checkouts from the firehose slab pool.",
+			"", func() float64 { gets, _, _ := s.router.FirehoseSlabStats(); return float64(gets) })
+		r.CounterFunc("schedd_firehose_slab_hits_total", "Admission-slab checkouts served by recycling (the rest allocated).",
+			"", func() float64 { _, hits, _ := s.router.FirehoseSlabStats(); return float64(hits) })
+		r.CounterFunc("schedd_firehose_slab_drops_total", "Drained slabs discarded because the recycle pool was full.",
+			"", func() float64 { _, _, drops := s.router.FirehoseSlabStats(); return float64(drops) })
+	}
 }
 
 // counted wraps a handler with its per-route request counter and
@@ -736,7 +772,10 @@ type ShardStats struct {
 	// EventsDropped counts lifecycle events overwritten in the shard's
 	// bounded event ring — nonzero means the retained log (and any trace
 	// built from it) is missing its oldest history.
-	EventsDropped        int64         `json:"events_dropped"`
+	EventsDropped int64 `json:"events_dropped"`
+	// IntakeQueued is the shard's enqueued-but-not-yet-admitted firehose
+	// backlog (only present in VirtualClock mode).
+	IntakeQueued         int64         `json:"intake_queued,omitempty"`
 	ThroughputJobsPerSec float64       `json:"throughput_jobs_per_sec"`
 	LatencySeconds       *LatencyStats `json:"latency_seconds,omitempty"`
 	// StageSeconds decomposes completed-job latency into the lifecycle
@@ -798,6 +837,10 @@ type StatsResponse struct {
 	// Watch reports the /watch SSE hub: current subscribers and events
 	// dropped on slow ones.
 	Watch *WatchStats `json:"watch,omitempty"`
+	// Firehose reports the intake's backpressure state (queue depth, per-
+	// shard backlog, slab-pool effectiveness); absent outside
+	// VirtualClock mode.
+	Firehose *FirehoseStatsResponse `json:"firehose,omitempty"`
 	// PerShard holds one section per shard, in shard order.
 	PerShard []ShardStats `json:"per_shard"`
 }
@@ -813,6 +856,20 @@ type RecorderStats struct {
 type WatchStats struct {
 	Subscribers int    `json:"subscribers"`
 	Dropped     uint64 `json:"dropped"`
+}
+
+// FirehoseStatsResponse is the GET /stats firehose-intake stanza: how
+// much backlog producers have parked in the bounded intake (queued vs
+// the bound producers block on) and how the admission-slab pool is
+// holding up (drops mean slabs fell to the GC because the recycle stack
+// was full). Absent outside VirtualClock mode.
+type FirehoseStatsResponse struct {
+	QueueBound  int     `json:"queue_bound"`
+	Queued      int     `json:"queued"`
+	ShardQueued []int64 `json:"shard_queued"`
+	SlabGets    int64   `json:"slab_gets"`
+	SlabHits    int64   `json:"slab_hits"`
+	SlabDrops   int64   `json:"slab_drops"`
 }
 
 // Stats assembles the current service statistics — one consistent
@@ -936,6 +993,21 @@ func (s *Server) Stats() StatsResponse {
 	resp.Watch = &WatchStats{
 		Subscribers: s.watch.subscribers(),
 		Dropped:     s.watch.dropped.Load(),
+	}
+	if fs, ok := s.router.FirehoseStats(); ok {
+		resp.Firehose = &FirehoseStatsResponse{
+			QueueBound:  fs.QueueBound,
+			Queued:      fs.Queued,
+			ShardQueued: fs.ShardQueued,
+			SlabGets:    fs.SlabGets,
+			SlabHits:    fs.SlabHits,
+			SlabDrops:   fs.SlabDrops,
+		}
+		for i := range resp.PerShard {
+			if sh := resp.PerShard[i].Shard; sh < len(fs.ShardQueued) {
+				resp.PerShard[i].IntakeQueued = fs.ShardQueued[sh]
+			}
+		}
 	}
 	return resp
 }
